@@ -1,0 +1,149 @@
+// Command mpidrun is the paper's job launcher (§IV-B):
+//
+//	mpidrun -f hostfile -O n -A m -M mode -jar jarname classname params
+//
+// Task code must be resident in the worker processes (the paper loads it
+// from the application jar), so this launcher ships with the benchmark
+// applications built in and generates their inputs:
+//
+//	mpidrun -O 8 -A 4 -M MapReduce terasort  [records]
+//	mpidrun -O 8 -A 4 -M MapReduce wordcount [lines]
+//	mpidrun -O 8 -A 4 -M Iteration pagerank  [pages rounds]
+//	mpidrun -O 8 -A 4 -M Iteration kmeans    [points rounds]
+//	mpidrun -O 4 -A 2 -M Streaming topk      [events]
+//
+// -n sets the number of worker processes (the hostfile analogue).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"datampi/internal/bench"
+)
+
+func main() {
+	numO := flag.Int("O", 4, "number of tasks in COMM_BIPARTITE_O")
+	numA := flag.Int("A", 2, "number of tasks in COMM_BIPARTITE_A")
+	mode := flag.String("M", "MapReduce", "mode: Common|MapReduce|Iteration|Streaming")
+	procs := flag.Int("n", 2, "worker processes to spawn")
+	ft := flag.Bool("ft", false, "enable the key-value library-level checkpoint (fault tolerance)")
+	hostfile := flag.String("f", "", "hostfile (accepted for mpidrun compatibility; one host per line overrides -n)")
+	flag.Parse()
+	if *hostfile != "" {
+		if data, err := os.ReadFile(*hostfile); err == nil {
+			n := 0
+			for _, line := range strings.Split(string(data), "\n") {
+				if strings.TrimSpace(line) != "" {
+					n++
+				}
+			}
+			if n > 0 {
+				*procs = n
+			}
+		} else {
+			fatal(err)
+		}
+	}
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: mpidrun -O n -A m -M mode <terasort|wordcount|pagerank|kmeans|topk> [params]")
+		os.Exit(2)
+	}
+	app := flag.Arg(0)
+	arg := func(i, def int) int {
+		if flag.NArg() > i {
+			if v, err := strconv.Atoi(flag.Arg(i)); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	env, err := bench.NewEnv(bench.EnvConfig{Nodes: *procs, BlockSize: 256 << 10})
+	if err != nil {
+		fatal(err)
+	}
+	defer env.Close()
+
+	switch app {
+	case "terasort":
+		records := arg(1, 100000)
+		if err := bench.TeraGen(env.FS, "/in", records, 1); err != nil {
+			fatal(err)
+		}
+		opts := bench.TeraSortOpts{NumO: *numO, NumA: *numA, Procs: *procs}
+		if *ft {
+			dir, err := os.MkdirTemp("", "mpidrun-cp-")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			opts.FaultTolerance = true
+			opts.CheckpointDir = dir
+			opts.CheckpointRecords = int64(records / 50)
+		}
+		res, err := bench.DataMPITeraSort(env, "/in", opts, bench.Instr{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.VerifyTeraSort(env.FS, "/in.sorted", records); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("terasort (%s mode, ft=%v): %d records sorted in %v (%d local A tasks, %d remote)\n",
+			*mode, *ft, records, res.Elapsed, res.LocalATasks, res.RemoteATasks)
+	case "wordcount":
+		lines := arg(1, 20000)
+		if err := bench.TextGen(env.FS, "/in", lines, 10, 5000, 1); err != nil {
+			fatal(err)
+		}
+		res, err := bench.DataMPIWordCount(env, "/in", *numO, *numA, bench.Instr{})
+		if err != nil {
+			fatal(err)
+		}
+		counts, err := bench.ReadCounts(env.FS, "/in.counts")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wordcount: %d lines, %d distinct words in %v\n", lines, len(counts), res.Elapsed)
+	case "pagerank":
+		pages, rounds := arg(1, 5000), arg(2, 7)
+		g := bench.GenGraph(pages, 8, 1)
+		times, ranks, err := bench.DataMPIPageRank(env, g, *numO, *numA, rounds, bench.Instr{})
+		if err != nil {
+			fatal(err)
+		}
+		var sum float64
+		for _, r := range ranks {
+			sum += r
+		}
+		fmt.Printf("pagerank: %d pages, %d rounds %v (rank mass %.3f)\n", pages, rounds, times, sum)
+	case "kmeans":
+		points, rounds := arg(1, 10000), arg(2, 7)
+		pts := bench.GenPoints(points, 8, *numA*2, 1)
+		times, cents, err := bench.DataMPIKMeans(env, pts, *numA*2, *numO, rounds, bench.Instr{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kmeans: %d points, %d centroids, %d rounds %v\n", points, len(cents), rounds, times)
+	case "topk":
+		events := arg(1, 5000)
+		var lat bench.LatencyCollector
+		top, err := bench.DataMPITopK(env, bench.EventGen(events, 200, 100, 1), 5000, *numO, 10, &lat)
+		if err != nil {
+			fatal(err)
+		}
+		l := lat.Latencies()
+		fmt.Printf("topk: %d events, p50 latency %v, top-10: %v\n",
+			events, bench.Percentile(l, 50), top)
+	default:
+		fmt.Fprintf(os.Stderr, "mpidrun: unknown application %q\n", app)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpidrun:", err)
+	os.Exit(1)
+}

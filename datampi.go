@@ -1,0 +1,122 @@
+// Package datampi is a Go implementation of DataMPI, the communication
+// library of "DataMPI: Extending MPI to Hadoop-like Big Data Computing"
+// (Lu, Liang, Wang, Zha, Xu — IPDPS 2014).
+//
+// DataMPI extends MPI to the key-value communication patterns of Big Data
+// systems through a 4D bipartite model: all data moves from tasks of an O
+// (Operation) communicator to tasks of an A (Aggregation) communicator.
+// The API is the paper's minimalistic extension (Tables I and II):
+//
+//	MPI_D_Init / MPI_D_Finalize      -> Run(job) (the mpidrun launcher)
+//	MPI_D_Comm_rank / MPI_D_Comm_size -> Context.Rank / Context.CommSize
+//	MPI_D_Send / MPI_D_Recv           -> Context.Send / Context.Recv
+//	MPI_D_Compare/Partition/Combine   -> Config.Compare/Partition/Combine
+//
+// A minimal word-count:
+//
+//	job := &datampi.Job{
+//	    Mode: datampi.MapReduce,
+//	    Conf: datampi.Config{ValueCodec: datampi.Int64Codec},
+//	    NumO: 4, NumA: 2,
+//	    OTask: func(ctx *datampi.Context) error {
+//	        for _, w := range wordsFor(ctx.Rank()) {
+//	            if err := ctx.Send(w, int64(1)); err != nil {
+//	                return err
+//	            }
+//	        }
+//	        return nil
+//	    },
+//	    ATask: func(ctx *datampi.Context) error {
+//	        for {
+//	            g, ok, err := ctx.NextGroup()
+//	            if err != nil || !ok {
+//	                return err
+//	            }
+//	            emit(g.Key, len(g.Values))
+//	        }
+//	    },
+//	}
+//	res, err := datampi.Run(job)
+//
+// The runtime implements the paper's §IV design: data-centric task
+// scheduling (A tasks run where their partition data already is), the
+// O-side shuffle pipeline, Partition-List buffer management with a
+// Partition Window, spill-over past a memory-cache threshold, four modes
+// (Common, MapReduce, Iteration, Streaming), and a key-value library-level
+// checkpoint for fault tolerance.
+package datampi
+
+import (
+	"datampi/internal/core"
+	"datampi/internal/hdfs"
+	"datampi/internal/kv"
+)
+
+// Modes of the bipartite model (the -M flag of mpidrun).
+const (
+	Common    = core.Common
+	MapReduce = core.MapReduce
+	Iteration = core.Iteration
+	Streaming = core.Streaming
+)
+
+// Re-exported core types; see the core package for full documentation.
+type (
+	// Mode selects one of the four communication modes.
+	Mode = core.Mode
+	// Config is the conf parameter of MPI_D_Init.
+	Config = core.Config
+	// Job describes a bipartite application for the mpidrun launcher.
+	Job = core.Job
+	// Context is a task's handle on the library (Table I functions).
+	Context = core.Context
+	// TaskFunc is the body of an O or A task.
+	TaskFunc = core.TaskFunc
+	// Result reports what a run did.
+	Result = core.Result
+	// RunOption configures a run's transport.
+	RunOption = core.RunOption
+	// CommID names COMM_BIPARTITE_O or COMM_BIPARTITE_A.
+	CommID = core.CommID
+	// Record is a serialized key-value pair.
+	Record = kv.Record
+	// Group is one key with all values emitted for it.
+	Group = kv.Group
+)
+
+// The two built-in communicators.
+const (
+	CommO = core.CommO
+	CommA = core.CommA
+)
+
+// ErrInjectedFailure is returned when configured fault injection fires.
+var ErrInjectedFailure = core.ErrInjectedFailure
+
+// Built-in codecs for Config.KeyCodec / Config.ValueCodec (the KEY_CLASS /
+// VALUE_CLASS reserved configuration values).
+var (
+	StringCodec       = kv.String
+	BytesCodec        = kv.Bytes
+	Int64Codec        = kv.Int64
+	Float64Codec      = kv.Float64
+	Float64SliceCodec = kv.Float64Slice
+	NullCodec         = kv.Null
+)
+
+// Run launches a job, as mpidrun does:
+//
+//	mpidrun -O n -A m -M mode -jar jarname classname params
+func Run(job *Job, opts ...RunOption) (*Result, error) { return core.Run(job, opts...) }
+
+// WithTCPTransport runs the MPI data plane over real TCP loopback sockets
+// instead of in-memory channels.
+func WithTCPTransport() RunOption { return core.WithTCPTransport() }
+
+// SplitsForTask is the utility function of §IV-B: it returns the HDFS
+// splits an O task should load, derived from the task's rank and the size
+// of COMM_BIPARTITE_O — the same mapping mpidrun uses for data-local O
+// placement.
+func SplitsForTask(ctx *Context, splits []hdfs.Split) []hdfs.Split {
+	return hdfs.SplitsForRank(splits, ctx.Rank(), ctx.CommSize(CommO))
+}

@@ -1,0 +1,103 @@
+package datampi_test
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"datampi"
+)
+
+// TestPublicAPIWordCount exercises the facade end-to-end exactly as a
+// downstream user would: MapReduce mode, codecs, combiner, NextGroup.
+func TestPublicAPIWordCount(t *testing.T) {
+	docs := []string{
+		"to be or not to be",
+		"that is the question",
+		"to sleep perchance to dream",
+	}
+	var mu sync.Mutex
+	counts := map[string]int64{}
+	job := &datampi.Job{
+		Name: "wc",
+		Mode: datampi.MapReduce,
+		Conf: datampi.Config{ValueCodec: datampi.Int64Codec},
+		NumO: len(docs), NumA: 2,
+		OTask: func(ctx *datampi.Context) error {
+			for _, w := range strings.Fields(docs[ctx.Rank()]) {
+				if err := ctx.Send(w, int64(1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *datampi.Context) error {
+			for {
+				g, ok, err := ctx.NextGroup()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				counts[string(g.Key)] = int64(len(g.Values))
+				mu.Unlock()
+			}
+		},
+	}
+	res, err := datampi.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["to"] != 4 || counts["be"] != 2 || counts["question"] != 1 {
+		t.Errorf("counts: %v", counts)
+	}
+	if res.RecordsSent != 15 {
+		t.Errorf("records sent: %d, want 15", res.RecordsSent)
+	}
+}
+
+// TestPublicAPICommonSort is the paper's Listing 1 through the facade.
+func TestPublicAPICommonSort(t *testing.T) {
+	in := []string{"pear", "apple", "fig", "kiwi", "date", "mango"}
+	var mu sync.Mutex
+	var got []string
+	job := &datampi.Job{
+		Mode: datampi.Common,
+		Conf: datampi.Config{
+			ValueCodec: datampi.NullCodec,
+			Partition:  func(key, _ []byte, _ int) int { return 0 },
+		},
+		NumO: 2, NumA: 1,
+		OTask: func(ctx *datampi.Context) error {
+			for i := ctx.Rank(); i < len(in); i += ctx.CommSize(datampi.CommO) {
+				if err := ctx.Send(in[i], struct{}{}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *datampi.Context) error {
+			for {
+				k, _, ok, err := ctx.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				got = append(got, k.(string))
+				mu.Unlock()
+			}
+		},
+	}
+	if _, err := datampi.Run(job, datampi.WithTCPTransport()); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) || !sort.StringsAreSorted(got) {
+		t.Errorf("got %v", got)
+	}
+}

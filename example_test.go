@@ -1,0 +1,84 @@
+package datampi_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"datampi"
+)
+
+// ExampleRun runs the paper's canonical bipartite job: O tasks emit
+// (word, 1) pairs, the library partitions/sorts/routes them, and A tasks
+// fold each word's group into a count — WordCount in the MapReduce mode.
+func ExampleRun() {
+	docs := []string{
+		"hello world",
+		"hello datampi world",
+	}
+	var mu sync.Mutex
+	counts := map[string]int{}
+
+	job := &datampi.Job{
+		Mode: datampi.MapReduce,
+		Conf: datampi.Config{ValueCodec: datampi.Int64Codec},
+		NumO: len(docs),
+		NumA: 2,
+		OTask: func(ctx *datampi.Context) error {
+			for _, w := range splitWords(docs[ctx.Rank()]) {
+				if err := ctx.Send(w, int64(1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *datampi.Context) error {
+			for {
+				g, ok, err := ctx.NextGroup()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				counts[string(g.Key)] = len(g.Values)
+				mu.Unlock()
+			}
+		},
+	}
+	if _, err := datampi.Run(job); err != nil {
+		panic(err)
+	}
+	words := make([]string, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for _, w := range words {
+		fmt.Printf("%s %d\n", w, counts[w])
+	}
+	// Output:
+	// datampi 1
+	// hello 2
+	// world 2
+}
+
+func splitWords(s string) []string {
+	var out []string
+	word := ""
+	for _, r := range s {
+		if r == ' ' {
+			if word != "" {
+				out = append(out, word)
+			}
+			word = ""
+			continue
+		}
+		word += string(r)
+	}
+	if word != "" {
+		out = append(out, word)
+	}
+	return out
+}

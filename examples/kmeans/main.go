@@ -1,0 +1,232 @@
+// K-means clustering in the Iteration mode: points stay resident in the O
+// tasks; per-cluster partial sums flow O -> A (combined in-flight by
+// MPI_D_Combine); the A tasks compute new centroids and broadcast them
+// back to every O task through the reverse exchange.
+//
+//	go run ./examples/kmeans [points rounds]
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+
+	"datampi"
+)
+
+const (
+	k   = 5
+	dim = 2
+)
+
+func main() {
+	n, rounds := 5000, 7
+	if len(os.Args) > 1 {
+		if v, err := strconv.Atoi(os.Args[1]); err == nil {
+			n = v
+		}
+	}
+	if len(os.Args) > 2 {
+		if v, err := strconv.Atoi(os.Args[2]); err == nil {
+			rounds = v
+		}
+	}
+	// Points around k well-separated true centers.
+	rng := rand.New(rand.NewSource(3))
+	points := make([][]float64, n)
+	for i := range points {
+		c := i % k
+		points[i] = []float64{
+			float64(c*10) + rng.NormFloat64(),
+			float64(c*-7) + rng.NormFloat64(),
+		}
+	}
+	initial := make([][]float64, k)
+	for c := range initial {
+		initial[c] = append([]float64(nil), points[c]...)
+	}
+	nearest := func(p []float64, cents [][]float64) int {
+		best, bd := 0, math.Inf(1)
+		for c, cen := range cents {
+			d := 0.0
+			for j := range p {
+				d += (p[j] - cen[j]) * (p[j] - cen[j])
+			}
+			if d < bd {
+				best, bd = c, d
+			}
+		}
+		return best
+	}
+	sumCombine := func(_ []byte, vals [][]byte) [][]byte {
+		acc, err := datampi.Float64SliceCodec.Decode(vals[0])
+		if err != nil {
+			return vals
+		}
+		sum := acc.([]float64)
+		for _, v := range vals[1:] {
+			x, err := datampi.Float64SliceCodec.Decode(v)
+			if err != nil {
+				return vals
+			}
+			for j, f := range x.([]float64) {
+				sum[j] += f
+			}
+		}
+		out, _ := datampi.Float64SliceCodec.Encode(nil, sum)
+		return [][]byte{out}
+	}
+	intPartition := func(key, _ []byte, numDest int) int {
+		v, err := datampi.Int64Codec.Decode(key)
+		if err != nil {
+			return 0
+		}
+		return int(v.(int64) % int64(numDest))
+	}
+
+	var mu sync.Mutex
+	finalCents := make([][]float64, k)
+	maxMove := make([]float64, 1) // largest centroid movement this round
+
+	const numO, numA = 4, 2
+	job := &datampi.Job{
+		Name: "kmeans",
+		Mode: datampi.Iteration,
+		Conf: datampi.Config{
+			KeyCodec:   datampi.Int64Codec,
+			ValueCodec: datampi.Float64SliceCodec,
+			Partition:  intPartition,
+			Combine:    sumCombine,
+		},
+		NumO: numO, NumA: numA, Procs: 2, Slots: 2,
+		Rounds: rounds,
+		// Convergence-driven early stop: finish when no centroid moved
+		// more than eps since the previous round.
+		KeepGoing: func(completed int) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			moved := maxMove[0]
+			maxMove[0] = 0
+			return moved > 1e-6
+		},
+		OTask: func(ctx *datampi.Context) error {
+			cents, _ := ctx.Local.([][]float64)
+			if cents == nil {
+				cents = make([][]float64, k)
+				for c := range cents {
+					cents[c] = append([]float64(nil), initial[c]...)
+				}
+				ctx.Local = cents
+			}
+			if ctx.Round() > 0 {
+				for { // updated centroids from last round (A -> O)
+					_, v, ok, err := ctx.Recv()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						break
+					}
+					upd := v.([]float64) // [cid, coords...]
+					if cid := int(upd[0]); cid >= 0 && cid < k {
+						cents[cid] = upd[1:]
+					}
+				}
+			}
+			sums := make([][]float64, k) // [count, sum coords...]
+			for i := ctx.Rank(); i < n; i += ctx.CommSize(datampi.CommO) {
+				c := nearest(points[i], cents)
+				if sums[c] == nil {
+					sums[c] = make([]float64, 1+dim)
+				}
+				sums[c][0]++
+				for j, f := range points[i] {
+					sums[c][1+j] += f
+				}
+			}
+			for c, s := range sums {
+				if s != nil {
+					if err := ctx.Send(int64(c), s); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *datampi.Context) error {
+			for {
+				g, ok, err := ctx.NextGroup()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				cidAny, err := datampi.Int64Codec.Decode(g.Key)
+				if err != nil {
+					return err
+				}
+				var total []float64
+				for _, v := range g.Values {
+					x, err := datampi.Float64SliceCodec.Decode(v)
+					if err != nil {
+						return err
+					}
+					s := x.([]float64)
+					if total == nil {
+						total = make([]float64, len(s))
+					}
+					for j, f := range s {
+						total[j] += f
+					}
+				}
+				if total == nil || total[0] == 0 {
+					continue
+				}
+				upd := make([]float64, 1+dim)
+				upd[0] = float64(cidAny.(int64))
+				for j := 0; j < dim; j++ {
+					upd[1+j] = total[1+j] / total[0]
+				}
+				mu.Lock()
+				if prev := finalCents[int(upd[0])]; prev != nil {
+					move := 0.0
+					for j := range prev {
+						d := prev[j] - upd[1+j]
+						move += d * d
+					}
+					if move > maxMove[0] {
+						maxMove[0] = move
+					}
+				} else {
+					maxMove[0] = math.Inf(1) // first round: no baseline yet
+				}
+				finalCents[int(upd[0])] = append([]float64(nil), upd[1:]...)
+				mu.Unlock()
+				// Broadcast the new centroid to every O task.
+				for o := 0; o < ctx.CommSize(datampi.CommO); o++ {
+					if err := ctx.Send(int64(o), upd); err != nil {
+						return err
+					}
+				}
+			}
+		},
+	}
+	res, err := datampi.Run(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d points, converged after %d/%d rounds, per-round times %v\n",
+		n, len(res.RoundTimes), rounds, res.RoundTimes)
+	fmt.Println("final centroids (true centers near (10c, -7c)):")
+	for c, cen := range finalCents {
+		if cen == nil {
+			cen = initial[c]
+		}
+		fmt.Printf("  cluster %d: (%.2f, %.2f)\n", c, cen[0], cen[1])
+	}
+}

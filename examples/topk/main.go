@@ -1,0 +1,99 @@
+// Top-K in the Streaming mode: O tasks are adapters injecting a live
+// stream of word events; A tasks run concurrently (launched before the
+// stream starts), counting words as records arrive and maintaining the
+// running top-K. Unlike the batch modes there is no phase barrier — Recv
+// delivers records moments after Send, bounded by the FlushInterval.
+//
+//	go run ./examples/topk [events]
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"datampi"
+)
+
+func main() {
+	events := 5000
+	if len(os.Args) > 1 {
+		if v, err := strconv.Atoi(os.Args[1]); err == nil {
+			events = v
+		}
+	}
+	const (
+		numO = 2 // stream adapters
+		numA = 2 // counting tasks
+		topK = 8
+	)
+	var mu sync.Mutex
+	counts := map[string]int{}
+	var latencies []time.Duration
+
+	job := &datampi.Job{
+		Name: "topk",
+		Mode: datampi.Streaming,
+		Conf: datampi.Config{
+			ValueCodec:    datampi.Int64Codec,
+			FlushInterval: 5 * time.Millisecond,
+			SPLBytes:      4 << 10,
+		},
+		NumO: numO, NumA: numA, Procs: 2, Slots: 2,
+		OTask: func(ctx *datampi.Context) error {
+			// An adapter: a skewed live word stream with embedded
+			// timestamps so the consumer can measure latency.
+			rng := rand.New(rand.NewSource(int64(ctx.Rank())))
+			zipf := rand.NewZipf(rng, 1.4, 1.0, 99)
+			for i := ctx.Rank(); i < events; i += numO {
+				word := fmt.Sprintf("word%02d", zipf.Uint64())
+				if err := ctx.Send(word, time.Now().UnixNano()); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *datampi.Context) error {
+			for {
+				key, val, ok, err := ctx.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil // stream closed: all adapters finished
+				}
+				lat := time.Duration(time.Now().UnixNano() - val.(int64))
+				mu.Lock()
+				counts[key.(string)]++
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		},
+	}
+	res, err := datampi.Run(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type wc struct {
+		w string
+		c int
+	}
+	var all []wc
+	for w, c := range counts {
+		all = append(all, wc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	fmt.Printf("streamed %d events in %v; p50 latency %v, p99 %v\n",
+		res.RecordsSent, res.Elapsed,
+		latencies[len(latencies)/2], latencies[len(latencies)*99/100])
+	fmt.Printf("top-%d words:\n", topK)
+	for i := 0; i < topK && i < len(all); i++ {
+		fmt.Printf("  %-8s %d\n", all[i].w, all[i].c)
+	}
+}

@@ -1,0 +1,102 @@
+// WordCount in the MapReduce mode, with an MPI_D_Combine combiner: the
+// canonical MPMD bipartite job. O tasks tokenize documents and emit
+// (word, 1); the library combines, sorts and routes; A tasks fold each
+// word's group into a count.
+//
+//	go run ./examples/wordcount
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+
+	"datampi"
+)
+
+var documents = []string{
+	"the quick brown fox jumps over the lazy dog",
+	"the dog barks and the fox runs",
+	"a quick brown dog and a lazy fox",
+	"the fox and the dog are friends",
+}
+
+func main() {
+	sumCombine := func(_ []byte, vals [][]byte) [][]byte {
+		var sum int64
+		for _, v := range vals {
+			n, err := datampi.Int64Codec.Decode(v)
+			if err != nil {
+				return vals
+			}
+			sum += n.(int64)
+		}
+		out, _ := datampi.Int64Codec.Encode(nil, sum)
+		return [][]byte{out}
+	}
+
+	var mu sync.Mutex
+	counts := map[string]int64{}
+
+	job := &datampi.Job{
+		Name: "wordcount",
+		Mode: datampi.MapReduce,
+		Conf: datampi.Config{
+			ValueCodec: datampi.Int64Codec,
+			Combine:    sumCombine, // MPI_D_COMBINE
+		},
+		NumO: len(documents),
+		NumA: 2,
+		OTask: func(ctx *datampi.Context) error {
+			for _, word := range strings.Fields(documents[ctx.Rank()]) {
+				if err := ctx.Send(word, int64(1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *datampi.Context) error {
+			for {
+				g, ok, err := ctx.NextGroup()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				var sum int64
+				for _, v := range g.Values {
+					n, err := datampi.Int64Codec.Decode(v)
+					if err != nil {
+						return err
+					}
+					sum += n.(int64)
+				}
+				mu.Lock()
+				counts[string(g.Key)] = sum
+				mu.Unlock()
+			}
+		},
+	}
+	res, err := datampi.Run(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	words := make([]string, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if counts[words[i]] != counts[words[j]] {
+			return counts[words[i]] > counts[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	for _, w := range words {
+		fmt.Printf("%-8s %d\n", w, counts[w])
+	}
+	fmt.Printf("counted %d distinct words; combiner shrank the shuffle to %d bytes\n",
+		len(counts), res.BytesShuffled)
+}

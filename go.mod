@@ -1,0 +1,3 @@
+module datampi
+
+go 1.22

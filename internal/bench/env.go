@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+
+	"datampi/internal/diskio"
+	"datampi/internal/hadoop"
+	"datampi/internal/hdfs"
+	"datampi/internal/netsim"
+)
+
+// Env is a laptop-scale stand-in for one of the paper's testbeds: N
+// simulated nodes, each with a local disk, sharing one mini-HDFS, plus an
+// optional shaped network link charged by both engines.
+type Env struct {
+	Nodes     int
+	FS        *hdfs.FileSystem
+	NodeDisks []*diskio.Disk // per-node local disks (spills, map outputs)
+	HDFSDisks []*diskio.Disk // per-node datanode disks
+	Link      *netsim.Link
+
+	baseDir string
+}
+
+// EnvConfig configures NewEnv.
+type EnvConfig struct {
+	Nodes       int
+	BlockSize   int64
+	Replication int
+	// DiskBps rate-limits each node disk (0 = unlimited).
+	DiskBps float64
+	// Network, if non-zero-valued, attaches an accounting link with that
+	// profile.
+	Network netsim.Profile
+}
+
+// NewEnv builds an environment under a fresh temporary directory.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 1 << 20
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	base, err := os.MkdirTemp("", "datampi-bench-")
+	if err != nil {
+		return nil, err
+	}
+	e := &Env{Nodes: cfg.Nodes, baseDir: base}
+	if cfg.Network.Name != "" {
+		e.Link = netsim.NewLink(cfg.Network)
+	}
+	hdisks := make([]*diskio.Disk, cfg.Nodes)
+	e.NodeDisks = make([]*diskio.Disk, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		hd, err := diskio.NewRated(fmt.Sprintf("%s/hdfs%d", base, i), cfg.DiskBps)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		hdisks[i] = hd
+		ld, err := diskio.NewRated(fmt.Sprintf("%s/local%d", base, i), cfg.DiskBps)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.NodeDisks[i] = ld
+	}
+	e.HDFSDisks = hdisks
+	e.FS, err = hdfs.New(hdfs.Config{
+		BlockSize:   cfg.BlockSize,
+		Replication: cfg.Replication,
+		Link:        e.Link,
+	}, hdisks)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// NewHadoopCluster starts a Hadoop cluster over this environment's nodes.
+// Callers must Close it.
+func (e *Env) NewHadoopCluster() (*hadoop.Cluster, error) {
+	return hadoop.NewCluster(e.FS, e.NodeDisks)
+}
+
+// AllDisks returns every disk in the environment — node-local and HDFS
+// datanode disks — for metrics sampling (each simulated node has a single
+// HDD serving both roles, as on the paper's testbeds).
+func (e *Env) AllDisks() []*diskio.Disk {
+	out := append([]*diskio.Disk(nil), e.NodeDisks...)
+	return append(out, e.HDFSDisks...)
+}
+
+// ResetCounters zeroes all disk and link counters between measurements.
+func (e *Env) ResetCounters() {
+	for _, d := range e.AllDisks() {
+		d.ResetCounters()
+	}
+	if e.Link != nil {
+		e.Link.Reset()
+	}
+}
+
+// Close removes the environment's temporary directories.
+func (e *Env) Close() {
+	if e.baseDir != "" {
+		os.RemoveAll(e.baseDir)
+	}
+}

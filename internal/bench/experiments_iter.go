@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"datampi/internal/netsim"
+	"datampi/internal/simcluster"
+)
+
+func fig11Link() netsim.Profile {
+	// Accounting-only profile: counts bytes without shaping.
+	p := netsim.Unlimited
+	p.Name = "accounting"
+	return p
+}
+
+func links(env *Env) []*netsim.Link {
+	if env.Link == nil {
+		return nil
+	}
+	return []*netsim.Link{env.Link}
+}
+
+// Fig10b reproduces Figure 10(b): per-round execution times of PageRank
+// and K-means (Iteration mode vs iterated Hadoop jobs).
+func Fig10b(o Opts) (*Table, error) {
+	env, err := NewEnv(EnvConfig{Nodes: o.Nodes, BlockSize: 64 << 10})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	t := &Table{
+		ID:     "fig10b",
+		Title:  "PageRank and K-means per-iteration time (ms)",
+		Header: []string{"Benchmark", "Round", "Hadoop", "DataMPI", "Improvement"},
+	}
+	g := GenGraph(o.GraphN, 6, 42)
+	hTimes, hRanks, err := HadoopPageRank(env, g, o.Nodes, o.Rounds, Instr{})
+	if err != nil {
+		return nil, err
+	}
+	dTimes, dRanks, err := DataMPIPageRank(env, g, o.Nodes*2, o.Nodes, o.Rounds, Instr{})
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < g.N; p++ {
+		diff := hRanks[p] - dRanks[p]
+		if diff > 1e-9 || diff < -1e-9 {
+			return nil, fmt.Errorf("bench: pagerank results diverge at page %d", p)
+		}
+	}
+	addRounds := func(name string, h, d []time.Duration) {
+		for r := 0; r < len(h) && r < len(d); r++ {
+			t.AddRow(name, fmt.Sprintf("%d", r+1),
+				fmt.Sprintf("%d", h[r].Milliseconds()),
+				fmt.Sprintf("%d", d[r].Milliseconds()),
+				fmt.Sprintf("%.0f%%", 100*(1-d[r].Seconds()/h[r].Seconds())))
+		}
+	}
+	addRounds("PageRank", hTimes, dTimes)
+
+	pts := GenPoints(o.PointsN, 4, 8, 42)
+	hkTimes, _, err := HadoopKMeans(env, pts, 8, o.Nodes, o.Rounds, Instr{})
+	if err != nil {
+		return nil, err
+	}
+	dkTimes, _, err := DataMPIKMeans(env, pts, 8, o.Nodes*2, o.Rounds, Instr{})
+	if err != nil {
+		return nil, err
+	}
+	addRounds("K-means", hkTimes, dkTimes)
+	// DES rows at the paper's 40 GB scale (seconds, not ms).
+	desRounds := func(name string, h, d []float64) {
+		for r := range h {
+			t.AddRow(name, fmt.Sprintf("%d", r+1),
+				fmt.Sprintf("%.0fs", h[r]), fmt.Sprintf("%.0fs", d[r]),
+				fmt.Sprintf("%.0f%%", 100*(1-d[r]/h[r])))
+		}
+	}
+	desRounds("PageRank-DES40GB",
+		simcluster.SimulateHadoopIteration(16, simcluster.TestbedA(), simcluster.PageRankWorkload(40e9), simcluster.DefaultHadoop(), o.Rounds),
+		simcluster.SimulateDataMPIIteration(16, simcluster.TestbedA(), simcluster.PageRankWorkload(40e9), simcluster.DefaultDataMPI(), o.Rounds))
+	desRounds("KMeans-DES40GB",
+		simcluster.SimulateHadoopIteration(16, simcluster.TestbedA(), simcluster.KMeansWorkload(40e9), simcluster.DefaultHadoop(), o.Rounds),
+		simcluster.SimulateDataMPIIteration(16, simcluster.TestbedA(), simcluster.KMeansWorkload(40e9), simcluster.DefaultDataMPI(), o.Rounds))
+	t.Note("paper (40GB, 7 rounds): DataMPI improves PageRank by ~41%%, K-means by ~40%% on average")
+	return t, nil
+}
+
+// Fig10c reproduces Figure 10(c): the distribution of streaming Top-K
+// processing latencies for DataMPI Streaming vs S4.
+func Fig10c(o Opts) (*Table, error) {
+	env, err := NewEnv(EnvConfig{Nodes: o.Nodes, BlockSize: 64 << 10})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	events := EventGen(o.Events, 100, 100, 42)
+	var dLat, sLat LatencyCollector
+	dTop, err := DataMPITopK(env, events, o.EventRate, o.Nodes, 10, &dLat)
+	if err != nil {
+		return nil, err
+	}
+	sTop, err := S4TopK(events, o.EventRate, o.Nodes, 10, 50*time.Millisecond, &sLat)
+	if err != nil {
+		return nil, err
+	}
+	for w, c := range dTop {
+		if sc, ok := sTop[w]; ok && sc != c {
+			return nil, fmt.Errorf("bench: top-k counts diverge for %q: %d vs %d", w, c, sc)
+		}
+	}
+	dl, sl := dLat.Latencies(), sLat.Latencies()
+	t := &Table{
+		ID:     "fig10c",
+		Title:  "Top-K streaming latency distribution (ms)",
+		Header: []string{"System", "p10", "p50", "p90", "p99", "max"},
+	}
+	row := func(name string, l []time.Duration) {
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", Percentile(l, 10).Seconds()*1000),
+			fmt.Sprintf("%.2f", Percentile(l, 50).Seconds()*1000),
+			fmt.Sprintf("%.2f", Percentile(l, 90).Seconds()*1000),
+			fmt.Sprintf("%.2f", Percentile(l, 99).Seconds()*1000),
+			fmt.Sprintf("%.2f", Percentile(l, 100).Seconds()*1000))
+	}
+	row("DataMPI", dl)
+	row("S4", sl)
+	t.Note("paper (1K msg/s x 100B): DataMPI latencies 0.5-4s vs S4 1.5-12s — DataMPI's distribution sits left of S4's")
+	return t, nil
+}
+
+// Fig14a reproduces Figure 14(a): strong scaling (fixed 256 GB, Testbed B).
+func Fig14a() (*Table, error) {
+	t := &Table{
+		ID:     "fig14a",
+		Title:  "Strong scale: TeraSort 256GB on Testbed B (DES)",
+		Header: []string{"Nodes", "Hadoop(s)", "DataMPI(s)", "Improvement"},
+	}
+	for _, n := range []int{16, 32, 64} {
+		w := simcluster.TeraSort(256e9, 128e6)
+		h := simcluster.SimulateHadoop(n, simcluster.TestbedB(), w, simcluster.HadoopParams{
+			TaskLaunch: 1.8, SlowStart: 0.05, MapSlots: 2, ReduceSlots: 2,
+			Replication: 1, SortBufBytes: 100e6, MergeFactor: 10,
+		})
+		d := simcluster.SimulateDataMPI(n, simcluster.TestbedB(), w, simcluster.DataMPIParams{
+			TaskLaunch: 0.15, OSlots: 2, ASlots: 2, MemCacheFraction: 1.0, Replication: 1,
+		})
+		t.AddRow(fmt.Sprintf("%d", n), secs(h.Duration), secs(d.Duration),
+			fmt.Sprintf("%.0f%%", 100*(1-d.Duration/h.Duration)))
+	}
+	t.Note("paper: both engines scale; DataMPI reduces execution time by 35-40%%")
+	return t, nil
+}
+
+// Fig14b reproduces Figure 14(b): weak scaling (2 GB per A task, Testbed B).
+func Fig14b() (*Table, error) {
+	t := &Table{
+		ID:     "fig14b",
+		Title:  "Weak scale: TeraSort 2GB/task on Testbed B (DES)",
+		Header: []string{"Nodes", "Data", "Hadoop(s)", "DataMPI(s)", "Improvement"},
+	}
+	for _, n := range []int{16, 32, 64} {
+		data := float64(n) * 2 * 2e9 // 2 reduce slots/node x 2 GB
+		w := simcluster.TeraSort(data, 128e6)
+		h := simcluster.SimulateHadoop(n, simcluster.TestbedB(), w, simcluster.HadoopParams{
+			TaskLaunch: 1.8, SlowStart: 0.05, MapSlots: 2, ReduceSlots: 2,
+			Replication: 1, SortBufBytes: 100e6, MergeFactor: 10,
+		})
+		d := simcluster.SimulateDataMPI(n, simcluster.TestbedB(), w, simcluster.DataMPIParams{
+			TaskLaunch: 0.15, OSlots: 2, ASlots: 2, MemCacheFraction: 1.0, Replication: 1,
+		})
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.0fGB", data/1e9),
+			secs(h.Duration), secs(d.Duration),
+			fmt.Sprintf("%.0f%%", 100*(1-d.Duration/h.Duration)))
+	}
+	t.Note("paper: near-linear weak scaling for both; DataMPI ~40%% faster")
+	return t, nil
+}
+
+// Ablations quantifies the §IV design choices: the O-side shuffle
+// pipeline and data-centric A-task scheduling, both as real measured runs
+// and at DES scale.
+func Ablations() (*Table, error) {
+	t := &Table{
+		ID:     "ablations",
+		Title:  "Design ablations: TeraSort (measured laptop runs + 96GB DES)",
+		Header: []string{"Variant", "Time(s)", "vs full DataMPI"},
+	}
+	// Measured rows: real engine runs with the runtime flags.
+	o := Quick()
+	o.TeraRecords = 30000
+	env, err := newTeraEnv(o, o.teraBlock())
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	mFull, err := DataMPITeraSort(env, "/tera/in", TeraSortOpts{}, Instr{})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("measured: DataMPI (full)", secs(mFull.Elapsed.Seconds()), "-")
+	for _, v := range []struct {
+		name string
+		opts TeraSortOpts
+	}{
+		{"measured: no O-side pipeline", TeraSortOpts{PipelineOff: true}},
+		{"measured: no data-centric A placement", TeraSortOpts{DataCentricOff: true}},
+	} {
+		r, err := DataMPITeraSort(env, "/tera/in", v.opts, Instr{})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.name, secs(r.Elapsed.Seconds()),
+			fmt.Sprintf("%+.0f%%", 100*(r.Elapsed.Seconds()/mFull.Elapsed.Seconds()-1)))
+	}
+	w := simcluster.TeraSort(96e9, 256e6)
+	full := simcluster.SimulateDataMPI(16, simcluster.TestbedA(), w, simcluster.DefaultDataMPI())
+	t.AddRow("DES: DataMPI (full)", secs(full.Duration), "-")
+	noPipe := simcluster.DefaultDataMPI()
+	noPipe.PipelineOff = true
+	np := simcluster.SimulateDataMPI(16, simcluster.TestbedA(), w, noPipe)
+	t.AddRow("DES: no O-side pipeline", secs(np.Duration),
+		fmt.Sprintf("+%.0f%%", 100*(np.Duration/full.Duration-1)))
+	noDC := simcluster.DefaultDataMPI()
+	noDC.DataCentricOff = true
+	nd := simcluster.SimulateDataMPI(16, simcluster.TestbedA(), w, noDC)
+	t.AddRow("DES: no data-centric A placement", secs(nd.Duration),
+		fmt.Sprintf("+%.0f%%", 100*(nd.Duration/full.Duration-1)))
+	h := simcluster.SimulateHadoop(16, simcluster.TestbedA(), w, simcluster.DefaultHadoop())
+	t.AddRow("DES: Hadoop", secs(h.Duration),
+		fmt.Sprintf("+%.0f%%", 100*(h.Duration/full.Duration-1)))
+	return t, nil
+}

@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse a numeric cell (strips % and units).
+func num(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "GB")
+	s = strings.TrimSuffix(s, "MB")
+	s = strings.TrimSuffix(s, "KB")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestFig1aShape(t *testing.T) {
+	tab, err := Fig1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 networks, got %d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		jetty, dmpi, mva := num(t, row[1]), num(t, row[2]), num(t, row[3])
+		if dmpi <= jetty {
+			t.Errorf("%s: DataMPI (%v) should beat Jetty (%v)", row[0], dmpi, jetty)
+		}
+		if dmpi > mva {
+			t.Errorf("%s: DataMPI (%v) should be at or below MVAPICH2 (%v)", row[0], dmpi, mva)
+		}
+	}
+	// On the fast networks the gap should be large (paper: >2x).
+	if jetty, dmpi := num(t, tab.Rows[0][1]), num(t, tab.Rows[0][2]); dmpi < 1.5*jetty {
+		t.Errorf("IB gap too small: DataMPI %v vs Jetty %v", dmpi, jetty)
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	tab, err := Fig1b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	for _, row := range tab.Rows {
+		h, d := num(t, row[2]), num(t, row[3])
+		if d >= h {
+			t.Errorf("%s payload %s: DataMPI RPC (%v us) not faster than Hadoop RPC (%v us)",
+				row[0], row[1], d, h)
+		}
+	}
+}
+
+func TestFig8aRuns(t *testing.T) {
+	tab, err := Fig8a(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	if len(tab.Rows) < 8 {
+		t.Errorf("expected measured + DES rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestFig8bRuns(t *testing.T) {
+	tab, err := Fig8b(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	if len(tab.Rows) != 8 {
+		t.Errorf("expected 8 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	tab, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	// Progress percentages must be monotone per engine.
+	last := map[string]float64{}
+	for _, row := range tab.Rows {
+		o := num(t, row[2])
+		if o < last[row[0]] {
+			t.Errorf("%s: O progress decreased", row[0])
+		}
+		last[row[0]] = o
+	}
+}
+
+func TestFig10aShape(t *testing.T) {
+	tab, err := Fig10a(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	for _, row := range tab.Rows {
+		if row[0] != "DES 16 nodes" {
+			continue
+		}
+		imp := num(t, row[4])
+		if imp < 20 || imp > 65 {
+			t.Errorf("DES improvement at %s = %v%%, outside band", row[1], imp)
+		}
+	}
+}
+
+func TestWordCountExpShape(t *testing.T) {
+	tab, err := WordCountExp(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+}
+
+func TestFig10bRuns(t *testing.T) {
+	tab, err := Fig10b(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	if len(tab.Rows) != 4*Quick().Rounds {
+		t.Errorf("expected %d rows, got %d", 4*Quick().Rounds, len(tab.Rows))
+	}
+}
+
+func TestFig10cShape(t *testing.T) {
+	tab, err := Fig10c(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	// DataMPI's median latency should be at or below S4's (S4 pays the
+	// extra stage + per-event envelope).
+	d, s := num(t, tab.Rows[0][2]), num(t, tab.Rows[1][2])
+	if d > s {
+		t.Errorf("DataMPI p50 %vms > S4 p50 %vms", d, s)
+	}
+}
+
+func TestFig11Runs(t *testing.T) {
+	tab, err := Fig11(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	if len(tab.Rows) == 0 {
+		t.Error("no profile rows")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tab, err := Fig12(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	// Spilled bytes must decrease as the cache grows.
+	var spills []float64
+	for _, row := range tab.Rows {
+		if row[0] == "DataMPI" {
+			spills = append(spills, num(t, row[3]))
+		}
+	}
+	if len(spills) != 5 {
+		t.Fatalf("expected 5 cache points, got %d", len(spills))
+	}
+	if spills[0] == 0 {
+		t.Error("zero-cache run did not spill")
+	}
+	if spills[4] != 0 {
+		t.Error("full-cache run spilled")
+	}
+	for i := 1; i < len(spills); i++ {
+		if spills[i] > spills[i-1] {
+			t.Errorf("spill not monotone: %v", spills)
+		}
+	}
+}
+
+func TestFig13aShape(t *testing.T) {
+	tab, err := Fig13a(Quick(), func() string { return t.TempDir() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	if len(tab.Rows) != 7 {
+		t.Fatalf("expected 7 rows, got %d", len(tab.Rows))
+	}
+	// Reloaded records grow with the checkpoint percentage.
+	var reloaded []float64
+	for _, row := range tab.Rows {
+		if row[0] == "DataMPI-FT recover" {
+			reloaded = append(reloaded, num(t, row[5]))
+		}
+	}
+	for i := 1; i < len(reloaded); i++ {
+		if reloaded[i] < reloaded[i-1] {
+			t.Errorf("reloaded records not monotone: %v", reloaded)
+		}
+	}
+}
+
+func TestFig13bRuns(t *testing.T) {
+	tab, err := Fig13b(Quick(), func() string { return t.TempDir() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	phases := map[string]bool{}
+	for _, row := range tab.Rows {
+		phases[row[0]] = true
+	}
+	if !phases["before-crash"] || !phases["recover"] {
+		t.Errorf("missing phases: %v", phases)
+	}
+}
+
+func TestFig14Shapes(t *testing.T) {
+	a, err := Fig14a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + a.Render())
+	prev := 1e18
+	for _, row := range a.Rows {
+		h := num(t, row[1])
+		if h >= prev {
+			t.Error("strong scale: Hadoop time not decreasing")
+		}
+		prev = h
+	}
+	b, err := Fig14b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + b.Render())
+	if len(b.Rows) != 3 {
+		t.Errorf("weak scale rows: %d", len(b.Rows))
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	tab, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.Render())
+	if len(tab.Rows) != 7 {
+		t.Errorf("rows: %d", len(tab.Rows))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Note("hello %d", 7)
+	out := tab.Render()
+	for _, want := range []string{"== x: T ==", "a", "bb", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package bench contains the workload generators, the runnable
+// DataMPI-vs-baseline workload pairs, and one experiment driver per table
+// and figure of the paper's evaluation (§V). The cmd/benchsuite binary and
+// the repository's testing.B benchmarks are thin wrappers over this
+// package.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"datampi/internal/hdfs"
+)
+
+// TeraRecordSize is TeraSort's fixed record size: a 10-byte key and a
+// 90-byte payload, as produced by TeraGen.
+const TeraRecordSize = 100
+
+// TeraKeySize is the sort key prefix length of a TeraSort record.
+const TeraKeySize = 10
+
+// TeraGen writes `records` deterministic 100-byte TeraSort records to an
+// HDFS file, round-robining block placement across datanodes (each call
+// with the same seed regenerates identical data).
+func TeraGen(fs *hdfs.FileSystem, path string, records int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	w, err := fs.Create(path, -1)
+	if err != nil {
+		return err
+	}
+	rec := make([]byte, TeraRecordSize)
+	for i := 0; i < records; i++ {
+		for j := 0; j < TeraKeySize; j++ {
+			rec[j] = byte(' ' + rng.Intn(95)) // printable, uniform
+		}
+		copy(rec[TeraKeySize:], fmt.Sprintf("%010d", i))
+		for j := TeraKeySize + 10; j < TeraRecordSize; j++ {
+			rec[j] = byte('A' + (i+j)%26)
+		}
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// TextGen writes `lines` lines of space-separated words drawn from a
+// vocabulary with a skewed (Zipf-like) distribution — the WordCount input.
+func TextGen(fs *hdfs.FileSystem, path string, lines, wordsPerLine, vocab int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 1.0, uint64(vocab-1))
+	w, err := fs.Create(path, -1)
+	if err != nil {
+		return err
+	}
+	line := make([]byte, 0, wordsPerLine*8)
+	for i := 0; i < lines; i++ {
+		line = line[:0]
+		for j := 0; j < wordsPerLine; j++ {
+			if j > 0 {
+				line = append(line, ' ')
+			}
+			line = append(line, fmt.Sprintf("word%05d", zipf.Uint64())...)
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// Graph is a directed web-like graph for PageRank: Out[p] lists page p's
+// outgoing links.
+type Graph struct {
+	N   int
+	Out [][]int32
+}
+
+// GenGraph builds a deterministic graph of n pages with roughly avgDegree
+// outlinks each, skewed so some pages are popular (as web graphs are).
+func GenGraph(n, avgDegree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(n-1))
+	g := &Graph{N: n, Out: make([][]int32, n)}
+	for p := 0; p < n; p++ {
+		deg := 1 + rng.Intn(2*avgDegree)
+		seen := map[int32]bool{}
+		for d := 0; d < deg; d++ {
+			t := int32(zipf.Uint64())
+			if int(t) == p || seen[t] {
+				continue
+			}
+			seen[t] = true
+			g.Out[p] = append(g.Out[p], t)
+		}
+	}
+	return g
+}
+
+// Points is a K-means input: n points of dim d with ground-truth cluster
+// structure.
+type Points struct {
+	Dim  int
+	Data [][]float64
+}
+
+// GenPoints samples n points around k well-separated centers.
+func GenPoints(n, dim, k int, seed int64) *Points {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = float64(c*10) + rng.Float64()
+		}
+	}
+	pts := &Points{Dim: dim, Data: make([][]float64, n)}
+	for i := range pts.Data {
+		c := centers[i%k]
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()*0.5
+		}
+		pts.Data[i] = p
+	}
+	return pts
+}
+
+// EventGen produces the Top-K streaming workload: a deterministic sequence
+// of ~payloadSize-byte word events.
+func EventGen(n, vocab, payloadSize int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.5, 1.0, uint64(vocab-1))
+	events := make([]string, n)
+	pad := make([]byte, payloadSize)
+	for i := range pad {
+		pad[i] = 'x'
+	}
+	for i := range events {
+		w := fmt.Sprintf("w%04d", zipf.Uint64())
+		need := payloadSize - len(w)
+		if need < 0 {
+			need = 0
+		}
+		events[i] = w + "|" + string(pad[:need])
+	}
+	return events
+}

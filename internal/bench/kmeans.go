@@ -1,0 +1,338 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"datampi/internal/core"
+	"datampi/internal/hadoop"
+	"datampi/internal/kv"
+)
+
+// nearestCentroid returns the index of the closest centroid to p.
+func nearestCentroid(p []float64, centroids [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cen := range centroids {
+		d := 0.0
+		for j := range p {
+			diff := p[j] - cen[j]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// initialCentroids picks the first k points (deterministic, same for both
+// engines so the trajectories are comparable).
+func initialCentroids(pts *Points, k int) [][]float64 {
+	out := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		out[c] = append([]float64(nil), pts.Data[c%len(pts.Data)]...)
+	}
+	return out
+}
+
+// DataMPIKMeans runs `rounds` K-means iterations in the Iteration mode:
+// points stay resident in the O tasks; per-cluster partial sums flow O->A;
+// the updated centroids flow back A->O. It returns per-round times and the
+// final centroids.
+func DataMPIKMeans(env *Env, pts *Points, k, numO, rounds int, inst Instr) ([]time.Duration, [][]float64, error) {
+	var mu sync.Mutex
+	final := initialCentroids(pts, k)
+	numA := env.Nodes
+	job := &core.Job{
+		Name: "kmeans",
+		Mode: core.Iteration,
+		Conf: core.Config{
+			KeyCodec:   kv.Int64,
+			ValueCodec: kv.Float64Slice,
+			Partition:  intKeyPartition,
+			// Combine partial sums per cluster before transmission.
+			Combine: func(_ []byte, vals [][]byte) [][]byte {
+				acc, err := kv.Float64Slice.Decode(vals[0])
+				if err != nil {
+					return vals
+				}
+				sum := acc.([]float64)
+				for _, v := range vals[1:] {
+					x, err := kv.Float64Slice.Decode(v)
+					if err != nil {
+						return vals
+					}
+					for j, f := range x.([]float64) {
+						sum[j] += f
+					}
+				}
+				out, _ := kv.Float64Slice.Encode(nil, sum)
+				return [][]byte{out}
+			},
+		},
+		NumO: numO, NumA: numA, Procs: env.Nodes, Slots: 2,
+		Rounds:     rounds,
+		SpillDisks: env.NodeDisks,
+		Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+		OTask: func(ctx *core.Context) error {
+			cents, _ := ctx.Local.([][]float64)
+			if cents == nil {
+				cents = initialCentroids(pts, k)
+				ctx.Local = cents
+			}
+			if ctx.Round() > 0 {
+				for {
+					_, v, ok, err := ctx.Recv()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						break
+					}
+					upd := v.([]float64) // [cid, coords...]
+					cid := int(upd[0])
+					if cid >= 0 && cid < k {
+						cents[cid] = upd[1:]
+					}
+				}
+			}
+			// Partial sums: value = [count, sum_0..sum_d-1] per cluster.
+			sums := make([][]float64, k)
+			for i := ctx.Rank(); i < len(pts.Data); i += ctx.CommSize(core.CommO) {
+				p := pts.Data[i]
+				c := nearestCentroid(p, cents)
+				if sums[c] == nil {
+					sums[c] = make([]float64, 1+pts.Dim)
+				}
+				sums[c][0]++
+				for j, f := range p {
+					sums[c][1+j] += f
+				}
+			}
+			for c, s := range sums {
+				if s == nil {
+					continue
+				}
+				if err := ctx.Send(int64(c), s); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *core.Context) error {
+			// Aggregate the partial sums of the clusters this task owns,
+			// then broadcast each new centroid to every O task.
+			for {
+				g, ok, err := ctx.NextGroup()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				cidAny, err := kv.Int64.Decode(g.Key)
+				if err != nil {
+					return err
+				}
+				cid := cidAny.(int64)
+				var total []float64
+				for _, v := range g.Values {
+					x, err := kv.Float64Slice.Decode(v)
+					if err != nil {
+						return err
+					}
+					s := x.([]float64)
+					if total == nil {
+						total = make([]float64, len(s))
+					}
+					for j, f := range s {
+						total[j] += f
+					}
+				}
+				if total == nil || total[0] == 0 {
+					continue
+				}
+				upd := make([]float64, 1+len(total)-1)
+				upd[0] = float64(cid)
+				for j := 1; j < len(total); j++ {
+					upd[j] = total[j] / total[0]
+				}
+				mu.Lock()
+				final[cid] = append([]float64(nil), upd[1:]...)
+				mu.Unlock()
+				for o := 0; o < ctx.CommSize(core.CommO); o++ {
+					if err := ctx.Send(int64(o), upd); err != nil {
+						return err
+					}
+				}
+			}
+		},
+	}
+	res, err := core.Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.RoundTimes, final, nil
+}
+
+// WritePointsFile stores points as lines of space-separated coordinates.
+func WritePointsFile(env *Env, path string, pts *Points) error {
+	w, err := env.FS.Create(path, -1)
+	if err != nil {
+		return err
+	}
+	var sb bytes.Buffer
+	for _, p := range pts.Data {
+		sb.Reset()
+		for j, f := range p {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%.12g", f)
+		}
+		sb.WriteByte('\n')
+		if _, err := w.Write(sb.Bytes()); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+func parsePointLine(line []byte) ([]float64, error) {
+	fields := strings.Fields(string(line))
+	p := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		p[i] = v
+	}
+	return p, nil
+}
+
+// HadoopKMeans runs `rounds` iterations, each a full MapReduce job reading
+// the points file and the current centroids (the Mahout-style driver loop).
+func HadoopKMeans(env *Env, pts *Points, k, numReduces, rounds int, inst Instr) ([]time.Duration, [][]float64, error) {
+	cluster, err := env.NewHadoopCluster()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cluster.Close()
+	const pointsPath = "/kmeans/points"
+	if err := WritePointsFile(env, pointsPath, pts); err != nil {
+		return nil, nil, err
+	}
+	cents := initialCentroids(pts, k)
+	var times []time.Duration
+	for round := 0; round < rounds; round++ {
+		centsCopy := make([][]float64, k)
+		for c := range cents {
+			centsCopy[c] = append([]float64(nil), cents[c]...)
+		}
+		outPath := fmt.Sprintf("/kmeans/iter%d", round)
+		job := &hadoop.Job{
+			Name:       fmt.Sprintf("kmeans-%d", round),
+			FS:         env.FS,
+			InputPaths: []string{pointsPath},
+			OutputPath: outPath,
+			Map: func(_, line []byte, emit func(k, v []byte) error) error {
+				p, err := parsePointLine(line)
+				if err != nil || len(p) == 0 {
+					return err
+				}
+				c := nearestCentroid(p, centsCopy)
+				val := make([]float64, 1+len(p))
+				val[0] = 1
+				copy(val[1:], p)
+				vb, _ := kv.Float64Slice.Encode(nil, val)
+				kb, _ := kv.Int64.Encode(nil, int64(c))
+				return emit(kb, vb)
+			},
+			Reduce: func(key []byte, values [][]byte, emit func(k, v []byte) error) error {
+				var total []float64
+				for _, v := range values {
+					x, err := kv.Float64Slice.Decode(v)
+					if err != nil {
+						return err
+					}
+					s := x.([]float64)
+					if total == nil {
+						total = make([]float64, len(s))
+					}
+					for j, f := range s {
+						total[j] += f
+					}
+				}
+				if total == nil || total[0] == 0 {
+					return nil
+				}
+				cen := make([]float64, len(total)-1)
+				for j := range cen {
+					cen[j] = total[1+j] / total[0]
+				}
+				vb, _ := kv.Float64Slice.Encode(nil, cen)
+				return emit(key, vb)
+			},
+			Combine: func(_ []byte, vals [][]byte) [][]byte {
+				acc, err := kv.Float64Slice.Decode(vals[0])
+				if err != nil {
+					return vals
+				}
+				sum := acc.([]float64)
+				for _, v := range vals[1:] {
+					x, err := kv.Float64Slice.Decode(v)
+					if err != nil {
+						return vals
+					}
+					for j, f := range x.([]float64) {
+						sum[j] += f
+					}
+				}
+				out, _ := kv.Float64Slice.Encode(nil, sum)
+				return [][]byte{out}
+			},
+			Partition:  intKeyPartition,
+			NumReduces: numReduces,
+			Link:       env.Link,
+			Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+		}
+		start := time.Now()
+		if _, err := cluster.Run(job); err != nil {
+			return nil, nil, err
+		}
+		// Driver reads the new centroids back for the next round.
+		for _, part := range env.FS.List(outPath + "/") {
+			data, err := env.FS.ReadAll(part, -1)
+			if err != nil {
+				return nil, nil, err
+			}
+			r := kv.NewReader(bytes.NewReader(data))
+			for {
+				rec, err := r.Read()
+				if err != nil {
+					break
+				}
+				cidAny, err := kv.Int64.Decode(rec.Key)
+				if err != nil {
+					return nil, nil, err
+				}
+				cen, err := kv.Float64Slice.Decode(rec.Value)
+				if err != nil {
+					return nil, nil, err
+				}
+				cid := int(cidAny.(int64))
+				if cid >= 0 && cid < k {
+					cents[cid] = cen.([]float64)
+				}
+			}
+		}
+		times = append(times, time.Since(start))
+	}
+	return times, cents, nil
+}

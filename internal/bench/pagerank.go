@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"datampi/internal/core"
+	"datampi/internal/hadoop"
+	"datampi/internal/kv"
+)
+
+const pagerankDamping = 0.85
+
+// intKeyPartition routes an int64 key k to partition k mod numDest; it
+// works for both directions of the Iteration mode's bipartite exchange.
+func intKeyPartition(key, _ []byte, numDest int) int {
+	v, err := kv.Int64.Decode(key)
+	if err != nil {
+		return 0
+	}
+	n := v.(int64) % int64(numDest)
+	if n < 0 {
+		n += int64(numDest)
+	}
+	return int(n)
+}
+
+// DataMPIPageRank runs `rounds` PageRank iterations in the Iteration mode:
+// the graph stays resident in the O tasks (Twister-style); contributions
+// flow O->A, aggregated new ranks flow A->O as the reverse exchange.
+// It returns the per-round times and the final ranks.
+func DataMPIPageRank(env *Env, g *Graph, numO, numA, rounds int, inst Instr) ([]time.Duration, []float64, error) {
+	base := (1 - pagerankDamping) / float64(g.N)
+	ranks := make([]float64, g.N)
+	for i := range ranks {
+		ranks[i] = base // pages with no in-links keep the base rank
+	}
+	var mu sync.Mutex
+	job := &core.Job{
+		Name: "pagerank",
+		Mode: core.Iteration,
+		Conf: core.Config{
+			KeyCodec:   kv.Int64,
+			ValueCodec: kv.Float64,
+			Partition:  intKeyPartition,
+		},
+		NumO: numO, NumA: numA, Procs: env.Nodes, Slots: 2,
+		Rounds:     rounds,
+		SpillDisks: env.NodeDisks,
+		Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+		OTask: func(ctx *core.Context) error {
+			// Resident per-task rank table, initialized on round 0.
+			local, _ := ctx.Local.(map[int32]float64)
+			if local == nil {
+				local = map[int32]float64{}
+				for p := ctx.Rank(); p < g.N; p += ctx.CommSize(core.CommO) {
+					local[int32(p)] = 1.0 / float64(g.N)
+				}
+				ctx.Local = local
+			}
+			if ctx.Round() > 0 {
+				// Pages with no in-links got no feedback: they fall back to
+				// the base rank.
+				for p := range local {
+					local[p] = base
+				}
+				for {
+					k, v, ok, err := ctx.Recv()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						break
+					}
+					local[int32(k.(int64))] = v.(float64)
+				}
+			}
+			for p, r := range local {
+				out := g.Out[p]
+				if len(out) == 0 {
+					continue
+				}
+				share := r / float64(len(out))
+				for _, t := range out {
+					if err := ctx.Send(int64(t), share); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *core.Context) error {
+			sums := map[int64]float64{}
+			for {
+				k, v, ok, err := ctx.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				sums[k.(int64)] += v.(float64)
+			}
+			mu.Lock()
+			for page, s := range sums {
+				ranks[page] = base + pagerankDamping*s
+			}
+			mu.Unlock()
+			for page, s := range sums {
+				if err := ctx.Send(page, base+pagerankDamping*s); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	res, err := core.Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.RoundTimes, ranks, nil
+}
+
+// WriteGraphFile stores the graph in the line format the Hadoop PageRank
+// reads: "page<TAB>rank<TAB>t1,t2,...".
+func WriteGraphFile(env *Env, path string, g *Graph, ranks []float64) error {
+	w, err := env.FS.Create(path, -1)
+	if err != nil {
+		return err
+	}
+	var sb bytes.Buffer
+	for p := 0; p < g.N; p++ {
+		sb.Reset()
+		fmt.Fprintf(&sb, "%d\t%.12g\t", p, ranks[p])
+		for i, t := range g.Out[p] {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", t)
+		}
+		sb.WriteByte('\n')
+		if _, err := w.Write(sb.Bytes()); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// HadoopPageRank runs `rounds` iterations, each a full MapReduce job that
+// rewrites the rank file — the paper's self-developed Hadoop PageRank.
+// It returns per-round times and the final ranks.
+func HadoopPageRank(env *Env, g *Graph, numReduces, rounds int, inst Instr) ([]time.Duration, []float64, error) {
+	cluster, err := env.NewHadoopCluster()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cluster.Close()
+	base := (1 - pagerankDamping) / float64(g.N)
+	cur := "/pagerank/iter0"
+	init := make([]float64, g.N)
+	for i := range init {
+		init[i] = 1.0 / float64(g.N)
+	}
+	if err := WriteGraphFile(env, cur, g, init); err != nil {
+		return nil, nil, err
+	}
+	var times []time.Duration
+	for round := 0; round < rounds; round++ {
+		next := fmt.Sprintf("/pagerank/iter%d", round+1)
+		job := &hadoop.Job{
+			Name:       fmt.Sprintf("pagerank-%d", round),
+			FS:         env.FS,
+			InputPaths: []string{cur},
+			OutputPath: next + ".parts",
+			Map: func(_, line []byte, emit func(k, v []byte) error) error {
+				page, rank, targets, err := parseRankLine(line)
+				if err != nil {
+					return err
+				}
+				// Re-emit the adjacency list and send contributions.
+				if err := emit([]byte(page), append([]byte("A"), targets...)); err != nil {
+					return err
+				}
+				tl := splitTargets(targets)
+				if len(tl) == 0 {
+					return nil
+				}
+				share := rank / float64(len(tl))
+				sv := []byte("C" + strconv.FormatFloat(share, 'g', 17, 64))
+				for _, t := range tl {
+					if err := emit([]byte(t), sv); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			Reduce: func(key []byte, values [][]byte, emit func(k, v []byte) error) error {
+				sum := 0.0
+				var adj []byte
+				for _, v := range values {
+					switch {
+					case len(v) > 0 && v[0] == 'A':
+						adj = v[1:]
+					case len(v) > 0 && v[0] == 'C':
+						c, err := strconv.ParseFloat(string(v[1:]), 64)
+						if err != nil {
+							return err
+						}
+						sum += c
+					}
+				}
+				rank := base + pagerankDamping*sum
+				return emit(key, []byte(fmt.Sprintf("%.12g\t%s", rank, adj)))
+			},
+			NumReduces: numReduces,
+			Link:       env.Link,
+			Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+		}
+		start := time.Now()
+		if _, err := cluster.Run(job); err != nil {
+			return nil, nil, err
+		}
+		// Rewrite the job's record output as the next iteration's line file.
+		if err := rewriteRankFile(env, job.OutputPath, next); err != nil {
+			return nil, nil, err
+		}
+		times = append(times, time.Since(start))
+		cur = next
+	}
+	ranks, err := readRankFile(env, cur, g.N)
+	if err != nil {
+		return nil, nil, err
+	}
+	return times, ranks, nil
+}
+
+func parseRankLine(line []byte) (page string, rank float64, targets []byte, err error) {
+	parts := bytes.SplitN(line, []byte{'\t'}, 3)
+	if len(parts) < 2 {
+		return "", 0, nil, fmt.Errorf("bench: bad rank line %q", line)
+	}
+	page = string(parts[0])
+	rank, err = strconv.ParseFloat(string(parts[1]), 64)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	if len(parts) == 3 {
+		targets = parts[2]
+	}
+	return page, rank, targets, nil
+}
+
+func splitTargets(targets []byte) []string {
+	s := strings.TrimSpace(string(targets))
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// rewriteRankFile converts reduce output records (key=page,
+// value="rank\ttargets") back into the line format.
+func rewriteRankFile(env *Env, recPrefix, linePath string) error {
+	w, err := env.FS.Create(linePath, -1)
+	if err != nil {
+		return err
+	}
+	for _, p := range env.FS.List(recPrefix + "/") {
+		data, err := env.FS.ReadAll(p, -1)
+		if err != nil {
+			return err
+		}
+		r := kv.NewReader(bytes.NewReader(data))
+		for {
+			rec, err := r.Read()
+			if err != nil {
+				break
+			}
+			if _, err := fmt.Fprintf(w, "%s\t%s\n", rec.Key, rec.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Close()
+}
+
+func readRankFile(env *Env, path string, n int) ([]float64, error) {
+	data, err := env.FS.ReadAll(path, -1)
+	if err != nil {
+		return nil, err
+	}
+	base := (1 - pagerankDamping) / float64(n)
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = base // pages absent from the file keep the base rank
+	}
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		page, rank, _, err := parseRankLine(line)
+		if err != nil {
+			return nil, err
+		}
+		id, err := strconv.Atoi(page)
+		if err != nil {
+			return nil, err
+		}
+		if id >= 0 && id < n {
+			ranks[id] = rank
+		}
+	}
+	return ranks, nil
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+
+	"datampi/internal/core"
+)
+
+// TestStressTeraSortAllFeatures is a soak test combining everything at
+// once: a larger input over the TCP transport with a tight spill cache,
+// fault tolerance enabled, a mid-run crash, and recovery — the recovered
+// output must still be a byte-perfect global sort.
+func TestStressTeraSortAllFeatures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const records = 120000
+	env, err := NewEnv(EnvConfig{Nodes: 3, BlockSize: 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	if err := TeraGen(env.FS, "/tera/in", records, 7); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opts := TeraSortOpts{
+		NumA:              9,
+		Slots:             3,
+		MemCacheBytes:     256 << 10, // force spilling
+		FaultTolerance:    true,
+		CheckpointDir:     dir,
+		CheckpointRecords: 4096,
+		InjectFailAfterCP: records / 2,
+		TCP:               true,
+	}
+	if _, err := DataMPITeraSort(env, "/tera/in", opts, Instr{}); !errors.Is(err, core.ErrInjectedFailure) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	opts.InjectFailAfterCP = 0
+	res, err := DataMPITeraSort(env, "/tera/in", opts, Instr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecordsReloaded == 0 {
+		t.Error("no records reloaded on recovery")
+	}
+	if res.SpilledBytes == 0 {
+		t.Error("no spilling despite tiny cache")
+	}
+	if err := VerifyTeraSort(env.FS, "/tera/in.sorted", records); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressConcurrentJobs runs several DataMPI jobs concurrently in one
+// process (as a shared cluster would) and checks isolation.
+func TestStressConcurrentJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const jobs = 4
+	errs := make(chan error, jobs)
+	for j := 0; j < jobs; j++ {
+		go func(j int) {
+			env, err := NewEnv(EnvConfig{Nodes: 2, BlockSize: 32 << 10})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer env.Close()
+			const records = 20000
+			if err := TeraGen(env.FS, "/in", records, int64(j)); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := DataMPITeraSort(env, "/in", TeraSortOpts{}, Instr{}); err != nil {
+				errs <- err
+				return
+			}
+			errs <- VerifyTeraSort(env.FS, "/in.sorted", records)
+		}(j)
+	}
+	for j := 0; j < jobs; j++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}

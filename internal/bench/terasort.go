@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"datampi/internal/core"
+	"datampi/internal/hadoop"
+	"datampi/internal/hdfs"
+	"datampi/internal/kv"
+	"datampi/internal/metrics"
+)
+
+// TeraPartition is the range partitioner TeraSort uses for a globally
+// sorted output: keys are uniform printable bytes, so the first byte maps
+// linearly onto partitions (partition i holds a contiguous key range below
+// partition i+1's).
+func TeraPartition(key, _ []byte, numA int) int {
+	p := int(key[0]-' ') * numA / 95
+	if p < 0 {
+		p = 0
+	}
+	if p >= numA {
+		p = numA - 1
+	}
+	return p
+}
+
+// Instr bundles optional instrumentation shared by both engines.
+type Instr struct {
+	Busy     *metrics.BusyTracker
+	Mem      *metrics.Gauge
+	Progress *metrics.PhaseProgress
+}
+
+// TeraSortOpts tunes the DataMPI TeraSort job.
+type TeraSortOpts struct {
+	NumO, NumA, Procs, Slots int
+	MemCacheBytes            int64
+	FaultTolerance           bool
+	CheckpointDir            string
+	CheckpointRecords        int64
+	InjectFailAfterCP        int64
+	DataCentricOff           bool
+	PipelineOff              bool
+	TCP                      bool
+}
+
+// DataMPITeraSort sorts the TeraGen file at input into
+// <input>.sorted/part-<r>, returning the run result.
+func DataMPITeraSort(env *Env, input string, o TeraSortOpts, inst Instr) (*core.Result, error) {
+	splits, err := env.FS.Splits(input)
+	if err != nil {
+		return nil, err
+	}
+	if o.NumO <= 0 {
+		o.NumO = len(splits)
+	}
+	if o.NumA <= 0 {
+		o.NumA = env.Nodes * 2
+	}
+	if o.Procs <= 0 {
+		o.Procs = env.Nodes
+	}
+	if o.Slots <= 0 {
+		o.Slots = 2
+	}
+	outPrefix := input + ".sorted"
+	job := &core.Job{
+		Name: "terasort",
+		Mode: core.MapReduce,
+		Conf: core.Config{
+			KeyCodec:                 kv.Bytes,
+			ValueCodec:               kv.Bytes,
+			Partition:                TeraPartition,
+			MemCacheBytes:            o.MemCacheBytes,
+			FaultTolerance:           o.FaultTolerance,
+			CheckpointDir:            o.CheckpointDir,
+			CheckpointRecords:        o.CheckpointRecords,
+			InjectFailAfterCPRecords: o.InjectFailAfterCP,
+			DataCentricOff:           o.DataCentricOff,
+			OSidePipelineOff:         o.PipelineOff,
+		},
+		NumO: o.NumO, NumA: o.NumA, Procs: o.Procs, Slots: o.Slots,
+		Input: splits,
+		Busy:  inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+		OTask: func(ctx *core.Context) error {
+			mine := hdfs.SplitsForRank(splits, ctx.Rank(), ctx.CommSize(core.CommO))
+			skip := ctx.TakeCheckpointSkip()
+			for _, s := range mine {
+				err := env.FS.ReadRecordsInSplit(s, TeraRecordSize, ctx.Proc(), func(rec []byte) error {
+					if skip > 0 {
+						skip--
+						return nil
+					}
+					return ctx.SendRecord(kv.Record{Key: rec[:TeraKeySize], Value: rec[TeraKeySize:]})
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *core.Context) error {
+			out, err := env.FS.Create(fmt.Sprintf("%s/part-%05d", outPrefix, ctx.Rank()), ctx.Proc())
+			if err != nil {
+				return err
+			}
+			w := kv.NewWriter(out)
+			for {
+				rec, ok, err := ctx.RecvRecord()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if err := w.Write(rec); err != nil {
+					return err
+				}
+			}
+			return out.Close()
+		},
+	}
+	if len(env.NodeDisks) >= o.Procs {
+		job.SpillDisks = env.NodeDisks
+	}
+	var opts []core.RunOption
+	if o.TCP {
+		opts = append(opts, core.WithTCPTransport())
+	}
+	if env.Link != nil {
+		opts = append(opts, core.WithLink(env.Link))
+	}
+	return core.Run(job, opts...)
+}
+
+// teraReader adapts fixed-size TeraSort records to the Hadoop engine.
+func teraReader(fs *hdfs.FileSystem, split hdfs.Split, host int, fn func(k, v []byte) error) error {
+	return fs.ReadRecordsInSplit(split, TeraRecordSize, host, func(rec []byte) error {
+		return fn(rec[:TeraKeySize], rec[TeraKeySize:])
+	})
+}
+
+// HadoopTeraSort runs the baseline TeraSort over the same input.
+func HadoopTeraSort(env *Env, input string, numReduces, mapSlots, reduceSlots int, inst Instr) (*hadoop.Result, error) {
+	cluster, err := env.NewHadoopCluster()
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	if numReduces <= 0 {
+		numReduces = env.Nodes * 2
+	}
+	job := &hadoop.Job{
+		Name:       "terasort-hadoop",
+		FS:         env.FS,
+		InputPaths: []string{input},
+		Reader:     teraReader,
+		OutputPath: input + ".hsorted",
+		Map: func(k, v []byte, emit func(k, v []byte) error) error {
+			return emit(k, v) // identity: the framework sort does the work
+		},
+		Reduce: func(key []byte, values [][]byte, emit func(k, v []byte) error) error {
+			for _, v := range values {
+				if err := emit(key, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Partition:   TeraPartition,
+		NumReduces:  numReduces,
+		MapSlots:    mapSlots,
+		ReduceSlots: reduceSlots,
+		Link:        env.Link,
+		Busy:        inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+	}
+	return cluster.Run(job)
+}
+
+// VerifyTeraSort checks a sorted output: every part file is sorted, part
+// ranges are disjoint and ascending, and the total record count matches.
+func VerifyTeraSort(fs *hdfs.FileSystem, outPrefix string, wantRecords int) error {
+	parts := fs.List(outPrefix + "/")
+	if len(parts) == 0 {
+		return fmt.Errorf("bench: no output parts under %s", outPrefix)
+	}
+	total := 0
+	var prevMax []byte
+	for _, p := range parts {
+		data, err := fs.ReadAll(p, -1)
+		if err != nil {
+			return err
+		}
+		r := kv.NewReader(bytes.NewReader(data))
+		var prev []byte
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if prev != nil && bytes.Compare(prev, rec.Key) > 0 {
+				return fmt.Errorf("bench: %s not sorted", p)
+			}
+			if prevMax != nil && bytes.Compare(prevMax, rec.Key) > 0 {
+				return fmt.Errorf("bench: part ranges overlap at %s", p)
+			}
+			prev = rec.Key
+			total++
+		}
+		if prev != nil {
+			prevMax = append([]byte(nil), prev...)
+		}
+	}
+	if total != wantRecords {
+		return fmt.Errorf("bench: output has %d records, want %d", total, wantRecords)
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"datampi/internal/core"
+	"datampi/internal/kv"
+	"datampi/internal/s4"
+)
+
+// The Top-K streaming benchmark (Fig. 10(c)): word events arrive at a
+// fixed rate; the system maintains per-word counts and periodically emits
+// the current top-K. The recorded metric is per-event end-to-end latency:
+// injection time -> the moment the event's effect reaches the final
+// aggregation stage. DataMPI Streaming does counting + top-K in one A
+// task; S4 (as in its sample app) pipelines a Counter PE stage into a
+// Top-K PE stage, paying a per-event envelope and an extra hop.
+
+// LatencyCollector accumulates observed latencies.
+type LatencyCollector struct {
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+// Add records one latency.
+func (l *LatencyCollector) Add(d time.Duration) {
+	l.mu.Lock()
+	l.lats = append(l.lats, d)
+	l.mu.Unlock()
+}
+
+// Latencies returns a sorted copy of the recorded latencies.
+func (l *LatencyCollector) Latencies() []time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]time.Duration(nil), l.lats...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) latency.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Distribution buckets latencies and returns the fraction per bucket edge
+// (the shape plotted in Fig. 10(c)).
+func Distribution(sorted []time.Duration, edges []time.Duration) []float64 {
+	out := make([]float64, len(edges))
+	if len(sorted) == 0 {
+		return out
+	}
+	for _, l := range sorted {
+		for i, e := range edges {
+			if l <= e {
+				out[i]++
+				break
+			}
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(sorted))
+	}
+	return out
+}
+
+// stampValue embeds the injection time in an event payload.
+func stampValue(payload string) []byte {
+	b := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(b, uint64(time.Now().UnixNano()))
+	copy(b[8:], payload)
+	return b
+}
+
+func stampAge(v []byte) time.Duration {
+	if len(v) < 8 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - int64(binary.BigEndian.Uint64(v)))
+}
+
+// DataMPITopK streams `events` at ratePerSec through a Streaming-mode job
+// with numO adapters and numA counting/top-K tasks, recording per-event
+// latencies. It returns the latencies and the global top-K estimate.
+func DataMPITopK(env *Env, events []string, ratePerSec, numO, k int, lat *LatencyCollector) (map[string]uint64, error) {
+	var mu sync.Mutex
+	counts := map[string]uint64{}
+	interval := time.Duration(float64(time.Second) / float64(ratePerSec) * float64(numO))
+	job := &core.Job{
+		Name: "topk",
+		Mode: core.Streaming,
+		Conf: core.Config{
+			KeyCodec:      kv.String,
+			ValueCodec:    kv.Bytes,
+			SPLBytes:      8 << 10,
+			FlushInterval: 10 * time.Millisecond,
+		},
+		NumO: numO, NumA: env.Nodes, Procs: env.Nodes, Slots: 4,
+		OTask: func(ctx *core.Context) error {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for i := ctx.Rank(); i < len(events); i += ctx.CommSize(core.CommO) {
+				<-tick.C
+				word, payload, _ := strings.Cut(events[i], "|")
+				if err := ctx.SendRecord(kv.Record{
+					Key:   []byte(word),
+					Value: stampValue(payload),
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *core.Context) error {
+			local := map[string]uint64{}
+			for {
+				rec, ok, err := ctx.RecvRecord()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				lat.Add(stampAge(rec.Value))
+				local[string(rec.Key)]++
+			}
+			mu.Lock()
+			for w, c := range local {
+				counts[w] += c
+			}
+			mu.Unlock()
+			return nil
+		},
+	}
+	if _, err := core.Run(job); err != nil {
+		return nil, err
+	}
+	return topKOf(counts, k), nil
+}
+
+func topKOf(counts map[string]uint64, k int) map[string]uint64 {
+	type wc struct {
+		w string
+		c uint64
+	}
+	all := make([]wc, 0, len(counts))
+	for w, c := range counts {
+		all = append(all, wc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := map[string]uint64{}
+	for _, e := range all {
+		out[e.w] = e.c
+	}
+	return out
+}
+
+// s4CounterPE is the first S4 stage: per-word counting, forwarding count
+// updates (with the pending events' stamps) downstream on its trigger.
+type s4CounterPE struct {
+	word    string
+	count   uint64
+	pending []int64 // stamps awaiting inclusion in a forwarded update
+}
+
+func (p *s4CounterPE) OnEvent(ev s4.Event, em s4.Emitter) error {
+	p.count++
+	if len(ev.Value) >= 8 {
+		p.pending = append(p.pending, int64(binary.BigEndian.Uint64(ev.Value)))
+	}
+	return nil
+}
+
+func (p *s4CounterPE) OnTrigger(_ time.Time, em s4.Emitter) error {
+	if len(p.pending) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s=%d", p.word, p.count)
+	for _, ts := range p.pending {
+		fmt.Fprintf(&sb, ",%d", ts)
+	}
+	p.pending = p.pending[:0]
+	return em.Emit(s4.Event{
+		Stream: "updates",
+		Key:    "topk", // single aggregator PE
+		Value:  []byte(sb.String()),
+		Stamp:  time.Now(),
+	})
+}
+
+// s4TopKPE is the final stage: it holds the global counts; event effects
+// "arrive" here, which is where latency is recorded.
+type s4TopKPE struct {
+	lat    *LatencyCollector
+	mu     *sync.Mutex
+	counts map[string]uint64
+}
+
+func (p *s4TopKPE) OnEvent(ev s4.Event, _ s4.Emitter) error {
+	body := string(ev.Value)
+	head, rest, _ := strings.Cut(body, ",")
+	word, countStr, ok := strings.Cut(head, "=")
+	if !ok {
+		return nil
+	}
+	n, err := strconv.ParseUint(countStr, 10, 64)
+	if err != nil {
+		return err
+	}
+	now := time.Now().UnixNano()
+	if rest != "" {
+		for _, ts := range strings.Split(rest, ",") {
+			v, err := strconv.ParseInt(ts, 10, 64)
+			if err == nil {
+				p.lat.Add(time.Duration(now - v))
+			}
+		}
+	}
+	p.mu.Lock()
+	p.counts[word] = n
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *s4TopKPE) OnTrigger(time.Time, s4.Emitter) error { return nil }
+
+// S4TopK streams the same events through the two-stage S4 topology.
+func S4TopK(events []string, ratePerSec, nodes, k int, counterTrigger time.Duration, lat *LatencyCollector) (map[string]uint64, error) {
+	var mu sync.Mutex
+	counts := map[string]uint64{}
+	cluster, err := s4.New(s4.Config{Nodes: nodes},
+		s4.StreamSpec{
+			Name:    "words",
+			Factory: func(key string) s4.PE { return &s4CounterPE{word: key} },
+			Trigger: counterTrigger,
+		},
+		s4.StreamSpec{
+			Name:    "updates",
+			Factory: func(string) s4.PE { return &s4TopKPE{lat: lat, mu: &mu, counts: counts} },
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	interval := time.Duration(float64(time.Second) / float64(ratePerSec))
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for _, e := range events {
+		<-tick.C
+		word, payload, _ := strings.Cut(e, "|")
+		if err := cluster.Inject(s4.Event{
+			Stream: "words",
+			Key:    word,
+			Value:  stampValue(payload),
+			Stamp:  time.Now(),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	cluster.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	return topKOf(counts, k), nil
+}

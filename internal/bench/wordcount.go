@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"datampi/internal/core"
+	"datampi/internal/hadoop"
+	"datampi/internal/hdfs"
+	"datampi/internal/kv"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// SumCombine folds counter values — MPI_D_COMBINE for WordCount.
+func SumCombine(_ []byte, vals [][]byte) [][]byte {
+	var sum uint64
+	for _, v := range vals {
+		sum += binary.BigEndian.Uint64(v)
+	}
+	return [][]byte{u64(sum)}
+}
+
+// DataMPIWordCount counts words of a text input into <input>.counts.
+func DataMPIWordCount(env *Env, input string, numO, numA int, inst Instr) (*core.Result, error) {
+	splits, err := env.FS.Splits(input)
+	if err != nil {
+		return nil, err
+	}
+	if numO <= 0 {
+		numO = len(splits)
+	}
+	if numA <= 0 {
+		numA = env.Nodes
+	}
+	outPrefix := input + ".counts"
+	job := &core.Job{
+		Name: "wordcount",
+		Mode: core.MapReduce,
+		Conf: core.Config{
+			KeyCodec:   kv.Bytes,
+			ValueCodec: kv.Bytes,
+			Combine:    SumCombine,
+		},
+		NumO: numO, NumA: numA, Procs: env.Nodes, Slots: 2,
+		Input:      splits,
+		SpillDisks: env.NodeDisks,
+		Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+		OTask: func(ctx *core.Context) error {
+			one := u64(1)
+			mine := hdfs.SplitsForRank(splits, ctx.Rank(), ctx.CommSize(core.CommO))
+			for _, s := range mine {
+				err := env.FS.ReadLinesInSplit(s, ctx.Proc(), func(line []byte) error {
+					for _, w := range bytes.Fields(line) {
+						if err := ctx.SendRecord(kv.Record{Key: w, Value: one}); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *core.Context) error {
+			out, err := env.FS.Create(fmt.Sprintf("%s/part-%05d", outPrefix, ctx.Rank()), ctx.Proc())
+			if err != nil {
+				return err
+			}
+			w := kv.NewWriter(out)
+			for {
+				g, ok, err := ctx.NextGroup()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				var sum uint64
+				for _, v := range g.Values {
+					sum += binary.BigEndian.Uint64(v)
+				}
+				if err := w.Write(kv.Record{Key: g.Key, Value: u64(sum)}); err != nil {
+					return err
+				}
+			}
+			return out.Close()
+		},
+	}
+	var opts []core.RunOption
+	if env.Link != nil {
+		opts = append(opts, core.WithLink(env.Link))
+	}
+	return core.Run(job, opts...)
+}
+
+// HadoopWordCount is the baseline WordCount.
+func HadoopWordCount(env *Env, input string, numReduces int, inst Instr) (*hadoop.Result, error) {
+	cluster, err := env.NewHadoopCluster()
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	if numReduces <= 0 {
+		numReduces = env.Nodes
+	}
+	job := &hadoop.Job{
+		Name:       "wordcount-hadoop",
+		FS:         env.FS,
+		InputPaths: []string{input},
+		OutputPath: input + ".hcounts",
+		Map: func(_, line []byte, emit func(k, v []byte) error) error {
+			one := u64(1)
+			for _, w := range bytes.Fields(line) {
+				if err := emit(w, one); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit func(k, v []byte) error) error {
+			var sum uint64
+			for _, v := range values {
+				sum += binary.BigEndian.Uint64(v)
+			}
+			return emit(key, u64(sum))
+		},
+		Combine:    SumCombine,
+		NumReduces: numReduces,
+		Link:       env.Link,
+		Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+	}
+	return cluster.Run(job)
+}
+
+// ReadCounts loads a counts output into a map (shared by verification).
+func ReadCounts(fs *hdfs.FileSystem, outPrefix string) (map[string]uint64, error) {
+	got := map[string]uint64{}
+	for _, p := range fs.List(outPrefix + "/") {
+		data, err := fs.ReadAll(p, -1)
+		if err != nil {
+			return nil, err
+		}
+		r := kv.NewReader(bytes.NewReader(data))
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			got[string(rec.Key)] += binary.BigEndian.Uint64(rec.Value)
+		}
+	}
+	return got, nil
+}

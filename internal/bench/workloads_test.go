@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func testEnv(t *testing.T, nodes int, blockSize int64) *Env {
+	t.Helper()
+	env, err := NewEnv(EnvConfig{Nodes: nodes, BlockSize: blockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	return env
+}
+
+func TestTeraSortBothEnginesSortCorrectly(t *testing.T) {
+	env := testEnv(t, 3, 16<<10)
+	const records = 3000
+	if err := TeraGen(env.FS, "/tera/in", records, 7); err != nil {
+		t.Fatal(err)
+	}
+	res, err := DataMPITeraSort(env, "/tera/in", TeraSortOpts{NumA: 4}, Instr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecordsSent != records {
+		t.Errorf("DataMPI shuffled %d records, want %d", res.RecordsSent, records)
+	}
+	if err := VerifyTeraSort(env.FS, "/tera/in.sorted", records); err != nil {
+		t.Errorf("DataMPI output: %v", err)
+	}
+	if _, err := HadoopTeraSort(env, "/tera/in", 4, 2, 2, Instr{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTeraSort(env.FS, "/tera/in.hsorted", records); err != nil {
+		t.Errorf("Hadoop output: %v", err)
+	}
+}
+
+func TestWordCountEnginesAgree(t *testing.T) {
+	env := testEnv(t, 2, 8<<10)
+	if err := TextGen(env.FS, "/wc/in", 500, 8, 200, 11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DataMPIWordCount(env, "/wc/in", 0, 3, Instr{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HadoopWordCount(env, "/wc/in", 3, Instr{}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadCounts(env.FS, "/wc/in.counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadCounts(env.FS, "/wc/in.hcounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) == 0 || len(d) != len(h) {
+		t.Fatalf("vocab sizes differ: %d vs %d", len(d), len(h))
+	}
+	for w, c := range h {
+		if d[w] != c {
+			t.Errorf("count[%q]: DataMPI %d, Hadoop %d", w, d[w], c)
+		}
+	}
+}
+
+func TestPageRankEnginesAgree(t *testing.T) {
+	env := testEnv(t, 2, 32<<10)
+	g := GenGraph(300, 4, 3)
+	const rounds = 3
+	times, dRanks, err := DataMPIPageRank(env, g, 4, 2, rounds, Instr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != rounds {
+		t.Errorf("got %d round times", len(times))
+	}
+	_, hRanks, err := HadoopPageRank(env, g, 2, rounds, Instr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumD, sumH float64
+	for p := 0; p < g.N; p++ {
+		sumD += dRanks[p]
+		sumH += hRanks[p]
+		if math.Abs(dRanks[p]-hRanks[p]) > 1e-9 {
+			t.Fatalf("rank[%d]: DataMPI %.12g, Hadoop %.12g", p, dRanks[p], hRanks[p])
+		}
+	}
+	if sumD == 0 {
+		t.Error("DataMPI ranks all zero")
+	}
+}
+
+func TestKMeansEnginesAgree(t *testing.T) {
+	env := testEnv(t, 2, 32<<10)
+	pts := GenPoints(400, 3, 4, 5)
+	const rounds = 3
+	_, dCents, err := DataMPIKMeans(env, pts, 4, 4, rounds, Instr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hCents, err := HadoopKMeans(env, pts, 4, 2, rounds, Instr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		if dCents[c] == nil || hCents[c] == nil {
+			t.Fatalf("centroid %d missing: %v %v", c, dCents[c], hCents[c])
+		}
+		for j := range dCents[c] {
+			if math.Abs(dCents[c][j]-hCents[c][j]) > 1e-6 {
+				t.Errorf("centroid %d dim %d: %.9g vs %.9g", c, j, dCents[c][j], hCents[c][j])
+			}
+		}
+	}
+}
+
+func TestTopKBothSystems(t *testing.T) {
+	env := testEnv(t, 2, 32<<10)
+	events := EventGen(400, 30, 40, 9)
+	var dLat, sLat LatencyCollector
+	dTop, err := DataMPITopK(env, events, 4000, 2, 5, &dLat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTop, err := S4TopK(events, 4000, 2, 5, 20*time.Millisecond, &sLat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dTop) == 0 || len(sTop) == 0 {
+		t.Fatalf("empty top-k: %v %v", dTop, sTop)
+	}
+	// Both systems process every event.
+	if n := len(dLat.Latencies()); n != len(events) {
+		t.Errorf("DataMPI recorded %d latencies, want %d", n, len(events))
+	}
+	if n := len(sLat.Latencies()); n != len(events) {
+		t.Errorf("S4 recorded %d latencies, want %d", n, len(events))
+	}
+	// The exact counts of the hottest words must agree.
+	for w, c := range dTop {
+		if sc, ok := sTop[w]; ok && sc != c {
+			t.Errorf("top word %q: DataMPI %d, S4 %d", w, c, sc)
+		}
+	}
+}
+
+func TestLatencyHelpers(t *testing.T) {
+	var lc LatencyCollector
+	for _, ms := range []int{5, 1, 9, 3, 7} {
+		lc.Add(time.Duration(ms) * time.Millisecond)
+	}
+	sorted := lc.Latencies()
+	if sorted[0] != time.Millisecond || sorted[4] != 9*time.Millisecond {
+		t.Errorf("sorted: %v", sorted)
+	}
+	if p := Percentile(sorted, 50); p != 5*time.Millisecond {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+	dist := Distribution(sorted, []time.Duration{4 * time.Millisecond, 100 * time.Millisecond})
+	if math.Abs(dist[0]-0.4) > 1e-9 || math.Abs(dist[1]-0.6) > 1e-9 {
+		t.Errorf("distribution: %v", dist)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	env := testEnv(t, 2, 4<<10)
+	if err := TeraGen(env.FS, "/g/tera", 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := env.FS.Size("/g/tera")
+	if sz != 100*TeraRecordSize {
+		t.Errorf("teragen size %d", sz)
+	}
+	// Determinism.
+	if err := TeraGen(env.FS, "/g/tera2", 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := env.FS.ReadAll("/g/tera", 0)
+	b, _ := env.FS.ReadAll("/g/tera2", 0)
+	if string(a) != string(b) {
+		t.Error("TeraGen not deterministic")
+	}
+	g := GenGraph(100, 3, 2)
+	if g.N != 100 {
+		t.Errorf("graph N=%d", g.N)
+	}
+	edges := 0
+	for _, out := range g.Out {
+		edges += len(out)
+		for _, e := range out {
+			if e < 0 || int(e) >= g.N {
+				t.Fatalf("edge out of range: %d", e)
+			}
+		}
+	}
+	if edges == 0 {
+		t.Error("graph has no edges")
+	}
+	pts := GenPoints(50, 4, 3, 2)
+	if len(pts.Data) != 50 || pts.Dim != 4 || len(pts.Data[0]) != 4 {
+		t.Errorf("points shape wrong")
+	}
+	evs := EventGen(20, 5, 30, 3)
+	if len(evs) != 20 {
+		t.Errorf("events: %d", len(evs))
+	}
+}

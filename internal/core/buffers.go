@@ -1,0 +1,129 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"datampi/internal/kv"
+)
+
+// Buffer management (§IV-D): each task owns a Send Partition List (SPL) —
+// one append buffer per destination partition. When a partition buffer
+// crosses the SPL threshold it is sealed and handed to the process's
+// communication thread, which sorts (if the mode requires), combines, and
+// transmits it. On the receive side, sealed buffers accumulate in a
+// Receive Partition List (RPL) per partition; when the merge queue grows
+// past the memory-cache threshold, runs are merged and spilled to disk.
+
+// sendItem is one sealed SPL buffer travelling to the communication thread.
+type sendItem struct {
+	task      int
+	partition int
+	reverse   bool // Iteration mode A->O traffic
+	data      []byte
+	records   int64
+	// prepared marks data already sorted/combined (checkpoint reloads).
+	prepared bool
+	// noCheckpoint suppresses re-checkpointing (checkpoint reloads).
+	noCheckpoint bool
+	// cpSeal marks a checkpoint-round boundary: the task has drained every
+	// partition buffer, so everything appended to its chunk so far is an
+	// emission-order prefix and can be committed (§IV-E, Fig. 7).
+	cpSeal bool
+}
+
+// spl is one task's Send Partition List.
+type spl struct {
+	parts   []partBuf
+	maxSize int
+}
+
+type partBuf struct {
+	data    []byte
+	records int64
+}
+
+func newSPL(numPartitions, maxSize int) *spl {
+	return &spl{parts: make([]partBuf, numPartitions), maxSize: maxSize}
+}
+
+// add appends a record to partition p; it returns a sealed buffer when the
+// partition buffer crossed the threshold, else nil.
+func (s *spl) add(p int, rec kv.Record) *partBuf {
+	b := &s.parts[p]
+	b.data = kv.AppendRecord(b.data, rec)
+	b.records++
+	if len(b.data) >= s.maxSize {
+		sealed := *b
+		*b = partBuf{}
+		return &sealed
+	}
+	return nil
+}
+
+// drain seals and returns every non-empty partition buffer.
+func (s *spl) drain() []sealedPart {
+	var out []sealedPart
+	for p := range s.parts {
+		if s.parts[p].records > 0 {
+			out = append(out, sealedPart{partition: p, buf: s.parts[p]})
+			s.parts[p] = partBuf{}
+		}
+	}
+	return out
+}
+
+type sealedPart struct {
+	partition int
+	buf       partBuf
+}
+
+// Wire format of a data message: u32 partition | u8 flags | records.
+const (
+	flagReverse = 1 << 0
+)
+
+func encodePayload(partition int, reverse bool, records []byte) []byte {
+	out := make([]byte, 5+len(records))
+	binary.BigEndian.PutUint32(out, uint32(partition))
+	if reverse {
+		out[4] = flagReverse
+	}
+	copy(out[5:], records)
+	return out
+}
+
+func decodePayload(b []byte) (partition int, reverse bool, records []byte, err error) {
+	if len(b) < 5 {
+		return 0, false, nil, fmt.Errorf("core: data payload %d bytes", len(b))
+	}
+	return int(binary.BigEndian.Uint32(b)), b[4]&flagReverse != 0, b[5:], nil
+}
+
+// prepareRecords sorts and combines a sealed buffer's raw records according
+// to the config. It returns the (possibly re-encoded) record bytes and the
+// resulting record count.
+func prepareRecords(cfg *Config, raw []byte, nrec int64) ([]byte, int64, error) {
+	if !cfg.sorted() && cfg.Combine == nil {
+		return raw, nrec, nil
+	}
+	recs, err := kv.DecodeAll(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	cmp := cfg.Compare
+	if cmp == nil {
+		cmp = kv.DefaultCompare
+	}
+	if cfg.sorted() || cfg.Combine != nil {
+		kv.SortRecords(recs, cmp)
+	}
+	if cfg.Combine != nil {
+		recs = kv.ApplyCombine(recs, cmp, cfg.Combine)
+	}
+	out := make([]byte, 0, len(raw))
+	for _, r := range recs {
+		out = kv.AppendRecord(out, r)
+	}
+	return out, int64(len(recs)), nil
+}

@@ -1,0 +1,174 @@
+// Package core implements the DataMPI runtime: the paper's bipartite
+// communication model (§II), the minimalistic MPI extension of Tables I
+// and II (§III), and the library design of §IV — the mpidrun launcher and
+// scheduler with data-centric task placement, the O-side shuffle pipeline,
+// Partition-List buffer management with a Partition Window, spill-over to
+// disk, the four communication modes (Common, MapReduce, Iteration,
+// Streaming), and the key-value library-level checkpoint for fault
+// tolerance.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"datampi/internal/kv"
+)
+
+// Mode selects the communication mode, the paper's "Diversified" feature
+// (§II-A): each mode is a profile of configurations over the shared core.
+type Mode int
+
+// The four modes defined by the paper (§III-A).
+const (
+	// Common supports SPMD-style programming like traditional MPI programs.
+	Common Mode = iota
+	// MapReduce supports MPMD-style MapReduce applications; intermediate
+	// data is sorted by key.
+	MapReduce
+	// Iteration supports iterative computation; communication is
+	// bi-directional (O->A and A->O) across rounds.
+	Iteration
+	// Streaming processes real-time data streams; O and A tasks run
+	// concurrently and data is not sorted.
+	Streaming
+)
+
+// String returns the mode's name.
+func (m Mode) String() string {
+	switch m {
+	case Common:
+		return "Common"
+	case MapReduce:
+		return "MapReduce"
+	case Iteration:
+		return "Iteration"
+	case Streaming:
+		return "Streaming"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config is the conf parameter of MPI_D_Init: the reserved keys of the
+// specification plus the tunables of the library implementation. The zero
+// value is usable; Normalize fills defaults.
+type Config struct {
+	// KeyCodec / ValueCodec are the paper's KEY_CLASS / VALUE_CLASS
+	// reserved configuration keys. Defaults: kv.String / kv.String.
+	KeyCodec   kv.Codec
+	ValueCodec kv.Codec
+
+	// Compare is MPI_D_COMPARE (Table II). Nil selects the default
+	// raw-byte comparator in sorted modes.
+	Compare kv.Compare
+	// GroupCompare, if set, controls how NextGroup coalesces keys into
+	// reduce groups independently of the sort order — Hadoop's grouping
+	// comparator, enabling the secondary-sort pattern (sort by a composite
+	// key, group by its primary part). Nil groups by Compare equality.
+	GroupCompare kv.Compare
+	// Partition is MPI_D_PARTITION (Table II). Nil selects hash-modulo.
+	Partition kv.Partition
+	// Combine is MPI_D_COMBINE (Table II). Nil disables combining.
+	Combine kv.Combine
+
+	// Sorted overrides the mode's sorting default when non-nil
+	// (MapReduce/Common/Iteration sort; Streaming does not).
+	Sorted *bool
+
+	// SPLBytes is the send-partition-list flush threshold per (task,
+	// destination) buffer: when a partition buffer exceeds it, the buffer
+	// is sealed and handed to the communication thread. Default 64 KiB.
+	SPLBytes int
+
+	// MemCacheBytes bounds the intermediate data a process caches in
+	// memory (the paper's Fig. 12 spill-over knob). Beyond it, received
+	// runs are merged and spilled to disk. <= 0 means unlimited.
+	MemCacheBytes int64
+
+	// FlushInterval bounds buffering delay in Streaming mode: non-empty
+	// partition buffers are flushed at least this often. Default 5 ms.
+	FlushInterval time.Duration
+
+	// FaultTolerance enables the key-value library-level checkpoint
+	// (§IV-E). CheckpointDir must be set (stable across restarts).
+	FaultTolerance bool
+	CheckpointDir  string
+	// CheckpointRecords is the checkpoint-round length: after this many
+	// emitted records a task drains its partition buffers and commits a
+	// chunk ("each task makes the checkpoint separately after a round of
+	// data exchanging", Fig. 7). Default 4096.
+	CheckpointRecords int64
+
+	// DataCentric schedules every A task onto the process already holding
+	// its partition (§IV-B). Default true; set DataCentricOff for the
+	// ablation, which schedules A tasks round-robin and fetches partition
+	// data remotely.
+	DataCentricOff bool
+
+	// OSidePipelineOff disables the O-side shuffle pipeline ablation
+	// (§IV-C): sealed buffers are sent synchronously by the task instead
+	// of overlapping with computation via the communication thread.
+	OSidePipelineOff bool
+
+	// InjectFailAfterRecords, when > 0, aborts the whole job with
+	// ErrInjectedFailure once that many records have been sent in total —
+	// the paper's "kill the job intentionally" fault-tolerance experiment.
+	// How much of that data was already durably checkpointed at the crash
+	// is timing-dependent, as with a real kill.
+	InjectFailAfterRecords int64
+
+	// InjectFailAfterCPRecords, when > 0, aborts the job once that many
+	// records have been durably checkpointed — the controlled variant used
+	// to reproduce Fig. 13(a), where the job is killed "when DataMPI has
+	// persisted different sizes of checkpoints".
+	InjectFailAfterCPRecords int64
+
+	// Extra carries user-defined configuration, as MPI_D_Init's conf
+	// parameter allows for advanced users.
+	Extra map[string]string
+}
+
+// ErrInjectedFailure is returned by Runtime.Run when the configured fault
+// injection fires.
+var ErrInjectedFailure = errors.New("core: injected failure")
+
+// Normalize fills defaults in place and validates the configuration for
+// the given mode.
+func (c *Config) Normalize(mode Mode) error {
+	if c.KeyCodec == nil {
+		c.KeyCodec = kv.String
+	}
+	if c.ValueCodec == nil {
+		c.ValueCodec = kv.String
+	}
+	if c.Partition == nil {
+		c.Partition = kv.DefaultPartition
+	}
+	if c.SPLBytes <= 0 {
+		c.SPLBytes = 64 << 10
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 5 * time.Millisecond
+	}
+	if c.Sorted == nil {
+		s := mode != Streaming
+		c.Sorted = &s
+	}
+	if *c.Sorted && c.Compare == nil {
+		c.Compare = kv.DefaultCompare
+	}
+	if c.CheckpointRecords <= 0 {
+		c.CheckpointRecords = 4096
+	}
+	if c.FaultTolerance && c.CheckpointDir == "" {
+		return errors.New("core: FaultTolerance requires CheckpointDir")
+	}
+	if c.FaultTolerance && mode == Streaming {
+		return errors.New("core: checkpointing is not supported in Streaming mode")
+	}
+	return nil
+}
+
+// sorted reports whether intermediate data is sorted under this config.
+func (c *Config) sorted() bool { return c.Sorted != nil && *c.Sorted }

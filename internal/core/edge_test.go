@@ -1,0 +1,228 @@
+package core
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"datampi/internal/kv"
+)
+
+func TestEmptyJobNoSends(t *testing.T) {
+	// O tasks that emit nothing: A tasks see clean end-of-data immediately.
+	var aRan atomic.Int32
+	job := &Job{
+		Mode: MapReduce,
+		NumO: 3, NumA: 2, Procs: 2,
+		OTask: func(ctx *Context) error { return nil },
+		ATask: func(ctx *Context) error {
+			aRan.Add(1)
+			for {
+				_, _, ok, err := ctx.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				t.Error("received a record from a silent O side")
+			}
+		},
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aRan.Load() != 2 {
+		t.Errorf("%d A tasks ran, want 2", aRan.Load())
+	}
+	if res.RecordsSent != 0 || res.BytesShuffled != 0 {
+		t.Errorf("counters on empty job: %+v", res)
+	}
+}
+
+func TestRecvAfterEndStaysEnded(t *testing.T) {
+	job := &Job{
+		Mode: MapReduce,
+		NumO: 1, NumA: 1, Procs: 1,
+		OTask: func(ctx *Context) error { return ctx.Send("only", "one") },
+		ATask: func(ctx *Context) error {
+			n := 0
+			for {
+				_, _, ok, err := ctx.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				n++
+			}
+			// Further Recv calls must keep reporting end-of-data.
+			for i := 0; i < 3; i++ {
+				if _, _, ok, err := ctx.Recv(); err != nil || ok {
+					t.Errorf("Recv after end: ok=%v err=%v", ok, err)
+				}
+			}
+			if n != 1 {
+				t.Errorf("received %d records", n)
+			}
+			return nil
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRecords(t *testing.T) {
+	// Multi-megabyte values (much larger than SPLBytes) must flow intact.
+	const valSize = 3 << 20
+	want := bytes.Repeat([]byte{0xA7}, valSize)
+	var got atomic.Int32
+	job := &Job{
+		Mode: MapReduce,
+		Conf: Config{KeyCodec: kv.Bytes, ValueCodec: kv.Bytes, SPLBytes: 4 << 10},
+		NumO: 2, NumA: 2, Procs: 2,
+		OTask: func(ctx *Context) error {
+			return ctx.SendRecord(kv.Record{
+				Key:   []byte{byte(ctx.Rank())},
+				Value: want,
+			})
+		},
+		ATask: func(ctx *Context) error {
+			for {
+				rec, ok, err := ctx.RecvRecord()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if !bytes.Equal(rec.Value, want) {
+					t.Error("large value corrupted")
+				}
+				got.Add(1)
+			}
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 2 {
+		t.Errorf("received %d large records, want 2", got.Load())
+	}
+}
+
+func TestZeroLengthKeysAndValues(t *testing.T) {
+	var got atomic.Int32
+	job := &Job{
+		Mode: MapReduce,
+		Conf: Config{KeyCodec: kv.Bytes, ValueCodec: kv.Bytes},
+		NumO: 1, NumA: 1, Procs: 1,
+		OTask: func(ctx *Context) error {
+			for i := 0; i < 10; i++ {
+				if err := ctx.SendRecord(kv.Record{}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *Context) error {
+			for {
+				rec, ok, err := ctx.RecvRecord()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if len(rec.Key) != 0 || len(rec.Value) != 0 {
+					t.Errorf("expected empty record, got %v", rec)
+				}
+				got.Add(1)
+			}
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 10 {
+		t.Errorf("received %d empty records, want 10", got.Load())
+	}
+}
+
+func TestManyProcsFewTasks(t *testing.T) {
+	// More processes than tasks: idle processes must not wedge the barrier
+	// or end-marker protocol.
+	var out collector
+	job := wordCountJob([][]string{{"a", "b", "a"}}, 1, 6, &out)
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, &out, map[string]int64{"a": 2, "b": 1})
+}
+
+func TestReusedConfigAcrossRuns(t *testing.T) {
+	// The same Job value must be runnable twice (Normalize idempotent;
+	// fresh runtime state each Run).
+	var out1 collector
+	job := wordCountJob(testDocs, 2, 2, &out1)
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, &out1, wantCounts(testDocs))
+	out1.mu.Lock()
+	out1.recs = nil
+	out1.mu.Unlock()
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, &out1, wantCounts(testDocs))
+}
+
+func TestMemCacheWithoutDisksRejected(t *testing.T) {
+	var out collector
+	job := wordCountJob(testDocs, 1, 1, &out)
+	job.Conf.MemCacheBytes = 1024
+	if _, err := Run(job); err == nil {
+		t.Error("MemCacheBytes without SpillDisks accepted")
+	}
+}
+
+func TestSlotsLimitConcurrency(t *testing.T) {
+	// The Dynamic feature: with Slots=1, at most one O task runs per
+	// process at any moment.
+	const procs = 2
+	var running, maxRunning atomic.Int32
+	job := &Job{
+		Mode: MapReduce,
+		NumO: 8, NumA: 2, Procs: procs, Slots: 1,
+		OTask: func(ctx *Context) error {
+			cur := running.Add(1)
+			for {
+				m := maxRunning.Load()
+				if cur <= m || maxRunning.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			defer running.Add(-1)
+			return ctx.Send("k", "v")
+		},
+		ATask: func(ctx *Context) error {
+			for {
+				if _, _, ok, err := ctx.Recv(); err != nil {
+					return err
+				} else if !ok {
+					return nil
+				}
+			}
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if m := maxRunning.Load(); m > procs {
+		t.Errorf("max concurrent O tasks %d exceeds procs*slots %d", m, procs)
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"datampi/internal/kv"
+)
+
+// mergeState is one (round, direction)'s Receive Partition List: the sorted
+// runs received for each partition this process owns, in memory up to the
+// configured cache size and on disk beyond it (§IV-D). It becomes
+// "finalized" once an end marker has arrived from every process.
+type mergeState struct {
+	p   *process
+	key mergeKey
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	parts     map[int]*partRuns
+	memBytes  int64
+	ends      int
+	finalized bool
+	spillSeq  int
+}
+
+type partRuns struct {
+	memRuns  [][]byte
+	memBytes int64
+	diskRuns []string
+}
+
+func newMergeState(p *process, key mergeKey) *mergeState {
+	ms := &mergeState{p: p, key: key, parts: make(map[int]*partRuns)}
+	ms.cond = sync.NewCond(&ms.mu)
+	return ms
+}
+
+func (ms *mergeState) part(partition int) *partRuns {
+	pr := ms.parts[partition]
+	if pr == nil {
+		pr = &partRuns{}
+		ms.parts[partition] = pr
+	}
+	return pr
+}
+
+// addRun appends one received run to a partition and spills if the memory
+// cache threshold is exceeded.
+func (ms *mergeState) addRun(partition int, records []byte) error {
+	cfg := &ms.p.rt.job.Conf
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	pr := ms.part(partition)
+	pr.memRuns = append(pr.memRuns, records)
+	pr.memBytes += int64(len(records))
+	ms.memBytes += int64(len(records))
+	if ms.p.rt.job.Mem != nil {
+		ms.p.rt.job.Mem.Add(int64(len(records)))
+	}
+	if cfg.MemCacheBytes > 0 && ms.p.rt.job.SpillDisks != nil {
+		for ms.memBytes > cfg.MemCacheBytes {
+			if err := ms.spillLargestLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// spillLargestLocked merges the largest partition's in-memory runs into one
+// sorted disk run. Caller holds ms.mu.
+func (ms *mergeState) spillLargestLocked() error {
+	var victim int
+	var vb int64 = 0
+	for p, pr := range ms.parts {
+		if pr.memBytes > vb {
+			victim, vb = p, pr.memBytes
+		}
+	}
+	if vb == 0 {
+		return nil // nothing spillable; allow overshoot
+	}
+	pr := ms.parts[victim]
+	disk := ms.p.rt.job.SpillDisks[ms.p.idx]
+	rel := fmt.Sprintf("dmpi-spill/run%d/r%d_rev%v_p%d_%d",
+		ms.p.rt.id, ms.key.round, ms.key.reverse, victim, ms.spillSeq)
+	ms.spillSeq++
+	f, err := disk.Create(rel)
+	if err != nil {
+		return err
+	}
+	w := kv.NewWriter(f)
+	it, err := ms.p.rt.iteratorOverRuns(pr.memRuns, nil)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	freed := pr.memBytes
+	pr.memRuns = nil
+	pr.memBytes = 0
+	pr.diskRuns = append(pr.diskRuns, rel)
+	ms.memBytes -= freed
+	if ms.p.rt.job.Mem != nil {
+		ms.p.rt.job.Mem.Add(-freed)
+	}
+	ms.p.rt.spilledBytes.Add(freed)
+	return nil
+}
+
+// end records one process's end marker; it returns true when the state
+// just became finalized.
+func (ms *mergeState) end(total int) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.ends++
+	if ms.ends == total && !ms.finalized {
+		ms.finalized = true
+		ms.cond.Broadcast()
+		return true
+	}
+	return false
+}
+
+// waitFinalized blocks until every process's end marker arrived (or the
+// job aborted).
+func (ms *mergeState) waitFinalized() error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for !ms.finalized {
+		if err := ms.p.rt.err(); err != nil {
+			return err
+		}
+		ms.cond.Wait()
+	}
+	return nil
+}
+
+// wake unblocks waiters after an abort.
+func (ms *mergeState) wake() {
+	ms.mu.Lock()
+	ms.cond.Broadcast()
+	ms.mu.Unlock()
+}
+
+// iterator waits for finalization and returns an iterator over one
+// partition's records (globally sorted in sorted modes).
+func (ms *mergeState) iterator(partition int) (kv.Iterator, error) {
+	if err := ms.waitFinalized(); err != nil {
+		return nil, err
+	}
+	ms.mu.Lock()
+	pr := ms.parts[partition]
+	var memRuns [][]byte
+	var diskRuns []string
+	if pr != nil {
+		memRuns = pr.memRuns
+		diskRuns = pr.diskRuns
+	}
+	ms.mu.Unlock()
+	return ms.p.rt.iteratorOverRunsDisk(memRuns, diskRuns, ms.p.idx)
+}
+
+// serializeRuns flattens a partition's runs (memory and disk) into one
+// blob for a remote fetch: u32 count | (u32 len | bytes)*.
+func (ms *mergeState) serializeRuns(partition int) ([]byte, error) {
+	ms.mu.Lock()
+	pr := ms.parts[partition]
+	var memRuns [][]byte
+	var diskRuns []string
+	if pr != nil {
+		memRuns = append([][]byte(nil), pr.memRuns...)
+		diskRuns = append([]string(nil), pr.diskRuns...)
+	}
+	ms.mu.Unlock()
+	runs := memRuns
+	for _, rel := range diskRuns {
+		disk := ms.p.rt.job.SpillDisks[ms.p.idx]
+		f, err := disk.Open(rel)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, data)
+	}
+	var total int
+	for _, r := range runs {
+		total += 4 + len(r)
+	}
+	blob := make([]byte, 4, 4+total)
+	binary.BigEndian.PutUint32(blob, uint32(len(runs)))
+	for _, r := range runs {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(r)))
+		blob = append(blob, l[:]...)
+		blob = append(blob, r...)
+	}
+	return blob, nil
+}
+
+// release frees a consumed partition's memory and spill files.
+func (ms *mergeState) release(partition int) {
+	ms.mu.Lock()
+	pr := ms.parts[partition]
+	if pr == nil {
+		ms.mu.Unlock()
+		return
+	}
+	freed := pr.memBytes
+	disk := ms.p.rt.job.SpillDisks
+	files := pr.diskRuns
+	ms.memBytes -= freed
+	delete(ms.parts, partition)
+	ms.mu.Unlock()
+	if ms.p.rt.job.Mem != nil {
+		ms.p.rt.job.Mem.Add(-freed)
+	}
+	if disk != nil {
+		for _, rel := range files {
+			_ = disk[ms.p.idx].Remove(rel)
+		}
+	}
+}

@@ -1,0 +1,504 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"datampi/internal/kv"
+)
+
+func TestStreamingDeliversAll(t *testing.T) {
+	const numO, numA, perTask = 3, 2, 100
+	var delivered atomic.Int64
+	var perA [numA]atomic.Int64
+	job := &Job{
+		Mode: Streaming,
+		NumO: numO, NumA: numA, Procs: 2, Slots: 4,
+		OTask: func(ctx *Context) error {
+			for i := 0; i < perTask; i++ {
+				if err := ctx.Send(fmt.Sprintf("e%d-%d", ctx.Rank(), i), "payload"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *Context) error {
+			for {
+				_, _, ok, err := ctx.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				delivered.Add(1)
+				perA[ctx.Rank()].Add(1)
+			}
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if delivered.Load() != numO*perTask {
+		t.Errorf("delivered %d, want %d", delivered.Load(), numO*perTask)
+	}
+	for a := range perA {
+		if perA[a].Load() == 0 {
+			t.Errorf("A task %d received nothing", a)
+		}
+	}
+}
+
+func TestStreamingValidation(t *testing.T) {
+	noop := func(ctx *Context) error { return nil }
+	if _, err := Run(&Job{
+		Mode: Streaming, NumO: 1, NumA: 5, Procs: 2, Slots: 1,
+		OTask: noop, ATask: noop,
+	}); err == nil {
+		t.Error("Streaming with NumA > Procs*Slots accepted")
+	}
+	if _, err := Run(&Job{
+		Mode: Streaming, NumO: 1, NumA: 1, Procs: 1, Slots: 2,
+		OTask: noop, ATask: noop,
+		Conf: Config{DataCentricOff: true},
+	}); err == nil {
+		t.Error("Streaming without data-centric scheduling accepted")
+	}
+}
+
+func TestStreamingUnsortedNextGroupRejected(t *testing.T) {
+	errCh := make(chan error, 1)
+	job := &Job{
+		Mode: Streaming, NumO: 1, NumA: 1, Procs: 1, Slots: 2,
+		OTask: func(ctx *Context) error { return ctx.Send("k", "v") },
+		ATask: func(ctx *Context) error {
+			_, _, err := ctx.NextGroup()
+			errCh <- err
+			for {
+				if _, _, ok, err := ctx.Recv(); err != nil || !ok {
+					return err
+				}
+			}
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Error("NextGroup in unsorted mode should error")
+	}
+}
+
+func TestORecvOutsideIterationErrors(t *testing.T) {
+	errCh := make(chan error, 1)
+	job := &Job{
+		Mode: MapReduce, NumO: 1, NumA: 1, Procs: 1,
+		OTask: func(ctx *Context) error {
+			_, _, _, err := ctx.Recv()
+			errCh <- err
+			return ctx.Send("k", "v")
+		},
+		ATask: func(ctx *Context) error { return nil },
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; !errors.Is(err, ErrNotReceiver) {
+		t.Errorf("got %v, want ErrNotReceiver", err)
+	}
+}
+
+// intKeyPartition routes an int64 key k to partition k mod numDest, making
+// destinations addressable in the Iteration test.
+func intKeyPartition(key, _ []byte, numDest int) int {
+	v, err := kv.Int64.Decode(key)
+	if err != nil {
+		return 0
+	}
+	n := v.(int64) % int64(numDest)
+	if n < 0 {
+		n += int64(numDest)
+	}
+	return int(n)
+}
+
+func TestIterationBidirectional(t *testing.T) {
+	// Each O task holds x (initially rank+1). Every round it sends x to A
+	// task 0, which sums all values and feeds Σ back to every O task; the
+	// O tasks then set x = Σ + rank. Verify the recurrence after R rounds.
+	const numO, rounds = 4, 5
+	xs := make([]int64, numO)
+	var mu sync.Mutex
+	job := &Job{
+		Mode: Iteration,
+		Conf: Config{KeyCodec: kv.Int64, ValueCodec: kv.Int64, Partition: intKeyPartition},
+		NumO: numO, NumA: 1, Procs: 2, Slots: 2,
+		Rounds: rounds,
+		OTask: func(ctx *Context) error {
+			var x int64
+			if ctx.Round() == 0 {
+				x = int64(ctx.Rank() + 1)
+			} else {
+				// Consume the feedback from last round's A task.
+				var sum int64
+				n := 0
+				for {
+					_, v, ok, err := ctx.Recv()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						break
+					}
+					sum = v.(int64)
+					n++
+				}
+				if n != 1 {
+					return fmt.Errorf("O%d round %d: %d feedback records", ctx.Rank(), ctx.Round(), n)
+				}
+				x = sum + int64(ctx.Rank())
+			}
+			mu.Lock()
+			xs[ctx.Rank()] = x
+			mu.Unlock()
+			return ctx.Send(int64(0), x)
+		},
+		ATask: func(ctx *Context) error {
+			var sum int64
+			for {
+				_, v, ok, err := ctx.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				sum += v.(int64)
+			}
+			// Feed the sum back to every O task (bi-directional exchange).
+			for o := 0; o < ctx.CommSize(CommO); o++ {
+				if err := ctx.Send(int64(o), sum); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RoundTimes) != rounds {
+		t.Errorf("got %d round times, want %d", len(res.RoundTimes), rounds)
+	}
+	// Replay the recurrence sequentially.
+	want := make([]int64, numO)
+	for i := range want {
+		want[i] = int64(i + 1)
+	}
+	for r := 1; r < rounds; r++ {
+		var sum int64
+		for _, x := range want {
+			sum += x
+		}
+		for i := range want {
+			want[i] = sum + int64(i)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Errorf("x[%d] = %d, want %d", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestIterationStatePersistsAcrossRounds(t *testing.T) {
+	// ctx.Local must survive rounds: count invocations per task.
+	const rounds = 4
+	var final sync.Map
+	job := &Job{
+		Mode: Iteration,
+		NumO: 3, NumA: 2, Procs: 2, Rounds: rounds,
+		OTask: func(ctx *Context) error {
+			n, _ := ctx.Local.(int)
+			ctx.Local = n + 1
+			if ctx.Round() == rounds-1 {
+				final.Store(ctx.Rank(), n+1)
+			}
+			// Drain feedback (none is sent) and emit one record.
+			for {
+				if _, _, ok, err := ctx.Recv(); err != nil || !ok {
+					break
+				}
+			}
+			return ctx.Send(fmt.Sprintf("k%d", ctx.Rank()), "v")
+		},
+		ATask: func(ctx *Context) error {
+			for {
+				if _, _, ok, err := ctx.Recv(); err != nil {
+					return err
+				} else if !ok {
+					return nil
+				}
+			}
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		v, ok := final.Load(r)
+		if !ok || v.(int) != rounds {
+			t.Errorf("task %d ran %v rounds, want %d", r, v, rounds)
+		}
+	}
+}
+
+func TestCustomCompareDescending(t *testing.T) {
+	// MPI_D_COMPARE: a custom comparator must control the delivery order.
+	desc := func(a, b []byte) int { return -kv.DefaultCompare(a, b) }
+	var mu sync.Mutex
+	var got []string
+	job := &Job{
+		Mode: MapReduce,
+		Conf: Config{Compare: desc, Partition: func(_, _ []byte, _ int) int { return 0 }},
+		NumO: 3, NumA: 1, Procs: 2,
+		OTask: func(ctx *Context) error {
+			for i := 0; i < 10; i++ {
+				if err := ctx.Send(fmt.Sprintf("k%02d", ctx.Rank()*10+i), ""); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *Context) error {
+			for {
+				k, _, ok, err := ctx.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				got = append(got, k.(string))
+				mu.Unlock()
+			}
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("received %d keys", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] > got[i-1] {
+			t.Fatalf("not descending at %d: %s > %s", i, got[i], got[i-1])
+		}
+	}
+}
+
+func TestCustomCompareNumericKeys(t *testing.T) {
+	// Int64 keys under the default comparator must arrive in numeric order
+	// (the codec's order-preserving encoding), including negatives.
+	vals := []int64{5, -3, 99, 0, -100, 42, 7}
+	var mu sync.Mutex
+	var got []int64
+	job := &Job{
+		Mode: MapReduce,
+		Conf: Config{KeyCodec: kv.Int64, Partition: func(_, _ []byte, _ int) int { return 0 }},
+		NumO: 2, NumA: 1, Procs: 1,
+		OTask: func(ctx *Context) error {
+			for i := ctx.Rank(); i < len(vals); i += ctx.CommSize(CommO) {
+				if err := ctx.Send(vals[i], ""); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *Context) error {
+			for {
+				k, _, ok, err := ctx.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				got = append(got, k.(int64))
+				mu.Unlock()
+			}
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int64(nil), vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pos %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeepGoingStopsEarly(t *testing.T) {
+	const maxRounds = 10
+	var roundsRun atomic.Int64
+	job := &Job{
+		Mode: Iteration,
+		NumO: 2, NumA: 1, Procs: 1, Slots: 2,
+		Rounds: maxRounds,
+		KeepGoing: func(completed int) bool {
+			return completed < 2 // stop after round index 2
+		},
+		OTask: func(ctx *Context) error {
+			if ctx.Rank() == 0 {
+				roundsRun.Add(1)
+			}
+			for {
+				if _, _, ok, err := ctx.Recv(); err != nil || !ok {
+					break
+				}
+			}
+			return ctx.Send("k", "v")
+		},
+		ATask: func(ctx *Context) error {
+			for {
+				if _, _, ok, err := ctx.Recv(); err != nil {
+					return err
+				} else if !ok {
+					return nil
+				}
+			}
+		},
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RoundTimes) != 3 {
+		t.Errorf("ran %d rounds, want 3", len(res.RoundTimes))
+	}
+	if roundsRun.Load() != 3 {
+		t.Errorf("O task invoked %d times, want 3", roundsRun.Load())
+	}
+}
+
+func TestUserCounters(t *testing.T) {
+	job := &Job{
+		Mode: MapReduce,
+		NumO: 3, NumA: 2, Procs: 2,
+		OTask: func(ctx *Context) error {
+			for i := 0; i < 5; i++ {
+				ctx.AddCounter("emitted", 1)
+				if err := ctx.Send(fmt.Sprintf("k%d", i), "v"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *Context) error {
+			for {
+				_, _, ok, err := ctx.Recv()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				ctx.AddCounter("consumed", 1)
+			}
+		},
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters["emitted"] != 15 || res.Counters["consumed"] != 15 {
+		t.Errorf("counters: %v", res.Counters)
+	}
+}
+
+func TestSecondarySortWithGroupingComparator(t *testing.T) {
+	// The secondary-sort pattern: composite keys "user#seq" sorted fully,
+	// but grouped by the user prefix — each group's values arrive in seq
+	// order (Hadoop's setGroupingComparatorClass).
+	primary := func(k []byte) []byte {
+		for i, b := range k {
+			if b == '#' {
+				return k[:i]
+			}
+		}
+		return k
+	}
+	var mu sync.Mutex
+	groups := map[string][]string{}
+	job := &Job{
+		Mode: MapReduce,
+		Conf: Config{
+			GroupCompare: func(a, b []byte) int {
+				return kv.DefaultCompare(primary(a), primary(b))
+			},
+			Partition: func(key, _ []byte, numA int) int {
+				return kv.DefaultPartition(primary(key), nil, numA)
+			},
+		},
+		NumO: 3, NumA: 2, Procs: 2,
+		OTask: func(ctx *Context) error {
+			// Each task emits out-of-order sequence numbers per user.
+			for i := 9; i >= 0; i-- {
+				user := fmt.Sprintf("user%d", (i+ctx.Rank())%4)
+				key := fmt.Sprintf("%s#%d-%d", user, i, ctx.Rank())
+				if err := ctx.Send(key, fmt.Sprintf("%d-%d", i, ctx.Rank())); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *Context) error {
+			for {
+				g, ok, err := ctx.NextGroup()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				user := string(primary(g.Key))
+				mu.Lock()
+				for _, v := range g.Values {
+					groups[user] = append(groups[user], string(v))
+				}
+				mu.Unlock()
+			}
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups: %v", len(groups), groups)
+	}
+	total := 0
+	for user, vals := range groups {
+		total += len(vals)
+		if !sort.StringsAreSorted(vals) {
+			t.Errorf("group %s values not in sorted (seq) order: %v", user, vals)
+		}
+	}
+	if total != 30 {
+		t.Errorf("grouped %d values, want 30", total)
+	}
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"datampi/internal/kv"
+	"datampi/internal/mpi"
+)
+
+// Data-plane tags. End-of-phase markers travel in-band on tagData (with
+// the sentinel partition) so MPI's per-(source, tag) FIFO guarantees a
+// marker is processed only after every data message the source sent
+// before it.
+const (
+	tagData      = 100
+	tagFetchReq  = 102
+	tagFetchResp = 10000 // + partition
+)
+
+// endPartition is the sentinel partition id marking an end-of-phase
+// message.
+const endPartition = 0xFFFFFFF
+
+// process is one DataMPI worker process: it hosts scheduled tasks and runs
+// the O-side shuffle pipeline of §IV-C — the task goroutines compute and
+// hand sealed buffers to the communication thread (sender), which sorts,
+// combines, checkpoints and transmits them, while the receive side merges
+// incoming runs and spills past the memory-cache threshold.
+type process struct {
+	rt   *Runtime
+	idx  int
+	comm *mpi.Comm
+
+	sendQ chan qItem
+
+	// sendMu serializes processItem (the communication-thread work); it is
+	// uncontended when the pipeline is on (single sender goroutine) and
+	// protects the inline path when OSidePipelineOff.
+	sendMu sync.Mutex
+	cpws   map[int]*cpWriter
+
+	mu     sync.Mutex
+	merges map[mergeKey]*mergeState
+	ctxs   map[ctxKey]*Context // persistent contexts (Iteration mode)
+
+	streamMu sync.Mutex
+	streams  map[int]chan kv.Record
+
+	shutdownOnce sync.Once
+	wg           sync.WaitGroup
+}
+
+type qItem struct {
+	item  sendItem
+	round int
+	flush chan struct{} // flush marker: closed when the queue reaches it
+}
+
+type mergeKey struct {
+	round   int
+	reverse bool
+}
+
+type ctxKey struct {
+	task int
+	isO  bool
+}
+
+func newProcess(rt *Runtime, idx int, comm *mpi.Comm) *process {
+	p := &process{
+		rt:      rt,
+		idx:     idx,
+		comm:    comm,
+		sendQ:   make(chan qItem, 256),
+		cpws:    make(map[int]*cpWriter),
+		merges:  make(map[mergeKey]*mergeState),
+		ctxs:    make(map[ctxKey]*Context),
+		streams: make(map[int]chan kv.Record),
+	}
+	p.wg.Add(2)
+	go p.senderLoop()
+	go p.dataReceiver()
+	if rt.job.Conf.DataCentricOff {
+		p.wg.Add(1)
+		go p.fetchServer()
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Send path (communication thread)
+
+// submit hands a sealed buffer to the communication thread; with the
+// O-side pipeline disabled (ablation) it transmits synchronously instead.
+func (p *process) submit(item sendItem, round int) error {
+	if p.rt.job.Conf.OSidePipelineOff {
+		return p.processItem(item, round)
+	}
+	select {
+	case p.sendQ <- qItem{item: item, round: round}:
+		return nil
+	case <-p.rt.aborted:
+		return p.rt.err()
+	}
+}
+
+// flushQueue blocks until every item submitted before it has been sent.
+func (p *process) flushQueue() error {
+	if p.rt.job.Conf.OSidePipelineOff {
+		return nil
+	}
+	fl := make(chan struct{})
+	select {
+	case p.sendQ <- qItem{flush: fl}:
+	case <-p.rt.aborted:
+		return p.rt.err()
+	}
+	select {
+	case <-fl:
+		return nil
+	case <-p.rt.aborted:
+		return p.rt.err()
+	}
+}
+
+func (p *process) senderLoop() {
+	defer p.wg.Done()
+	for {
+		var qi qItem
+		var ok bool
+		select {
+		case qi, ok = <-p.sendQ:
+			if !ok {
+				return
+			}
+		case <-p.rt.aborted:
+			return
+		}
+		if qi.flush != nil {
+			close(qi.flush)
+			continue
+		}
+		if err := p.processItem(qi.item, qi.round); err != nil {
+			p.rt.fail(err)
+			return
+		}
+	}
+}
+
+// processItem sorts/combines a sealed buffer, checkpoints it if fault
+// tolerance is on, and transmits it to the partition's owner process.
+func (p *process) processItem(item sendItem, round int) error {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	cfg := &p.rt.job.Conf
+	if item.cpSeal {
+		w := p.cpws[item.task]
+		if w == nil {
+			return nil
+		}
+		n := w.records
+		if err := w.seal(); err != nil {
+			return err
+		}
+		if fa := cfg.InjectFailAfterCPRecords; fa > 0 && n > 0 {
+			if p.rt.cpDurable.Add(n) >= fa {
+				p.rt.fail(ErrInjectedFailure)
+				return ErrInjectedFailure
+			}
+		}
+		return nil
+	}
+	data, nrec := item.data, item.records
+	if !item.prepared {
+		var err error
+		var done func()
+		if p.rt.job.Busy != nil {
+			done = p.rt.job.Busy.Track()
+		}
+		data, nrec, err = prepareRecords(cfg, data, nrec)
+		if done != nil {
+			done()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	payload := encodePayload(item.partition, item.reverse, data)
+	if cfg.FaultTolerance && !item.noCheckpoint && !item.reverse {
+		w := p.cpws[item.task]
+		if w == nil {
+			w = newCPWriter(cfg.CheckpointDir, item.task)
+			w.seq = p.rt.cpStartSeq(item.task)
+			p.cpws[item.task] = w
+		}
+		if err := w.append(payload, nrec); err != nil {
+			return err
+		}
+	}
+	var dst int
+	if item.reverse {
+		dst = p.rt.procOfOTask(item.partition)
+	} else {
+		dst = p.rt.ownerProc(item.partition)
+	}
+	wire := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(wire, uint32(round))
+	copy(wire[4:], payload)
+	if err := p.comm.Send(dst, tagData, wire); err != nil {
+		return err
+	}
+	if p.rt.job.Mem != nil {
+		p.rt.job.Mem.Add(-int64(len(item.data)))
+	}
+	p.rt.bytesShuffled.Add(int64(len(data)))
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Receive path (merge thread)
+
+func (p *process) dataReceiver() {
+	defer p.wg.Done()
+	streaming := p.rt.job.Mode == Streaming
+	for {
+		wire, _, err := p.comm.Recv(mpi.AnySource, tagData)
+		if err != nil {
+			return // world closed
+		}
+		if len(wire) < 4 {
+			p.rt.fail(fmt.Errorf("core: short data message (%d bytes)", len(wire)))
+			return
+		}
+		round := int(binary.BigEndian.Uint32(wire))
+		partition, reverse, records, err := decodePayload(wire[4:])
+		if err != nil {
+			p.rt.fail(err)
+			return
+		}
+		if partition == endPartition {
+			ms := p.merge(mergeKey{round: round, reverse: reverse})
+			if ms.end(p.comm.Size()) && p.rt.job.Mode == Streaming && !reverse {
+				p.closeStreams()
+			}
+			continue
+		}
+		if streaming && !reverse {
+			if err := p.streamDeliver(partition, records); err != nil {
+				p.rt.fail(err)
+				return
+			}
+			continue
+		}
+		ms := p.merge(mergeKey{round: round, reverse: reverse})
+		if err := ms.addRun(partition, records); err != nil {
+			p.rt.fail(err)
+			return
+		}
+	}
+}
+
+// merge returns (creating if needed) the merge state for a key.
+func (p *process) merge(k mergeKey) *mergeState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ms := p.merges[k]
+	if ms == nil {
+		ms = newMergeState(p, k)
+		p.merges[k] = ms
+	}
+	return ms
+}
+
+// dropMerge releases a consumed partition's memory after an A task is done.
+func (p *process) dropMerge(k mergeKey, partition int) {
+	p.mu.Lock()
+	ms := p.merges[k]
+	p.mu.Unlock()
+	if ms != nil {
+		ms.release(partition)
+	}
+}
+
+// sendEndMarkers tells every process that this process will send no more
+// data for (round, reverse). Markers ride tagData after all data messages,
+// so FIFO ordering makes them trailing by construction.
+func (p *process) sendEndMarkers(round int, reverse bool) error {
+	wire := make([]byte, 4)
+	binary.BigEndian.PutUint32(wire, uint32(round))
+	wire = append(wire, encodePayload(endPartition, reverse, nil)...)
+	for dst := 0; dst < p.comm.Size(); dst++ {
+		if err := p.comm.Send(dst, tagData, wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming delivery
+
+func (p *process) streamChan(partition int) chan kv.Record {
+	p.streamMu.Lock()
+	defer p.streamMu.Unlock()
+	ch := p.streams[partition]
+	if ch == nil {
+		ch = make(chan kv.Record, 4096)
+		p.streams[partition] = ch
+	}
+	return ch
+}
+
+func (p *process) streamDeliver(partition int, records []byte) error {
+	ch := p.streamChan(partition)
+	recs, err := kv.DecodeAll(records)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		// Copy out of the message buffer: consumers outlive it.
+		rec := kv.Record{
+			Key:   append([]byte(nil), r.Key...),
+			Value: append([]byte(nil), r.Value...),
+		}
+		select {
+		case ch <- rec:
+		case <-p.rt.aborted:
+			return p.rt.err()
+		}
+	}
+	return nil
+}
+
+func (p *process) closeStreams() {
+	p.streamMu.Lock()
+	defer p.streamMu.Unlock()
+	for _, ch := range p.streams {
+		close(ch)
+	}
+	p.streams = map[int]chan kv.Record{}
+}
+
+// ---------------------------------------------------------------------------
+// Remote partition fetch (data-centric scheduling ablation)
+
+func (p *process) fetchServer() {
+	defer p.wg.Done()
+	for {
+		req, st, err := p.comm.Recv(mpi.AnySource, tagFetchReq)
+		if err != nil {
+			return
+		}
+		if len(req) < 9 {
+			p.rt.fail(errors.New("core: short fetch request"))
+			return
+		}
+		round := int(binary.BigEndian.Uint32(req))
+		partition := int(binary.BigEndian.Uint32(req[4:]))
+		reverse := req[8] != 0
+		p.wg.Add(1)
+		go func(src int) {
+			defer p.wg.Done()
+			ms := p.merge(mergeKey{round: round, reverse: reverse})
+			if err := ms.waitFinalized(); err != nil {
+				return
+			}
+			blob, err := ms.serializeRuns(partition)
+			if err != nil {
+				p.rt.fail(err)
+				return
+			}
+			if err := p.comm.Send(src, tagFetchResp+partition, blob); err != nil {
+				p.rt.fail(err)
+			}
+		}(st.Source)
+	}
+}
+
+// fetchPartition pulls a remote partition's runs from its owner.
+func (p *process) fetchPartition(round, partition int, reverse bool, owner int) (kv.Iterator, error) {
+	req := make([]byte, 9)
+	binary.BigEndian.PutUint32(req, uint32(round))
+	binary.BigEndian.PutUint32(req[4:], uint32(partition))
+	if reverse {
+		req[8] = 1
+	}
+	if err := p.comm.Send(owner, tagFetchReq, req); err != nil {
+		return nil, err
+	}
+	blob, _, err := p.comm.Recv(owner, tagFetchResp+partition)
+	if err != nil {
+		return nil, err
+	}
+	runs, err := deserializeRuns(blob)
+	if err != nil {
+		return nil, err
+	}
+	return p.rt.iteratorOverRuns(runs, nil)
+}
+
+func deserializeRuns(blob []byte) ([][]byte, error) {
+	if len(blob) < 4 {
+		return nil, errors.New("core: short fetch response")
+	}
+	n := int(binary.BigEndian.Uint32(blob))
+	blob = blob[4:]
+	runs := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(blob) < 4 {
+			return nil, errors.New("core: truncated fetch response")
+		}
+		l := int(binary.BigEndian.Uint32(blob))
+		blob = blob[4:]
+		if len(blob) < l {
+			return nil, errors.New("core: truncated fetch run")
+		}
+		runs = append(runs, blob[:l])
+		blob = blob[l:]
+	}
+	return runs, nil
+}
+
+// shutdown stops the sender; receivers exit when the world closes.
+func (p *process) shutdown() {
+	p.shutdownOnce.Do(func() { close(p.sendQ) })
+}
+
+// quiesce waits for every process goroutine to exit, then closes any
+// checkpoint file handle left open by an abort (the on-disk .tmp chunk
+// stays, as a real crash would leave it; recovery ignores it).
+func (p *process) quiesce() {
+	p.wg.Wait()
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	for _, w := range p.cpws {
+		if w.f != nil {
+			w.f.Close()
+			w.f = nil
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"datampi/internal/mpi"
+)
+
+// Control-plane protocol between mpidrun and the worker processes, carried
+// over the parent/child intercommunicator (§IV-B, Fig. 4): mpidrun
+// schedules tasks onto processes and the processes report completion
+// events back.
+const (
+	tagCtrl  = 1
+	tagEvent = 2
+)
+
+// ctrlMsg is a command from mpidrun to one worker process.
+type ctrlMsg struct {
+	Type  string   `json:"type"` // runO runA endO endRev reload shutdown
+	Task  int      `json:"task,omitempty"`
+	Round int      `json:"round"`
+	Skip  int64    `json:"skip,omitempty"`  // records covered by checkpoints
+	Paths []string `json:"paths,omitempty"` // checkpoint chunks to reload
+}
+
+// eventMsg is a report from a worker process to mpidrun.
+type eventMsg struct {
+	Type    string `json:"type"` // oDone aDone reloadDone bye error
+	Task    int    `json:"task,omitempty"`
+	Proc    int    `json:"proc"`
+	Round   int    `json:"round"`
+	Records int64  `json:"records,omitempty"`
+	Err     string `json:"err,omitempty"`
+	// Counters carries the task's user-counter deltas since its last
+	// report (Context.AddCounter).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+func sendCtrl(ic *mpi.Intercomm, dst int, m ctrlMsg) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return ic.Send(dst, tagCtrl, b)
+}
+
+func sendEvent(ic *mpi.Intercomm, m eventMsg) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return ic.Send(0, tagEvent, b)
+}
+
+func recvCtrl(ic *mpi.Intercomm) (ctrlMsg, error) {
+	b, _, err := ic.Recv(0, tagCtrl)
+	if err != nil {
+		return ctrlMsg{}, err
+	}
+	var m ctrlMsg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return ctrlMsg{}, fmt.Errorf("core: bad ctrl message: %w", err)
+	}
+	return m, nil
+}
+
+func recvEvent(ic *mpi.Intercomm) (eventMsg, error) {
+	b, _, err := ic.Recv(mpi.AnySource, tagEvent)
+	if err != nil {
+		return eventMsg{}, err
+	}
+	var m eventMsg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return eventMsg{}, fmt.Errorf("core: bad event message: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,639 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datampi/internal/hdfs"
+	"datampi/internal/mpi"
+	"datampi/internal/netsim"
+)
+
+// Runtime is one job's mpidrun instance: it spawns the DataMPI worker
+// processes, connects to them with an intercommunicator, and schedules O
+// and A tasks onto them — supporting all 4D features of the bipartite
+// model (§IV-B): Dichotomic (two task queues), Dynamic (tasks launched as
+// slots free up), Data-centric (A tasks placed on the process holding
+// their partition; O tasks placed by input locality), and Diversified
+// (the -M mode switch).
+type Runtime struct {
+	job  *Job
+	rcfg runCfg
+	id   int64
+
+	world     *mpi.World
+	masterIC  *mpi.Intercomm
+	workerICs []*mpi.Intercomm
+	procs     []*process
+
+	aborted  chan struct{}
+	wg       sync.WaitGroup
+	failOnce sync.Once
+	failMu   sync.Mutex
+	failErr  error
+
+	sent          atomic.Int64
+	cpDurable     atomic.Int64
+	bytesShuffled atomic.Int64
+	spilledBytes  atomic.Int64
+
+	assignMu sync.Mutex
+	assignO  []int
+	assignA  []int
+	prefProc []int
+
+	cpSeq      map[int]int
+	skipByTask map[int]int64
+
+	res Result
+}
+
+var runtimeIDs atomic.Int64
+
+// Result reports what a job run did.
+type Result struct {
+	// Elapsed is the total wall time of Run; ReloadTime and SetupTime are
+	// the checkpoint-reload and process-launch portions (Fig. 13a's "Job
+	// Reload Checkpoint" and "Job Restart" bars).
+	Elapsed    time.Duration
+	SetupTime  time.Duration
+	ReloadTime time.Duration
+	// RoundTimes has one entry per Iteration round (one entry total in
+	// other modes); OPhaseTimes/APhaseTimes split each round at the point
+	// every O task had completed (the paper's map/reduce phase split).
+	RoundTimes  []time.Duration
+	OPhaseTimes []time.Duration
+	APhaseTimes []time.Duration
+
+	// OTaskSent[t] / ATaskReceived[t] are cumulative per-task record
+	// counters, useful for diagnosing partitioning skew.
+	OTaskSent     []int64
+	ATaskReceived []int64
+
+	// Counters aggregates the user counters every task incremented with
+	// Context.AddCounter (the Hadoop job-counters analogue).
+	Counters map[string]int64
+
+	RecordsSent     int64
+	RecordsReloaded int64
+	BytesShuffled   int64
+	SpilledBytes    int64
+
+	// Task placement statistics (data-centric scheduling).
+	LocalATasks, RemoteATasks   int
+	LocalOTasks, NonLocalOTasks int
+}
+
+type runCfg struct {
+	tcp  bool
+	link *netsim.Link
+}
+
+// RunOption configures transport choices for a run.
+type RunOption func(*runCfg)
+
+// WithTCPTransport runs the MPI data plane over real TCP loopback sockets.
+func WithTCPTransport() RunOption { return func(c *runCfg) { c.tcp = true } }
+
+// WithLink charges all MPI traffic to the given shaped network link.
+func WithLink(l *netsim.Link) RunOption { return func(c *runCfg) { c.link = l } }
+
+// Run executes a job to completion: the library analogue of
+//
+//	mpidrun -O n -A m -M mode -jar job
+func Run(job *Job, opts ...RunOption) (*Result, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if job.Mode == Streaming {
+		if job.NumA > job.Procs*job.Slots {
+			return nil, fmt.Errorf("core: Streaming needs NumA (%d) <= Procs*Slots (%d)",
+				job.NumA, job.Procs*job.Slots)
+		}
+		if job.Conf.DataCentricOff {
+			return nil, errors.New("core: Streaming requires data-centric scheduling")
+		}
+	}
+	rt := &Runtime{
+		job:        job,
+		id:         runtimeIDs.Add(1),
+		aborted:    make(chan struct{}),
+		cpSeq:      map[int]int{},
+		skipByTask: map[int]int64{},
+	}
+	for _, o := range opts {
+		o(&rt.rcfg)
+	}
+	start := time.Now()
+	if err := rt.setup(); err != nil {
+		return nil, err
+	}
+	defer rt.teardown()
+	rt.res.SetupTime = time.Since(start)
+	if job.Progress != nil {
+		job.Progress.SetTotals(job.NumO*job.Rounds, job.NumA*job.Rounds)
+	}
+
+	if job.Conf.FaultTolerance {
+		if err := rt.reload(); err != nil {
+			return nil, rt.firstErr(err)
+		}
+	}
+	for r := 0; r < job.Rounds; r++ {
+		t0 := time.Now()
+		if err := rt.runRound(r); err != nil {
+			return nil, rt.firstErr(err)
+		}
+		rt.res.RoundTimes = append(rt.res.RoundTimes, time.Since(t0))
+		if job.KeepGoing != nil && r < job.Rounds-1 && !job.KeepGoing(r) {
+			break // converged early
+		}
+	}
+	if err := rt.shutdownWorkers(); err != nil {
+		return nil, rt.firstErr(err)
+	}
+	rt.res.Elapsed = time.Since(start)
+	rt.res.RecordsSent = rt.sent.Load()
+	rt.res.BytesShuffled = rt.bytesShuffled.Load()
+	rt.res.SpilledBytes = rt.spilledBytes.Load()
+	res := rt.res
+	return &res, nil
+}
+
+func (rt *Runtime) setup() error {
+	j := rt.job
+	var wopts []mpi.Option
+	if rt.rcfg.tcp {
+		wopts = append(wopts, mpi.WithTCP())
+	}
+	if rt.rcfg.link != nil {
+		wopts = append(wopts, mpi.WithLink(rt.rcfg.link))
+	}
+	world, err := mpi.NewWorld(j.Procs+1, wopts...)
+	if err != nil {
+		return err
+	}
+	rt.world = world
+	workerRanks := make([]int, j.Procs)
+	for i := range workerRanks {
+		workerRanks[i] = i
+	}
+	comms, err := world.NewComm(workerRanks)
+	if err != nil {
+		world.Close()
+		return err
+	}
+	ics, err := mpi.NewIntercomm(world, []int{j.Procs}, workerRanks)
+	if err != nil {
+		world.Close()
+		return err
+	}
+	rt.masterIC = ics[j.Procs]
+	rt.workerICs = ics[:j.Procs]
+	rt.procs = make([]*process, j.Procs)
+	for i := 0; i < j.Procs; i++ {
+		rt.procs[i] = newProcess(rt, i, comms[i])
+	}
+	for _, p := range rt.procs {
+		rt.wg.Add(1)
+		go func(p *process) {
+			defer rt.wg.Done()
+			rt.workerLoop(p)
+		}(p)
+	}
+	rt.assignO = fillInt(j.NumO, -1)
+	rt.assignA = fillInt(j.NumA, -1)
+	rt.res.OTaskSent = make([]int64, j.NumO)
+	rt.res.ATaskReceived = make([]int64, j.NumA)
+	rt.computeLocalityPrefs()
+	return nil
+}
+
+func fillInt(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// computeLocalityPrefs derives each O task's preferred process from its
+// input splits (the same rank-round-robin mapping the load utility uses).
+func (rt *Runtime) computeLocalityPrefs() {
+	j := rt.job
+	rt.prefProc = fillInt(j.NumO, -1)
+	if len(j.Input) == 0 {
+		return
+	}
+	procByHost := map[int]int{}
+	for p := 0; p < j.Procs; p++ {
+		h := j.HostOfProc(p)
+		if _, ok := procByHost[h]; !ok {
+			procByHost[h] = p
+		}
+	}
+	for t := 0; t < j.NumO; t++ {
+		for _, s := range hdfs.SplitsForRank(j.Input, t, j.NumO) {
+			if len(s.Block.Hosts) == 0 {
+				continue
+			}
+			if p, ok := procByHost[s.Block.Hosts[0]]; ok {
+				rt.prefProc[t] = p
+				break
+			}
+		}
+	}
+}
+
+func (rt *Runtime) teardown() {
+	rt.world.Close()
+	// Unblock anything still waiting (no-op if a failure already fired; in
+	// the clean path everything has exited by now anyway).
+	rt.fail(errors.New("core: runtime shut down"))
+	rt.wg.Wait()
+	for _, p := range rt.procs {
+		p.quiesce()
+	}
+	if rt.job.SpillDisks != nil {
+		for i := 0; i < rt.job.Procs; i++ {
+			_ = rt.job.SpillDisks[i].RemoveAll(fmt.Sprintf("dmpi-spill/run%d", rt.id))
+		}
+	}
+}
+
+// fail records the first error and wakes every blocked waiter.
+func (rt *Runtime) fail(err error) {
+	rt.failOnce.Do(func() {
+		rt.failMu.Lock()
+		rt.failErr = err
+		rt.failMu.Unlock()
+		close(rt.aborted)
+		for _, p := range rt.procs {
+			p.mu.Lock()
+			merges := make([]*mergeState, 0, len(p.merges))
+			for _, ms := range p.merges {
+				merges = append(merges, ms)
+			}
+			p.mu.Unlock()
+			for _, ms := range merges {
+				ms.wake()
+			}
+		}
+	})
+}
+
+// err returns the recorded failure, if any.
+func (rt *Runtime) err() error {
+	rt.failMu.Lock()
+	defer rt.failMu.Unlock()
+	return rt.failErr
+}
+
+// firstErr prefers the recorded root cause over a secondary error.
+func (rt *Runtime) firstErr(err error) error {
+	if e := rt.err(); e != nil {
+		return e
+	}
+	return err
+}
+
+// countSend enforces fault injection and tallies sent records.
+func (rt *Runtime) countSend() error {
+	if err := rt.err(); err != nil {
+		return err
+	}
+	n := rt.sent.Add(1)
+	if fa := rt.job.Conf.InjectFailAfterRecords; fa > 0 && n > fa {
+		rt.fail(ErrInjectedFailure)
+		return ErrInjectedFailure
+	}
+	return nil
+}
+
+// ownerProc is the Partition Window: partition p's intermediate data
+// accumulates on process p mod Procs, and the data-centric scheduler sends
+// A task p there.
+func (rt *Runtime) ownerProc(partition int) int { return partition % rt.job.Procs }
+
+// procOfOTask reports where an O task is bound (for reverse routing).
+func (rt *Runtime) procOfOTask(task int) int {
+	rt.assignMu.Lock()
+	defer rt.assignMu.Unlock()
+	p := rt.assignO[task]
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+func (rt *Runtime) cpStartSeq(task int) int { return rt.cpSeq[task] }
+
+// mergeCounters folds one task's counter deltas into the job result.
+func (rt *Runtime) mergeCounters(c map[string]int64) {
+	if len(c) == 0 {
+		return
+	}
+	if rt.res.Counters == nil {
+		rt.res.Counters = map[string]int64{}
+	}
+	for k, v := range c {
+		rt.res.Counters[k] += v
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint reload
+
+// chunkRecordCount validates a chunk's footer and returns its record count.
+func chunkRecordCount(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() < 12 {
+		return 0, errors.New("core: checkpoint too small")
+	}
+	var foot [12]byte
+	if _, err := f.ReadAt(foot[:], st.Size()-12); err != nil {
+		return 0, err
+	}
+	if binary.BigEndian.Uint32(foot[0:]) != 0 {
+		return 0, errors.New("core: checkpoint footer missing")
+	}
+	return int64(binary.BigEndian.Uint64(foot[4:])), nil
+}
+
+// reload finds complete checkpoint chunks from a previous attempt, assigns
+// them to processes for re-injection, and records per-task skip counts.
+func (rt *Runtime) reload() error {
+	chunks, err := listChunks(rt.job.Conf.CheckpointDir)
+	if err != nil {
+		return err
+	}
+	if len(chunks) == 0 {
+		return nil
+	}
+	t0 := time.Now()
+	perProc := make([][]string, rt.job.Procs)
+	i := 0
+	for _, ch := range chunks {
+		n, err := chunkRecordCount(ch.path)
+		if err != nil {
+			continue // incomplete chunk: ignore, do not skip its records
+		}
+		rt.skipByTask[ch.task] += n
+		if ch.seq >= rt.cpSeq[ch.task] {
+			rt.cpSeq[ch.task] = ch.seq + 1
+		}
+		perProc[i%rt.job.Procs] = append(perProc[i%rt.job.Procs], ch.path)
+		i++
+	}
+	sentTo := 0
+	for p, paths := range perProc {
+		if len(paths) == 0 {
+			continue
+		}
+		if err := sendCtrl(rt.masterIC, p, ctrlMsg{Type: "reload", Paths: paths, Round: 0}); err != nil {
+			return err
+		}
+		sentTo++
+	}
+	for done := 0; done < sentTo; {
+		ev, err := recvEvent(rt.masterIC)
+		if err != nil {
+			return err
+		}
+		switch ev.Type {
+		case "reloadDone":
+			rt.res.RecordsReloaded += ev.Records
+			done++
+		case "error":
+			return errors.New(ev.Err)
+		default:
+			return fmt.Errorf("core: unexpected event %q during reload", ev.Type)
+		}
+	}
+	rt.res.ReloadTime = time.Since(t0)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Round scheduling
+
+func (rt *Runtime) runRound(r int) error {
+	j := rt.job
+	roundStart := time.Now()
+	// The previous round's reverse exchange is closed at the start of this
+	// round (not at the end of that one), so a job that stops early never
+	// leaves an end-marker broadcast racing shutdown.
+	if j.Mode == Iteration && r > 0 {
+		for p := 0; p < j.Procs; p++ {
+			if err := sendCtrl(rt.masterIC, p, ctrlMsg{Type: "endRev", Round: r - 1}); err != nil {
+				return err
+			}
+		}
+	}
+	slotsO := fillInt(j.Procs, j.Slots)
+	slotsA := fillInt(j.Procs, j.Slots)
+	oPending := seq(j.NumO)
+	aPending := seq(j.NumA)
+	oDone, aDone := 0, 0
+	endOSent := false
+
+	anyFree := func(slots []int) int {
+		for p, s := range slots {
+			if s > 0 {
+				return p
+			}
+		}
+		return -1
+	}
+	assignOTask := func(t, p int) error {
+		slotsO[p]--
+		rt.assignMu.Lock()
+		rt.assignO[t] = p
+		rt.assignMu.Unlock()
+		return sendCtrl(rt.masterIC, p, ctrlMsg{
+			Type: "runO", Task: t, Round: r, Skip: rt.skipByTask[t],
+		})
+	}
+	dispatchO := func() error {
+		var rest []int
+		// Pass 1: bound tasks (later Iteration rounds must reuse their
+		// process) and locality-preferred first-round tasks.
+		for _, t := range oPending {
+			if r > 0 {
+				if bound := rt.assignO[t]; slotsO[bound] > 0 {
+					if err := assignOTask(t, bound); err != nil {
+						return err
+					}
+				} else {
+					rest = append(rest, t)
+				}
+				continue
+			}
+			if pref := rt.prefProc[t]; pref >= 0 && slotsO[pref] > 0 {
+				rt.res.LocalOTasks++
+				if err := assignOTask(t, pref); err != nil {
+					return err
+				}
+				continue
+			}
+			rest = append(rest, t)
+		}
+		// Pass 2: any free slot (first round only).
+		oPending = oPending[:0]
+		for _, t := range rest {
+			if r > 0 {
+				oPending = append(oPending, t)
+				continue
+			}
+			p := anyFree(slotsO)
+			if p < 0 {
+				oPending = append(oPending, t)
+				continue
+			}
+			if rt.prefProc[t] >= 0 {
+				rt.res.NonLocalOTasks++
+			}
+			if err := assignOTask(t, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	dispatchA := func() error {
+		var rest []int
+		for _, t := range aPending {
+			want := rt.assignA[t]
+			if want < 0 {
+				if j.Conf.DataCentricOff {
+					want = (t + 1) % j.Procs
+				} else {
+					want = rt.ownerProc(t)
+				}
+			}
+			if slotsA[want] <= 0 {
+				rest = append(rest, t)
+				continue
+			}
+			slotsA[want]--
+			rt.assignMu.Lock()
+			rt.assignA[t] = want
+			rt.assignMu.Unlock()
+			if want == rt.ownerProc(t) {
+				rt.res.LocalATasks++
+			} else {
+				rt.res.RemoteATasks++
+			}
+			if err := sendCtrl(rt.masterIC, want, ctrlMsg{Type: "runA", Task: t, Round: r}); err != nil {
+				return err
+			}
+		}
+		aPending = rest
+		return nil
+	}
+	broadcastCtrl := func(m ctrlMsg) error {
+		for p := 0; p < j.Procs; p++ {
+			if err := sendCtrl(rt.masterIC, p, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if j.Mode == Streaming {
+		if err := dispatchA(); err != nil {
+			return err
+		}
+	}
+	if err := dispatchO(); err != nil {
+		return err
+	}
+	for oDone < j.NumO || aDone < j.NumA {
+		ev, err := recvEvent(rt.masterIC)
+		if err != nil {
+			return err
+		}
+		switch ev.Type {
+		case "error":
+			return errors.New(ev.Err)
+		case "oDone":
+			oDone++
+			slotsO[ev.Proc]++
+			rt.res.OTaskSent[ev.Task] = ev.Records
+			rt.mergeCounters(ev.Counters)
+			if err := dispatchO(); err != nil {
+				return err
+			}
+			if oDone == j.NumO && !endOSent {
+				endOSent = true
+				rt.res.OPhaseTimes = append(rt.res.OPhaseTimes, time.Since(roundStart))
+				if err := broadcastCtrl(ctrlMsg{Type: "endO", Round: r}); err != nil {
+					return err
+				}
+				if j.Mode != Streaming {
+					if err := dispatchA(); err != nil {
+						return err
+					}
+				}
+			}
+		case "aDone":
+			aDone++
+			slotsA[ev.Proc]++
+			rt.res.ATaskReceived[ev.Task] = ev.Records
+			rt.mergeCounters(ev.Counters)
+			if endOSent || j.Mode == Streaming {
+				if err := dispatchA(); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("core: unexpected event %q", ev.Type)
+		}
+	}
+	if n := len(rt.res.OPhaseTimes); n > 0 {
+		rt.res.APhaseTimes = append(rt.res.APhaseTimes,
+			time.Since(roundStart)-rt.res.OPhaseTimes[n-1])
+	}
+	return nil
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func (rt *Runtime) shutdownWorkers() error {
+	for p := 0; p < rt.job.Procs; p++ {
+		if err := sendCtrl(rt.masterIC, p, ctrlMsg{Type: "shutdown"}); err != nil {
+			return err
+		}
+	}
+	for byes := 0; byes < rt.job.Procs; {
+		ev, err := recvEvent(rt.masterIC)
+		if err != nil {
+			return err
+		}
+		switch ev.Type {
+		case "bye":
+			byes++
+		case "error":
+			return errors.New(ev.Err)
+		}
+	}
+	return nil
+}

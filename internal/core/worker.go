@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+)
+
+// workerLoop is a worker process's control loop: it receives scheduling
+// commands from mpidrun over the intercommunicator and reports events back
+// (§IV-B, Fig. 4).
+func (rt *Runtime) workerLoop(p *process) {
+	ic := rt.workerICs[p.idx]
+	for {
+		cmd, err := recvCtrl(ic)
+		if err != nil {
+			return // world closed
+		}
+		switch cmd.Type {
+		case "runO":
+			p.wg.Add(1)
+			go func() { defer p.wg.Done(); rt.runOTask(p, cmd) }()
+		case "runA":
+			p.wg.Add(1)
+			go func() { defer p.wg.Done(); rt.runATask(p, cmd) }()
+		case "endO":
+			p.wg.Add(1)
+			go func() { defer p.wg.Done(); rt.endPhase(p, cmd.Round, false) }()
+		case "endRev":
+			p.wg.Add(1)
+			go func() { defer p.wg.Done(); rt.endPhase(p, cmd.Round, true) }()
+		case "reload":
+			p.wg.Add(1)
+			go func() { defer p.wg.Done(); rt.reloadChunks(p, cmd) }()
+		case "shutdown":
+			p.shutdown()
+			rt.reportEvent(p, eventMsg{Type: "bye", Proc: p.idx})
+			return
+		default:
+			rt.fail(fmt.Errorf("core: unknown control message %q", cmd.Type))
+			return
+		}
+	}
+}
+
+// reportEvent sends an event to mpidrun, failing the job on error.
+func (rt *Runtime) reportEvent(p *process, ev eventMsg) {
+	ev.Proc = p.idx
+	if err := sendEvent(rt.workerICs[p.idx], ev); err != nil {
+		rt.fail(err)
+	}
+}
+
+// endPhase flushes the communication queue and broadcasts end markers so
+// every merge state for (round, reverse) can finalize.
+func (rt *Runtime) endPhase(p *process, round int, reverse bool) {
+	if err := p.flushQueue(); err != nil {
+		rt.fail(err)
+		return
+	}
+	if err := p.sendEndMarkers(round, reverse); err != nil {
+		rt.fail(err)
+	}
+}
+
+// taskContext returns the (persistent, for Iteration mode) context of a
+// task on this process, creating it on first use.
+func (rt *Runtime) taskContext(p *process, task int, isO bool, skip int64) *Context {
+	key := ctxKey{task: task, isO: isO}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ctx := p.ctxs[key]
+	if ctx == nil {
+		dests := rt.job.NumA
+		if !isO {
+			dests = rt.job.NumO
+		}
+		ctx = &Context{
+			proc:    p,
+			job:     rt.job,
+			task:    task,
+			isO:     isO,
+			spl:     newSPL(dests, rt.job.Conf.SPLBytes),
+			skip:    skip,
+			cpTotal: skip,
+		}
+		p.ctxs[key] = ctx
+	}
+	return ctx
+}
+
+// runOTask executes one task of COMM_BIPARTITE_O.
+func (rt *Runtime) runOTask(p *process, cmd ctrlMsg) {
+	ctx := rt.taskContext(p, cmd.Task, true, cmd.Skip)
+	ctx.round = cmd.Round
+	ctx.it, ctx.grouper, ctx.streamCh = nil, nil, nil
+	// In Iteration mode the O task first consumes the feedback the A side
+	// sent last round (bi-directional communication, §IV-A).
+	if rt.job.Mode == Iteration {
+		if cmd.Round == 0 {
+			ctx.it = emptyIterator{}
+		} else {
+			ms := p.merge(mergeKey{round: cmd.Round - 1, reverse: true})
+			it, err := ms.iterator(cmd.Task)
+			if err != nil {
+				rt.taskFailed(p, err)
+				return
+			}
+			ctx.it = it
+		}
+	}
+	err := rt.runUser(rt.job.OTask, ctx)
+	if err == nil {
+		err = ctx.flushSends()
+	}
+	if rt.job.Mode == Iteration && cmd.Round > 0 {
+		p.dropMerge(mergeKey{round: cmd.Round - 1, reverse: true}, cmd.Task)
+	}
+	if err != nil {
+		rt.taskFailed(p, err)
+		return
+	}
+	if rt.job.Progress != nil {
+		rt.job.Progress.FinishO()
+	}
+	rt.reportEvent(p, eventMsg{Type: "oDone", Task: cmd.Task, Round: cmd.Round, Records: ctx.sent, Counters: ctx.takeCounters()})
+}
+
+// runATask executes one task of COMM_BIPARTITE_A.
+func (rt *Runtime) runATask(p *process, cmd ctrlMsg) {
+	ctx := rt.taskContext(p, cmd.Task, false, 0)
+	ctx.round = cmd.Round
+	ctx.it, ctx.grouper, ctx.streamCh = nil, nil, nil
+	fwd := mergeKey{round: cmd.Round, reverse: false}
+	if rt.job.Mode == Streaming {
+		ctx.streamCh = p.streamChan(cmd.Task)
+	} else if owner := rt.ownerProc(cmd.Task); owner == p.idx {
+		// Data-centric scheduling put us on the process that already holds
+		// the partition: a purely local read.
+		it, err := p.merge(fwd).iterator(cmd.Task)
+		if err != nil {
+			rt.taskFailed(p, err)
+			return
+		}
+		ctx.it = it
+	} else {
+		// Ablation path: the partition lives elsewhere; pull it over the
+		// network as Hadoop's reducers do.
+		it, err := p.fetchPartition(cmd.Round, cmd.Task, false, owner)
+		if err != nil {
+			rt.taskFailed(p, err)
+			return
+		}
+		ctx.it = it
+	}
+	err := rt.runUser(rt.job.ATask, ctx)
+	if err == nil && rt.job.Mode == Iteration {
+		err = ctx.flushSends()
+	}
+	if rt.job.Mode != Streaming && rt.ownerProc(cmd.Task) == p.idx {
+		p.dropMerge(fwd, cmd.Task)
+	}
+	if err != nil {
+		rt.taskFailed(p, err)
+		return
+	}
+	if rt.job.Progress != nil {
+		rt.job.Progress.FinishA()
+	}
+	rt.reportEvent(p, eventMsg{Type: "aDone", Task: cmd.Task, Round: cmd.Round, Records: ctx.received, Counters: ctx.takeCounters()})
+}
+
+// runUser invokes a user task function under the busy tracker, converting
+// panics into job failures rather than crashing the runtime.
+func (rt *Runtime) runUser(fn TaskFunc, ctx *Context) (err error) {
+	if rt.job.Busy != nil {
+		defer rt.job.Busy.Track()()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: task panicked: %v", r)
+		}
+	}()
+	return fn(ctx)
+}
+
+// taskFailed reports a task error to mpidrun (and fails fast locally).
+func (rt *Runtime) taskFailed(p *process, err error) {
+	rt.fail(err)
+	rt.reportEvent(p, eventMsg{Type: "error", Err: err.Error()})
+}
+
+// reloadChunks re-injects complete checkpoint chunks into the shuffle: the
+// data reaches its A-side partitions again without recomputation.
+func (rt *Runtime) reloadChunks(p *process, cmd ctrlMsg) {
+	var total int64
+	for _, path := range cmd.Paths {
+		n, err := readChunk(path, func(payload []byte) error {
+			partition, reverse, records, err := decodePayload(payload)
+			if err != nil {
+				return err
+			}
+			return p.submit(sendItem{
+				task:         -1,
+				partition:    partition,
+				reverse:      reverse,
+				data:         records,
+				prepared:     true,
+				noCheckpoint: true,
+			}, cmd.Round)
+		})
+		if err != nil {
+			rt.taskFailed(p, err)
+			return
+		}
+		total += n
+	}
+	rt.reportEvent(p, eventMsg{Type: "reloadDone", Records: total})
+}

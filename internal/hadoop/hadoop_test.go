@@ -1,0 +1,447 @@
+package hadoop
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"datampi/internal/diskio"
+	"datampi/internal/hdfs"
+	"datampi/internal/kv"
+	"datampi/internal/metrics"
+)
+
+// testCluster builds an n-node cluster with its own HDFS.
+func testCluster(t *testing.T, n int, blockSize int64) (*Cluster, *hdfs.FileSystem) {
+	t.Helper()
+	disks := make([]*diskio.Disk, n)
+	hdisks := make([]*diskio.Disk, n)
+	for i := range disks {
+		d, err := diskio.New(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		disks[i] = d
+		hd, err := diskio.New(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdisks[i] = hd
+	}
+	fs, err := hdfs.New(hdfs.Config{BlockSize: blockSize, Replication: 2}, hdisks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(fs, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, fs
+}
+
+func wordCountMap(_, v []byte, emit func(k, v []byte) error) error {
+	one := make([]byte, 8)
+	binary.BigEndian.PutUint64(one, 1)
+	for _, w := range bytes.Fields(v) {
+		if err := emit(w, one); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sumReduce(key []byte, values [][]byte, emit func(k, v []byte) error) error {
+	var sum uint64
+	for _, v := range values {
+		sum += binary.BigEndian.Uint64(v)
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, sum)
+	return emit(key, out)
+}
+
+var sumCombine kv.Combine = func(key []byte, vals [][]byte) [][]byte {
+	var sum uint64
+	for _, v := range vals {
+		sum += binary.BigEndian.Uint64(v)
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, sum)
+	return [][]byte{out}
+}
+
+// readCounts reads all part files of a job output into a map.
+func readCounts(t *testing.T, fs *hdfs.FileSystem, outPath string) map[string]uint64 {
+	t.Helper()
+	got := map[string]uint64{}
+	for _, p := range fs.List(outPath + "/") {
+		data, err := fs.ReadAll(p, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := kv.NewReader(bytes.NewReader(data))
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := got[string(rec.Key)]; dup {
+				t.Errorf("key %q appears in two groups", rec.Key)
+			}
+			got[string(rec.Key)] = binary.BigEndian.Uint64(rec.Value)
+		}
+	}
+	return got
+}
+
+func writeCorpus(t *testing.T, fs *hdfs.FileSystem, path string, lines int) map[string]uint64 {
+	t.Helper()
+	var sb strings.Builder
+	want := map[string]uint64{}
+	for i := 0; i < lines; i++ {
+		w1 := fmt.Sprintf("alpha%02d", i%17)
+		w2 := fmt.Sprintf("beta%02d", i%5)
+		sb.WriteString(w1 + " " + w2 + " gamma\n")
+		want[w1]++
+		want[w2]++
+		want["gamma"]++
+	}
+	if err := fs.WriteFile(path, []byte(sb.String()), 0); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func TestWordCountEndToEnd(t *testing.T) {
+	c, fs := testCluster(t, 3, 2048)
+	want := writeCorpus(t, fs, "/in/corpus", 400)
+	job := &Job{
+		Name:       "wc",
+		FS:         fs,
+		InputPaths: []string{"/in/corpus"},
+		Map:        wordCountMap,
+		Reduce:     sumReduce,
+		NumReduces: 3,
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readCounts(t, fs, job.OutputPath)
+	if len(got) != len(want) {
+		t.Errorf("got %d keys, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], w)
+		}
+	}
+	if res.MapsRun == 0 || res.ReducesRun != 3 {
+		t.Errorf("result %+v", res)
+	}
+	if res.ShuffledBytes == 0 {
+		t.Error("no bytes shuffled over HTTP")
+	}
+	if res.MapOutputRecords != int64(400*3) {
+		t.Errorf("map output records = %d, want %d", res.MapOutputRecords, 400*3)
+	}
+}
+
+func TestCombinerShrinksShuffle(t *testing.T) {
+	c, fs := testCluster(t, 2, 4096)
+	writeCorpus(t, fs, "/in/c1", 500)
+	base := &Job{
+		Name: "nocomb", FS: fs, InputPaths: []string{"/in/c1"},
+		Map: wordCountMap, Reduce: sumReduce, NumReduces: 2,
+	}
+	r1, err := c.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := &Job{
+		Name: "comb", FS: fs, InputPaths: []string{"/in/c1"},
+		Map: wordCountMap, Reduce: sumReduce, NumReduces: 2,
+		Combine: sumCombine,
+	}
+	r2, err := c.Run(comb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ShuffledBytes >= r1.ShuffledBytes {
+		t.Errorf("combiner did not shrink shuffle: %d >= %d", r2.ShuffledBytes, r1.ShuffledBytes)
+	}
+	got := readCounts(t, fs, comb.OutputPath)
+	want := readCounts(t, fs, base.OutputPath)
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("combined count[%q] = %d, want %d", k, got[k], w)
+		}
+	}
+}
+
+func TestSmallSortBufferSpills(t *testing.T) {
+	c, fs := testCluster(t, 2, 4096)
+	want := writeCorpus(t, fs, "/in/c2", 600)
+	job := &Job{
+		Name: "spilly", FS: fs, InputPaths: []string{"/in/c2"},
+		Map: wordCountMap, Reduce: sumReduce, NumReduces: 2,
+		SortBufferBytes: 512, // force many map-side spills
+		MergeThreshold:  256, // force reduce-side disk runs
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpilledBytes == 0 {
+		t.Error("no spill traffic with tiny buffers")
+	}
+	got := readCounts(t, fs, job.OutputPath)
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], w)
+		}
+	}
+}
+
+func TestMapLocalityPreferred(t *testing.T) {
+	c, fs := testCluster(t, 4, 1024)
+	writeCorpus(t, fs, "/in/c3", 800)
+	job := &Job{
+		Name: "loc", FS: fs, InputPaths: []string{"/in/c3"},
+		Map: wordCountMap, Reduce: sumReduce, NumReduces: 2,
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LocalMaps == 0 {
+		t.Error("no data-local maps scheduled")
+	}
+	if res.LocalMaps < res.RemoteMaps {
+		t.Errorf("locality scheduling weak: local=%d remote=%d", res.LocalMaps, res.RemoteMaps)
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	c, fs := testCluster(t, 2, 1024)
+	writeCorpus(t, fs, "/in/c4", 50)
+	job := &Job{
+		Name: "boom", FS: fs, InputPaths: []string{"/in/c4"},
+		Map: func(_, _ []byte, _ func(k, v []byte) error) error {
+			return fmt.Errorf("map exploded")
+		},
+		Reduce: sumReduce,
+	}
+	if _, err := c.Run(job); err == nil || !strings.Contains(err.Error(), "map exploded") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	c, fs := testCluster(t, 2, 1024)
+	writeCorpus(t, fs, "/in/c5", 50)
+	job := &Job{
+		Name: "boom2", FS: fs, InputPaths: []string{"/in/c5"},
+		Map: wordCountMap,
+		Reduce: func(_ []byte, _ [][]byte, _ func(k, v []byte) error) error {
+			return fmt.Errorf("reduce exploded")
+		},
+	}
+	if _, err := c.Run(job); err == nil || !strings.Contains(err.Error(), "reduce exploded") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestProgressTracked(t *testing.T) {
+	c, fs := testCluster(t, 2, 1024)
+	writeCorpus(t, fs, "/in/c6", 200)
+	var prog metrics.PhaseProgress
+	job := &Job{
+		Name: "prog", FS: fs, InputPaths: []string{"/in/c6"},
+		Map: wordCountMap, Reduce: sumReduce, NumReduces: 2,
+		Progress: &prog,
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	o, a := prog.Percent()
+	if o != 100 || a != 100 {
+		t.Errorf("progress = %v/%v, want 100/100", o, a)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	c, fs := testCluster(t, 1, 1024)
+	if _, err := c.Run(&Job{FS: fs}); err == nil {
+		t.Error("job without map/reduce accepted")
+	}
+	if _, err := c.Run(&Job{
+		FS: fs, Map: wordCountMap, Reduce: sumReduce, InputPaths: []string{"/missing"},
+	}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestMultipleInputPaths(t *testing.T) {
+	c, fs := testCluster(t, 2, 2048)
+	want1 := writeCorpus(t, fs, "/in/part1", 150)
+	want2 := writeCorpus(t, fs, "/in/part2", 100)
+	job := &Job{
+		Name: "multi", FS: fs, InputPaths: []string{"/in/part1", "/in/part2"},
+		Map: wordCountMap, Reduce: sumReduce, NumReduces: 2,
+	}
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	got := readCounts(t, fs, job.OutputPath)
+	for k, w := range want1 {
+		if got[k] != w+want2[k] {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], w+want2[k])
+		}
+	}
+}
+
+func TestTaskRetry(t *testing.T) {
+	c, fs := testCluster(t, 2, 2048)
+	want := writeCorpus(t, fs, "/in/retry", 200)
+	var failures atomic.Int32
+	job := &Job{
+		Name: "flaky", FS: fs, InputPaths: []string{"/in/retry"},
+		Map: func(k, v []byte, emit func(k, v []byte) error) error {
+			// The first two map-record invocations fail, then succeed.
+			if failures.Add(1) <= 2 {
+				return fmt.Errorf("transient failure")
+			}
+			return wordCountMap(k, v, emit)
+		},
+		Reduce:      sumReduce,
+		NumReduces:  2,
+		MaxAttempts: 4,
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskRetries == 0 {
+		t.Error("no retries counted")
+	}
+	got := readCounts(t, fs, job.OutputPath)
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], w)
+		}
+	}
+}
+
+func TestTaskRetryExhausted(t *testing.T) {
+	c, fs := testCluster(t, 1, 2048)
+	writeCorpus(t, fs, "/in/always", 20)
+	job := &Job{
+		Name: "doomed", FS: fs, InputPaths: []string{"/in/always"},
+		Map: func(_, _ []byte, _ func(k, v []byte) error) error {
+			return fmt.Errorf("permanent failure")
+		},
+		Reduce:      sumReduce,
+		MaxAttempts: 3,
+	}
+	if _, err := c.Run(job); err == nil || !strings.Contains(err.Error(), "permanent failure") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestTaskRetryCountersRollBack(t *testing.T) {
+	c, fs := testCluster(t, 1, 4096)
+	writeCorpus(t, fs, "/in/rb", 100)
+	var calls atomic.Int32
+	job := &Job{
+		Name: "rollback", FS: fs, InputPaths: []string{"/in/rb"},
+		Map: func(k, v []byte, emit func(k, v []byte) error) error {
+			// First attempt: emit some records, then fail mid-split.
+			if err := wordCountMap(k, v, emit); err != nil {
+				return err
+			}
+			if calls.Add(1) == 50 {
+				return fmt.Errorf("die after partial emission")
+			}
+			return nil
+		},
+		Reduce:      sumReduce,
+		MaxAttempts: 3,
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskRetries == 0 {
+		t.Fatal("expected a retry")
+	}
+	// 100 lines x 3 words: the counter must not include failed-attempt
+	// emissions.
+	if res.MapOutputRecords != 300 {
+		t.Errorf("MapOutputRecords = %d, want 300", res.MapOutputRecords)
+	}
+}
+
+func TestSpeculativeExecution(t *testing.T) {
+	// One straggler map: with speculative execution a backup attempt on an
+	// idle slot finishes first; the straggler's late output is discarded
+	// and the counts stay exact.
+	c, fs := testCluster(t, 2, 1<<20) // one block -> one map... need more
+	want := writeCorpus(t, fs, "/in/spec", 300)
+	var first atomic.Bool
+	slowReader := func(f *hdfs.FileSystem, split hdfs.Split, host int, fn func(k, v []byte) error) error {
+		if first.CompareAndSwap(false, true) {
+			time.Sleep(150 * time.Millisecond) // the straggler attempt
+		}
+		return LineReader(f, split, host, fn)
+	}
+	job := &Job{
+		Name: "spec", FS: fs, InputPaths: []string{"/in/spec"},
+		Reader:      slowReader,
+		Map:         wordCountMap,
+		Reduce:      sumReduce,
+		NumReduces:  2,
+		Speculative: true,
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeculativeLaunched == 0 {
+		t.Error("no backup attempt launched for the straggler")
+	}
+	got := readCounts(t, fs, job.OutputPath)
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], w)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d keys, want %d", len(got), len(want))
+	}
+}
+
+func TestSpeculativeOffNoBackups(t *testing.T) {
+	c, fs := testCluster(t, 2, 2048)
+	writeCorpus(t, fs, "/in/nospec", 200)
+	job := &Job{
+		Name: "nospec", FS: fs, InputPaths: []string{"/in/nospec"},
+		Map: wordCountMap, Reduce: sumReduce, NumReduces: 2,
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeculativeLaunched != 0 {
+		t.Errorf("backups launched with speculation off: %d", res.SpeculativeLaunched)
+	}
+}

@@ -1,0 +1,241 @@
+package hadoop
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"datampi/internal/kv"
+)
+
+// mapOutputBuffer is the MapOutputBuffer analogue: intermediate pairs
+// collect in memory; past io.sort.mb they are sorted by (partition, key)
+// and spilled to a local file with a per-partition segment index.
+type mapOutputBuffer struct {
+	jr      *jobRun
+	tt      *taskTracker
+	mapID   int
+	attempt int
+
+	recs     []partRec
+	bufBytes int
+	emitted  int64
+
+	spillSeq   int
+	spillFiles []string
+	spillSegs  [][][2]int64 // per spill, per reduce: offset,length
+}
+
+type partRec struct {
+	part int
+	rec  kv.Record
+}
+
+func (b *mapOutputBuffer) emit(k, v []byte) error {
+	job := b.jr.job
+	rec := kv.Record{
+		Key:   append([]byte(nil), k...),
+		Value: append([]byte(nil), v...),
+	}
+	p := job.Partition(rec.Key, rec.Value, job.NumReduces)
+	if p < 0 || p >= job.NumReduces {
+		return fmt.Errorf("hadoop: partitioner returned %d of %d", p, job.NumReduces)
+	}
+	b.recs = append(b.recs, partRec{part: p, rec: rec})
+	b.bufBytes += rec.Size()
+	b.emitted++
+	b.jr.maprecs.Add(1)
+	if job.Mem != nil {
+		job.Mem.Add(int64(rec.Size()))
+	}
+	if b.bufBytes >= job.SortBufferBytes {
+		return b.spill()
+	}
+	return nil
+}
+
+// spill sorts the buffer by (partition, key), combines, and writes one
+// spill file with a segment per reduce.
+func (b *mapOutputBuffer) spill() error {
+	if len(b.recs) == 0 {
+		return nil
+	}
+	job := b.jr.job
+	var done func()
+	if job.Busy != nil {
+		done = job.Busy.Track()
+	}
+	sort.SliceStable(b.recs, func(i, j int) bool {
+		if b.recs[i].part != b.recs[j].part {
+			return b.recs[i].part < b.recs[j].part
+		}
+		return job.Compare(b.recs[i].rec.Key, b.recs[j].rec.Key) < 0
+	})
+	if done != nil {
+		done()
+	}
+	name := fmt.Sprintf("mapout/job%d/spill_%d_a%d_%d", b.jr.id, b.mapID, b.attempt, b.spillSeq)
+	b.spillSeq++
+	f, err := b.tt.disk.Create(name)
+	if err != nil {
+		return err
+	}
+	segs := make([][2]int64, job.NumReduces)
+	var off int64
+	i := 0
+	var written int64
+	for p := 0; p < job.NumReduces; p++ {
+		startOff := off
+		j := i
+		for j < len(b.recs) && b.recs[j].part == p {
+			j++
+		}
+		recs := make([]kv.Record, 0, j-i)
+		for ; i < j; i++ {
+			recs = append(recs, b.recs[i].rec)
+		}
+		if job.Combine != nil {
+			recs = kv.ApplyCombine(recs, job.Compare, job.Combine)
+		}
+		var seg []byte
+		for _, r := range recs {
+			seg = kv.AppendRecord(seg, r)
+		}
+		if _, err := f.Write(seg); err != nil {
+			f.Close()
+			return err
+		}
+		off += int64(len(seg))
+		written += int64(len(seg))
+		segs[p] = [2]int64{startOff, int64(len(seg))}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	b.jr.spilled.Add(written)
+	if job.Mem != nil {
+		job.Mem.Add(-int64(b.bufBytes))
+	}
+	b.spillFiles = append(b.spillFiles, name)
+	b.spillSegs = append(b.spillSegs, segs)
+	b.recs = b.recs[:0]
+	b.bufBytes = 0
+	return nil
+}
+
+// finish merges the spills into the final map output file + index that the
+// TaskTracker serves to reducers.
+func (b *mapOutputBuffer) finish() error {
+	if err := b.spill(); err != nil {
+		return err
+	}
+	job := b.jr.job
+	outName := mapOutName(b.jr.id, b.mapID, b.attempt)
+	out, err := b.tt.disk.Create(outName)
+	if err != nil {
+		return err
+	}
+	finalSegs := make([][2]int64, job.NumReduces)
+	var off int64
+
+	// Open every spill once; merge each partition's segments in order.
+	files := make([]interface {
+		io.ReaderAt
+		io.Closer
+	}, len(b.spillFiles))
+	for i, name := range b.spillFiles {
+		f, err := b.tt.disk.Open(name)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		files[i] = f
+	}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for p := 0; p < job.NumReduces; p++ {
+		start := off
+		var its []kv.Iterator
+		for s := range files {
+			seg := b.spillSegs[s][p]
+			if seg[1] == 0 {
+				continue
+			}
+			sec := io.NewSectionReader(files[s], seg[0], seg[1])
+			its = append(its, kv.ReaderIterator{R: kv.NewReader(sec)})
+		}
+		m, err := kv.NewMerger(job.Compare, its...)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		w := kv.NewWriter(out)
+		for {
+			rec, err := m.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				out.Close()
+				return err
+			}
+			if err := w.Write(rec); err != nil {
+				out.Close()
+				return err
+			}
+			off += int64(rec.Size())
+		}
+		finalSegs[p] = [2]int64{start, off - start}
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	b.jr.spilled.Add(off)
+	for _, name := range b.spillFiles {
+		_ = b.tt.disk.Remove(name)
+	}
+	return writeSegmentIndex(b.tt.disk, mapIdxName(b.jr.id, b.mapID, b.attempt), finalSegs)
+}
+
+// discard rolls back a failed attempt: gauge bytes, record counters, and
+// any spill files it left behind.
+func (b *mapOutputBuffer) discard() {
+	if b.jr.job.Mem != nil {
+		b.jr.job.Mem.Add(-int64(b.bufBytes))
+	}
+	b.jr.maprecs.Add(-b.emitted)
+	for _, name := range b.spillFiles {
+		_ = b.tt.disk.Remove(name)
+	}
+}
+
+// runMap executes one attempt of a map task on a tracker: read the split
+// from HDFS, run the user map function through the sort/spill/merge
+// pipeline, and leave the output on the tracker's local disk.
+func (jr *jobRun) runMap(tt *taskTracker, mapID, attempt int) error {
+	job := jr.job
+	buf := &mapOutputBuffer{jr: jr, tt: tt, mapID: mapID, attempt: attempt}
+	err := job.Reader(job.FS, jr.splits[mapID], tt.node, func(k, v []byte) error {
+		var done func()
+		if job.Busy != nil {
+			done = job.Busy.Track()
+		}
+		merr := job.Map(k, v, buf.emit)
+		if done != nil {
+			done()
+		}
+		return merr
+	})
+	if err == nil {
+		err = buf.finish()
+	}
+	if err != nil {
+		buf.discard()
+		return fmt.Errorf("hadoop: map %d: %w", mapID, err)
+	}
+	jr.commitMap(buf, tt.node)
+	return nil
+}

@@ -1,0 +1,170 @@
+package hadoop
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"datampi/internal/kv"
+)
+
+// runReduce executes one reduce task on a tracker: poll for map-completion
+// events, pull each finished map's segment over HTTP (Hadoop's
+// proxy-based, two-phase data movement — no reduce-side locality), merge
+// the fetched runs, and run the user reduce function over key groups.
+func (jr *jobRun) runReduce(tt *taskTracker, reduce, attempt int) error {
+	job := jr.job
+	numMaps := len(jr.splits)
+	fetched := make([]bool, numMaps)
+	nFetched := 0
+
+	var memRuns [][]byte
+	var memBytes int64
+	var diskRuns []string
+	diskSeq := 0
+
+	// Shuffle phase: copy segments as maps complete.
+	for nFetched < numMaps {
+		events, err := jr.waitMapEvents(nFetched + 1)
+		if err != nil {
+			return err
+		}
+		for _, ev := range events {
+			if fetched[ev.mapID] {
+				continue
+			}
+			data, err := jr.fetchSegment(ev, reduce)
+			if err != nil {
+				return err
+			}
+			fetched[ev.mapID] = true
+			nFetched++
+			if len(data) == 0 {
+				continue
+			}
+			if memBytes+int64(len(data)) > job.MergeThreshold {
+				// Reduce-side spill: past the in-memory shuffle budget the
+				// fetched run goes to local disk.
+				name := fmt.Sprintf("mapout/job%d/rspill_%d_a%d_%d", jr.id, reduce, attempt, diskSeq)
+				diskSeq++
+				f, err := tt.disk.Create(name)
+				if err != nil {
+					return err
+				}
+				if _, err := f.Write(data); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				jr.spilled.Add(int64(len(data)))
+				diskRuns = append(diskRuns, name)
+				continue
+			}
+			memRuns = append(memRuns, data)
+			memBytes += int64(len(data))
+			if job.Mem != nil {
+				job.Mem.Add(int64(len(data)))
+			}
+		}
+	}
+
+	// Merge phase: k-way merge of in-memory and on-disk runs.
+	var its []kv.Iterator
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	for _, run := range memRuns {
+		recs, err := kv.DecodeAll(run)
+		if err != nil {
+			return err
+		}
+		its = append(its, kv.NewSliceIterator(recs))
+	}
+	for _, name := range diskRuns {
+		f, err := tt.disk.Open(name)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		its = append(its, kv.ReaderIterator{R: kv.NewReader(f)})
+	}
+	m, err := kv.NewMerger(job.Compare, its...)
+	if err != nil {
+		return err
+	}
+
+	// Reduce phase: run the user function per key group, writing output to
+	// HDFS (first replica on this node).
+	outPath := fmt.Sprintf("%s/part-r-%05d", job.OutputPath, reduce)
+	out, err := job.FS.Create(outPath, tt.node)
+	if err != nil {
+		return err
+	}
+	w := kv.NewWriter(out)
+	emit := func(k, v []byte) error { return w.Write(kv.Record{Key: k, Value: v}) }
+	g := kv.NewGrouper(m, job.Compare)
+	for {
+		grp, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		var done func()
+		if job.Busy != nil {
+			done = job.Busy.Track()
+		}
+		rerr := job.Reduce(grp.Key, grp.Values, emit)
+		if done != nil {
+			done()
+		}
+		if rerr != nil {
+			return fmt.Errorf("hadoop: reduce %d: %w", reduce, rerr)
+		}
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	if job.Mem != nil {
+		job.Mem.Add(-memBytes)
+	}
+	for _, name := range diskRuns {
+		_ = tt.disk.Remove(name)
+	}
+	if job.Progress != nil {
+		job.Progress.FinishA()
+	}
+	return nil
+}
+
+// fetchSegment pulls one map output segment over HTTP from the tracker
+// that ran the map.
+func (jr *jobRun) fetchSegment(ev mapCompletion, reduce int) ([]byte, error) {
+	url := fmt.Sprintf("http://%s/mapOutput?job=%d&map=%d&reduce=%d&attempt=%d",
+		jr.cluster.nodes[ev.node].addr, jr.id, ev.mapID, reduce, ev.attempt)
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("hadoop: shuffle fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("hadoop: shuffle fetch: status %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	jr.shuffled.Add(int64(len(data)))
+	if jr.job.Link != nil {
+		// Request + response headers and one round trip per fetch: the
+		// HTTP-per-segment overhead the paper's Fig. 1(a) quantifies.
+		jr.job.Link.Transfer(int64(len(data)), int64(len(url))+300, 1)
+	}
+	return data, nil
+}

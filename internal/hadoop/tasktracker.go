@@ -1,0 +1,104 @@
+package hadoop
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+
+	"datampi/internal/diskio"
+)
+
+// taskTracker is one node's task host. Its embedded HTTP server is the
+// Jetty server of Hadoop 1.x TaskTrackers: reducers pull map output
+// segments from it with GET /mapOutput?job=J&map=M&reduce=R.
+type taskTracker struct {
+	node int
+	disk *diskio.Disk
+	ln   net.Listener
+	srv  *http.Server
+	addr string
+}
+
+func mapOutName(job int64, mapID, attempt int) string {
+	return fmt.Sprintf("mapout/job%d/map_%d_a%d.out", job, mapID, attempt)
+}
+
+func mapIdxName(job int64, mapID, attempt int) string {
+	return fmt.Sprintf("mapout/job%d/map_%d_a%d.idx", job, mapID, attempt)
+}
+
+func newTaskTracker(node int, disk *diskio.Disk) (*taskTracker, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	tt := &taskTracker{node: node, disk: disk, ln: ln, addr: ln.Addr().String()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/mapOutput", tt.serveMapOutput)
+	tt.srv = &http.Server{Handler: mux}
+	go tt.srv.Serve(ln)
+	return tt, nil
+}
+
+func (tt *taskTracker) close() {
+	tt.srv.Close()
+}
+
+func (tt *taskTracker) serveMapOutput(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	job, err1 := strconv.ParseInt(q.Get("job"), 10, 64)
+	mapID, err2 := strconv.Atoi(q.Get("map"))
+	reduce, err3 := strconv.Atoi(q.Get("reduce"))
+	attempt, err4 := strconv.Atoi(q.Get("attempt"))
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		http.Error(w, "bad query", http.StatusBadRequest)
+		return
+	}
+	off, length, err := readSegmentIndex(tt.disk, mapIdxName(job, mapID, attempt), reduce)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	f, err := tt.disk.Open(mapOutName(job, mapID, attempt))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
+	io.Copy(w, io.NewSectionReader(f, off, length))
+}
+
+// writeSegmentIndex writes the per-reduce (offset, length) table.
+func writeSegmentIndex(disk *diskio.Disk, name string, segs [][2]int64) error {
+	buf := make([]byte, 16*len(segs))
+	for i, s := range segs {
+		binary.BigEndian.PutUint64(buf[i*16:], uint64(s[0]))
+		binary.BigEndian.PutUint64(buf[i*16+8:], uint64(s[1]))
+	}
+	f, err := disk.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readSegmentIndex(disk *diskio.Disk, name string, reduce int) (off, length int64, err error) {
+	f, err := disk.Open(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	var buf [16]byte
+	if _, err := f.ReadAt(buf[:], int64(reduce)*16); err != nil {
+		return 0, 0, fmt.Errorf("hadoop: index read: %w", err)
+	}
+	return int64(binary.BigEndian.Uint64(buf[:8])), int64(binary.BigEndian.Uint64(buf[8:])), nil
+}

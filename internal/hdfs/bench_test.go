@@ -1,0 +1,77 @@
+package hdfs
+
+import (
+	"testing"
+
+	"datampi/internal/diskio"
+)
+
+func benchFS(b *testing.B, nodes int, blockSize int64) *FileSystem {
+	b.Helper()
+	disks := make([]*diskio.Disk, nodes)
+	for i := range disks {
+		d, err := diskio.New(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		disks[i] = d
+	}
+	fs, err := New(Config{BlockSize: blockSize, Replication: 2}, disks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+func BenchmarkWriteFile(b *testing.B) {
+	fs := benchFS(b, 3, 256<<10)
+	data := make([]byte, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fs.WriteFile("/f", data, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadAllLocal(b *testing.B) {
+	fs := benchFS(b, 3, 256<<10)
+	data := make([]byte, 1<<20)
+	if err := fs.WriteFile("/f", data, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ReadAll("/f", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadLinesInSplit(b *testing.B) {
+	fs := benchFS(b, 2, 64<<10)
+	line := []byte("the quick brown fox jumps over the lazy dog\n")
+	var data []byte
+	for len(data) < 1<<20 {
+		data = append(data, line...)
+	}
+	if err := fs.WriteFile("/t", data, 0); err != nil {
+		b.Fatal(err)
+	}
+	splits, err := fs.Splits("/t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range splits {
+			err := fs.ReadLinesInSplit(s, 0, func([]byte) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

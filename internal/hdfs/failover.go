@@ -1,0 +1,175 @@
+package hdfs
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+// Replica failover and cluster reporting: a datanode can be marked dead
+// (the paper's testbeds lose disks too), after which reads transparently
+// fall back to surviving replicas, and the namenode can report blocks that
+// lost all replicas.
+
+// MarkDead marks a datanode as failed: its replicas become unreadable
+// until MarkAlive.
+func (fs *FileSystem) MarkDead(node int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dead == nil {
+		fs.dead = map[int]bool{}
+	}
+	fs.dead[node] = true
+}
+
+// MarkAlive reverses MarkDead.
+func (fs *FileSystem) MarkAlive(node int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.dead, node)
+}
+
+func (fs *FileSystem) aliveHosts(b blockMeta) []int {
+	var out []int
+	for _, h := range b.hosts {
+		if !fs.dead[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// readBlockFrom reads one replica, trying the preferred host first and
+// failing over to the other live replicas.
+func (fs *FileSystem) readBlockFrom(b blockMeta, reader int) (data []byte, src int, err error) {
+	fs.mu.Lock()
+	hosts := fs.aliveHosts(b)
+	fs.mu.Unlock()
+	if len(hosts) == 0 {
+		return nil, -1, fmt.Errorf("hdfs: block %d has no live replica", b.id)
+	}
+	// Preferred (local) replica first.
+	sort.SliceStable(hosts, func(i, j int) bool { return hosts[i] == reader && hosts[j] != reader })
+	var lastErr error
+	for _, h := range hosts {
+		f, err := fs.nodes[h].Open(blockFile(b.id))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data := make([]byte, b.length)
+		_, err = io.ReadFull(f, data)
+		f.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// Verify the block checksum, as the DFS client does; a corrupt
+		// replica triggers failover to the next one.
+		if crc := crc32.ChecksumIEEE(data); crc != b.crc {
+			lastErr = fmt.Errorf("hdfs: block %d replica on node %d corrupt (crc %08x != %08x)",
+				b.id, h, crc, b.crc)
+			continue
+		}
+		return data, h, nil
+	}
+	return nil, -1, fmt.Errorf("hdfs: all replicas of block %d failed: %w", b.id, lastErr)
+}
+
+// CorruptReplica flips a byte of one replica on disk (test/chaos helper:
+// the corruption is discovered by the read-path checksum).
+func (fs *FileSystem) CorruptReplica(path string, blockIdx, host int) error {
+	fs.mu.Lock()
+	fm, ok := fs.files[path]
+	if !ok || blockIdx < 0 || blockIdx >= len(fm.blocks) {
+		fs.mu.Unlock()
+		return ErrNotFound
+	}
+	b := fm.blocks[blockIdx]
+	fs.mu.Unlock()
+	f, err := fs.nodes[host].Open(blockFile(b.id))
+	if err != nil {
+		return err
+	}
+	data := make([]byte, b.length)
+	if _, err := io.ReadFull(f, data); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	if len(data) == 0 {
+		return nil
+	}
+	data[0] ^= 0xFF
+	w, err := fs.nodes[host].Create(blockFile(b.id))
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// MissingBlocks reports files that have at least one block with no live
+// replica — the namenode's corrupt-file report.
+func (fs *FileSystem) MissingBlocks() map[string]int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := map[string]int{}
+	for path, fm := range fs.files {
+		for _, b := range fm.blocks {
+			if len(fs.aliveHosts(b)) == 0 {
+				out[path]++
+			}
+		}
+	}
+	for p, n := range out {
+		if n == 0 {
+			delete(out, p)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the cluster state (the dfsadmin -report analogue).
+type Stats struct {
+	Files          int
+	Blocks         int
+	Bytes          int64
+	BlocksPerNode  []int
+	DeadNodes      []int
+	UnderReplBlcks int // blocks with fewer live replicas than configured
+}
+
+// Report returns the cluster statistics.
+func (fs *FileSystem) Report() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st := Stats{BlocksPerNode: make([]int, len(fs.nodes))}
+	for _, fm := range fs.files {
+		st.Files++
+		st.Bytes += fm.size
+		for _, b := range fm.blocks {
+			st.Blocks++
+			live := 0
+			for _, h := range b.hosts {
+				if !fs.dead[h] {
+					st.BlocksPerNode[h]++
+					live++
+				}
+			}
+			if live < len(b.hosts) {
+				st.UnderReplBlcks++
+			}
+		}
+	}
+	for n := range fs.nodes {
+		if fs.dead[n] {
+			st.DeadNodes = append(st.DeadNodes, n)
+		}
+	}
+	return st
+}

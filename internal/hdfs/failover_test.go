@@ -1,0 +1,123 @@
+package hdfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReadFailsOverToSurvivingReplica(t *testing.T) {
+	fs := newFS(t, 3, Config{BlockSize: 64, Replication: 2})
+	data := bytes.Repeat([]byte("r"), 200)
+	if err := fs.WriteFile("/f", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the writer-local node holding the first replica of every block.
+	fs.MarkDead(0)
+	got, err := fs.ReadAll("/f", 0)
+	if err != nil {
+		t.Fatalf("read after node death: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("failover read corrupted data")
+	}
+	// A failed-over read is remote.
+	_, local, err := fs.ReadBlock("/f", 0, 0)
+	if err != nil || local {
+		t.Errorf("read from dead-local node: local=%v err=%v", local, err)
+	}
+	fs.MarkAlive(0)
+	_, local, err = fs.ReadBlock("/f", 0, 0)
+	if err != nil || !local {
+		t.Errorf("after revival: local=%v err=%v", local, err)
+	}
+}
+
+func TestAllReplicasDead(t *testing.T) {
+	fs := newFS(t, 2, Config{BlockSize: 64, Replication: 2})
+	if err := fs.WriteFile("/f", make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.MarkDead(0)
+	fs.MarkDead(1)
+	if _, _, err := fs.ReadBlock("/f", 0, 0); err == nil {
+		t.Error("read succeeded with every replica dead")
+	}
+	missing := fs.MissingBlocks()
+	if missing["/f"] != 1 {
+		t.Errorf("MissingBlocks = %v", missing)
+	}
+	fs.MarkAlive(1)
+	if len(fs.MissingBlocks()) != 0 {
+		t.Error("block still missing after one replica revived")
+	}
+}
+
+func TestReport(t *testing.T) {
+	fs := newFS(t, 3, Config{BlockSize: 100, Replication: 2})
+	if err := fs.WriteFile("/a", make([]byte, 250), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/b", make([]byte, 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Report()
+	if st.Files != 2 || st.Blocks != 4 || st.Bytes != 350 {
+		t.Errorf("report: %+v", st)
+	}
+	totalReplicas := 0
+	for _, n := range st.BlocksPerNode {
+		totalReplicas += n
+	}
+	if totalReplicas != 8 { // 4 blocks x 2 replicas
+		t.Errorf("replicas: %d", totalReplicas)
+	}
+	if st.UnderReplBlcks != 0 || len(st.DeadNodes) != 0 {
+		t.Errorf("healthy cluster report: %+v", st)
+	}
+	fs.MarkDead(2)
+	st = fs.Report()
+	if len(st.DeadNodes) != 1 || st.DeadNodes[0] != 2 {
+		t.Errorf("dead nodes: %v", st.DeadNodes)
+	}
+	if st.UnderReplBlcks == 0 {
+		t.Error("no under-replicated blocks after node death")
+	}
+}
+
+func TestChecksumDetectsCorruptReplica(t *testing.T) {
+	fs := newFS(t, 3, Config{BlockSize: 64, Replication: 2})
+	data := bytes.Repeat([]byte("c"), 64)
+	if err := fs.WriteFile("/f", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the local (first) replica: the read must fail over to the
+	// intact one and still return correct data.
+	if err := fs.CorruptReplica("/f", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, local, err := fs.ReadBlock("/f", 0, 0)
+	if err != nil {
+		t.Fatalf("read after corruption: %v", err)
+	}
+	if local {
+		t.Error("corrupt local replica should not satisfy the read")
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("failover read returned wrong data")
+	}
+	// Corrupt the remaining intact replicas too (host 0 already is; the
+	// XOR-based corruption would undo itself if applied twice): the read
+	// must now fail with a checksum error.
+	locs, _ := fs.Locations("/f")
+	for _, h := range locs[0].Hosts {
+		if h == 0 {
+			continue
+		}
+		if err := fs.CorruptReplica("/f", 0, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := fs.ReadBlock("/f", 0, 0); err == nil {
+		t.Error("read succeeded with every replica corrupt")
+	}
+}

@@ -1,0 +1,320 @@
+package hdfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"datampi/internal/diskio"
+	"datampi/internal/netsim"
+)
+
+func newFS(t *testing.T, nodes int, cfg Config) *FileSystem {
+	t.Helper()
+	disks := make([]*diskio.Disk, nodes)
+	for i := range disks {
+		d, err := diskio.New(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		disks[i] = d
+	}
+	fs, err := New(cfg, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := newFS(t, 3, Config{BlockSize: 1024, Replication: 2})
+	data := bytes.Repeat([]byte("0123456789"), 1000) // 10 KB -> 10 blocks
+	if err := fs.WriteFile("/a/b", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := fs.Size("/a/b")
+	if err != nil || sz != int64(len(data)) {
+		t.Fatalf("Size = %d, %v", sz, err)
+	}
+	got, err := fs.ReadAll("/a/b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestBlockLayoutAndReplication(t *testing.T) {
+	fs := newFS(t, 4, Config{BlockSize: 100, Replication: 2})
+	data := make([]byte, 250) // 2 full blocks + 1 partial
+	if err := fs.WriteFile("/f", data, 1); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := fs.Locations("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(locs))
+	}
+	wantLens := []int64{100, 100, 50}
+	var off int64
+	for i, l := range locs {
+		if l.Length != wantLens[i] {
+			t.Errorf("block %d length %d, want %d", i, l.Length, wantLens[i])
+		}
+		if l.Offset != off {
+			t.Errorf("block %d offset %d, want %d", i, l.Offset, off)
+		}
+		off += l.Length
+		if len(l.Hosts) != 2 {
+			t.Errorf("block %d has %d replicas", i, len(l.Hosts))
+		}
+		if l.Hosts[0] != 1 {
+			t.Errorf("block %d first replica %d, want writer-local 1", i, l.Hosts[0])
+		}
+	}
+}
+
+func TestReadBlockLocality(t *testing.T) {
+	link := netsim.NewLink(netsim.Unlimited)
+	fs := newFS(t, 3, Config{BlockSize: 64, Replication: 1, Link: link})
+	if err := fs.WriteFile("/f", make([]byte, 64), 2); err != nil {
+		t.Fatal(err)
+	}
+	_, local, err := fs.ReadBlock("/f", 0, 2)
+	if err != nil || !local {
+		t.Errorf("local read: local=%v err=%v", local, err)
+	}
+	if link.Stats().PayloadBytes != 0 {
+		t.Error("local read charged the network")
+	}
+	_, local, err = fs.ReadBlock("/f", 0, 0)
+	if err != nil || local {
+		t.Errorf("remote read: local=%v err=%v", local, err)
+	}
+	if link.Stats().PayloadBytes != 64 {
+		t.Errorf("remote read charged %d bytes", link.Stats().PayloadBytes)
+	}
+}
+
+func TestDeleteAndOverwrite(t *testing.T) {
+	fs := newFS(t, 2, Config{BlockSize: 10, Replication: 1})
+	if err := fs.WriteFile("/f", []byte("0123456789abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/f", []byte("xyz"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadAll("/f", 0)
+	if string(got) != "xyz" {
+		t.Errorf("overwrite read %q", got)
+	}
+	if err := fs.Delete("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/f") {
+		t.Error("file still exists after delete")
+	}
+	if err := fs.Delete("/f"); err != ErrNotFound {
+		t.Errorf("double delete: %v", err)
+	}
+	if _, err := fs.ReadAll("/f", 0); err != ErrNotFound {
+		t.Errorf("read deleted: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := newFS(t, 1, Config{BlockSize: 10, Replication: 1})
+	for _, p := range []string{"/out/part-1", "/out/part-0", "/in/x"} {
+		if err := fs.WriteFile(p, []byte("d"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.List("/out/")
+	if len(got) != 2 || got[0] != "/out/part-0" || got[1] != "/out/part-1" {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := newFS(t, 1, Config{BlockSize: 10, Replication: 1})
+	if err := fs.WriteFile("/empty", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll("/empty", 0)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty read: %v %v", got, err)
+	}
+	locs, _ := fs.Locations("/empty")
+	if len(locs) != 0 {
+		t.Errorf("empty file has %d blocks", len(locs))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	fs := newFS(t, 3, Config{BlockSize: 37, Replication: 2})
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		path := fmt.Sprintf("/p%d", i)
+		if err := fs.WriteFile(path, data, i%3); err != nil {
+			return false
+		}
+		got, err := fs.ReadAll(path, (i+1)%3)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitsAndRankAssignment(t *testing.T) {
+	fs := newFS(t, 2, Config{BlockSize: 100, Replication: 1})
+	if err := fs.WriteFile("/f1", make([]byte, 350), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/f2", make([]byte, 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := fs.Splits("/f1", "/f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 5 {
+		t.Fatalf("got %d splits, want 5", len(splits))
+	}
+	seen := 0
+	for rank := 0; rank < 3; rank++ {
+		seen += len(SplitsForRank(splits, rank, 3))
+	}
+	if seen != 5 {
+		t.Errorf("rank partition covers %d splits", seen)
+	}
+}
+
+func TestReadLinesInSplitBoundaries(t *testing.T) {
+	fs := newFS(t, 1, Config{BlockSize: 16, Replication: 1})
+	// Lines crossing block boundaries deliberately.
+	text := "alpha beta\ngamma delta epsilon\nzeta\neta theta iota kappa\n"
+	if err := fs.WriteFile("/t", []byte(text), 0); err != nil {
+		t.Fatal(err)
+	}
+	splits, _ := fs.Splits("/t")
+	var lines []string
+	for _, s := range splits {
+		err := fs.ReadLinesInSplit(s, 0, func(line []byte) error {
+			lines = append(lines, string(line))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"alpha beta", "gamma delta epsilon", "zeta", "eta theta iota kappa"}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines %v, want %v", len(lines), lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestReadLinesSplitLineExactlyOnce(t *testing.T) {
+	// Property: regardless of block size, every line is seen exactly once.
+	for _, bs := range []int64{5, 7, 13, 64} {
+		fs := newFS(t, 1, Config{BlockSize: bs, Replication: 1})
+		var sb bytes.Buffer
+		var want []string
+		for i := 0; i < 30; i++ {
+			l := fmt.Sprintf("line-%02d", i)
+			want = append(want, l)
+			sb.WriteString(l + "\n")
+		}
+		if err := fs.WriteFile("/t", sb.Bytes(), 0); err != nil {
+			t.Fatal(err)
+		}
+		splits, _ := fs.Splits("/t")
+		var got []string
+		for _, s := range splits {
+			fs.ReadLinesInSplit(s, 0, func(line []byte) error {
+				got = append(got, string(line))
+				return nil
+			})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bs=%d: got %d lines, want %d", bs, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("bs=%d line %d: %q != %q", bs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReadRecordsInSplit(t *testing.T) {
+	const recSize = 10
+	for _, bs := range []int64{25, 30, 100} { // 25: records cross blocks
+		fs := newFS(t, 1, Config{BlockSize: bs, Replication: 1})
+		var data []byte
+		const n = 12
+		for i := 0; i < n; i++ {
+			rec := bytes.Repeat([]byte{byte('a' + i)}, recSize)
+			data = append(data, rec...)
+		}
+		if err := fs.WriteFile("/r", data, 0); err != nil {
+			t.Fatal(err)
+		}
+		splits, _ := fs.Splits("/r")
+		var got []byte
+		count := 0
+		for _, s := range splits {
+			err := fs.ReadRecordsInSplit(s, recSize, 0, func(rec []byte) error {
+				if len(rec) != recSize {
+					return io.ErrShortBuffer
+				}
+				got = append(got, rec[0])
+				count++
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if count != n {
+			t.Fatalf("bs=%d: got %d records, want %d (%q)", bs, count, n, got)
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != byte('a'+i) {
+				t.Errorf("bs=%d record %d = %c", bs, i, got[i])
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	d, _ := diskio.New(t.TempDir())
+	if _, err := New(Config{BlockSize: 0}, []*diskio.Disk{d}); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := New(Config{BlockSize: 10}, nil); err == nil {
+		t.Error("no datanodes accepted")
+	}
+	fs, err := New(Config{BlockSize: 10, Replication: 99}, []*diskio.Disk{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/f", []byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	locs, _ := fs.Locations("/f")
+	if len(locs[0].Hosts) != 1 {
+		t.Errorf("replication not clamped: %d", len(locs[0].Hosts))
+	}
+}

@@ -1,0 +1,99 @@
+package hrpc
+
+import (
+	"fmt"
+	"sync"
+
+	"datampi/internal/mpi"
+)
+
+// Tags used by the MPI-backed RPC.
+const (
+	tagRPCRequest  = 1001
+	tagRPCResponse = 1002
+)
+
+// MPIServer serves RPCs on one rank of an MPI communicator. It uses the
+// same Writable-style call/reply serialization as the Hadoop stack, but the
+// transport is a direct MPI send/recv pair: no connection management, no
+// call queue hand-offs, no per-connection responder thread.
+type MPIServer struct {
+	comm    *mpi.Comm
+	handler Handler
+	done    chan struct{}
+}
+
+// ServeMPI starts serving RPC requests arriving on comm (any source). It
+// returns immediately; the server stops when the world closes.
+func ServeMPI(comm *mpi.Comm, handler Handler) *MPIServer {
+	s := &MPIServer{comm: comm, handler: handler, done: make(chan struct{})}
+	go s.loop()
+	return s
+}
+
+func (s *MPIServer) loop() {
+	defer close(s.done)
+	for {
+		frame, st, err := s.comm.Recv(mpi.AnySource, tagRPCRequest)
+		if err != nil {
+			return // world closed
+		}
+		c, err := decodeCall(frame)
+		var reply []byte
+		if err != nil {
+			reply = encodeReply(0, nil, err.Error())
+		} else {
+			value, herr := s.handler(c.method, c.args)
+			if herr != nil {
+				reply = encodeReply(c.id, nil, herr.Error())
+			} else {
+				reply = encodeReply(c.id, value, "")
+			}
+		}
+		if err := s.comm.Send(st.Source, tagRPCResponse, reply); err != nil {
+			return
+		}
+	}
+}
+
+// Wait blocks until the server loop has exited (after world close).
+func (s *MPIServer) Wait() { <-s.done }
+
+// MPIClient issues RPCs to an MPIServer rank over a communicator. Calls
+// are serialized per client (matching one outstanding request per rank,
+// which is how DataMPI's control RPCs are used).
+type MPIClient struct {
+	comm   *mpi.Comm
+	server int
+	mu     sync.Mutex
+	nextID uint32
+}
+
+// NewMPIClient returns a client on comm targeting the given server rank.
+func NewMPIClient(comm *mpi.Comm, serverRank int) *MPIClient {
+	return &MPIClient{comm: comm, server: serverRank}
+}
+
+// Call performs one RPC and returns the response value.
+func (c *MPIClient) Call(method string, args []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	frame := encodeCall(call{id: id, method: method, args: args})
+	if err := c.comm.Send(c.server, tagRPCRequest, frame); err != nil {
+		return nil, err
+	}
+	reply, _, err := c.comm.Recv(c.server, tagRPCResponse)
+	if err != nil {
+		return nil, err
+	}
+	gotID, value, err := decodeReply(reply)
+	if err != nil {
+		return nil, err
+	}
+	if gotID != id {
+		return nil, fmt.Errorf("hrpc: response id %d for call %d", gotID, id)
+	}
+	return value, nil
+}

@@ -1,0 +1,180 @@
+// Package hrpc provides the two RPC stacks compared in the paper's
+// Figure 1(b): a Hadoop-1.x-style RPC (real TCP client/server with
+// Hadoop's Writable-flavoured wire format and its Listener -> Handler ->
+// Responder thread pipeline) and a DataMPI RPC built directly on
+// internal/mpi using the same payload serialization, as §I of the paper
+// describes ("an RPC system based on DataMPI by using the same data
+// serialization mechanism as default Hadoop RPC").
+package hrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrServerClosed is returned by calls against a stopped server.
+var ErrServerClosed = errors.New("hrpc: server closed")
+
+// Hadoop-1.x style connection preamble.
+var connectionHeader = []byte("hrpc\x04\x00")
+
+// The Writable class names Hadoop 1.x RPC sends with every call; they are
+// part of the per-call overhead this experiment measures.
+const (
+	protocolName   = "org.apache.hadoop.ipc.ClientProtocol"
+	paramClassName = "org.apache.hadoop.io.BytesWritable"
+)
+
+// writeString writes a Writable-style UTF string: u16 length + bytes.
+func writeString(buf []byte, s string) []byte {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(s)))
+	buf = append(buf, l[:]...)
+	return append(buf, s...)
+}
+
+func readString(r io.Reader) (string, error) {
+	var l [2]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return "", err
+	}
+	b := make([]byte, binary.BigEndian.Uint16(l[:]))
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// writeBytes writes u32 length + bytes.
+func writeBytes(buf []byte, b []byte) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
+	buf = append(buf, l[:]...)
+	return append(buf, b...)
+}
+
+func readBytes(r io.Reader) ([]byte, error) {
+	var l [4]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return nil, err
+	}
+	b := make([]byte, binary.BigEndian.Uint32(l[:]))
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// call is the decoded request frame shared by both stacks.
+type call struct {
+	id     uint32
+	method string
+	args   []byte
+}
+
+// encodeCall produces the Hadoop-style call frame (without the outer length
+// prefix): callId, protocol declaration, method, param count, param class
+// name, payload.
+func encodeCall(c call) []byte {
+	var idb [4]byte
+	binary.BigEndian.PutUint32(idb[:], c.id)
+	buf := append([]byte(nil), idb[:]...)
+	buf = writeString(buf, protocolName)
+	buf = writeString(buf, c.method)
+	var np [4]byte
+	binary.BigEndian.PutUint32(np[:], 1)
+	buf = append(buf, np[:]...)
+	buf = writeString(buf, paramClassName)
+	buf = writeBytes(buf, c.args)
+	return buf
+}
+
+func decodeCall(frame []byte) (call, error) {
+	r := &sliceReader{b: frame}
+	var idb [4]byte
+	if _, err := io.ReadFull(r, idb[:]); err != nil {
+		return call{}, err
+	}
+	c := call{id: binary.BigEndian.Uint32(idb[:])}
+	proto, err := readString(r)
+	if err != nil {
+		return call{}, err
+	}
+	if proto != protocolName {
+		return call{}, fmt.Errorf("hrpc: unknown protocol %q", proto)
+	}
+	if c.method, err = readString(r); err != nil {
+		return call{}, err
+	}
+	var np [4]byte
+	if _, err := io.ReadFull(r, np[:]); err != nil {
+		return call{}, err
+	}
+	if n := binary.BigEndian.Uint32(np[:]); n != 1 {
+		return call{}, fmt.Errorf("hrpc: %d params", n)
+	}
+	if _, err := readString(r); err != nil { // param class name
+		return call{}, err
+	}
+	if c.args, err = readBytes(r); err != nil {
+		return call{}, err
+	}
+	return c, nil
+}
+
+// reply statuses, as in Hadoop's Server.java.
+const (
+	statusSuccess = 0
+	statusError   = 1
+)
+
+// encodeReply produces the response frame: callId, status, value-or-error.
+func encodeReply(id uint32, value []byte, errMsg string) []byte {
+	var idb [4]byte
+	binary.BigEndian.PutUint32(idb[:], id)
+	buf := append([]byte(nil), idb[:]...)
+	if errMsg != "" {
+		buf = append(buf, statusError)
+		return writeString(buf, errMsg)
+	}
+	buf = append(buf, statusSuccess)
+	return writeBytes(buf, value)
+}
+
+func decodeReply(frame []byte) (id uint32, value []byte, err error) {
+	r := &sliceReader{b: frame}
+	var idb [4]byte
+	if _, e := io.ReadFull(r, idb[:]); e != nil {
+		return 0, nil, e
+	}
+	id = binary.BigEndian.Uint32(idb[:])
+	var st [1]byte
+	if _, e := io.ReadFull(r, st[:]); e != nil {
+		return 0, nil, e
+	}
+	if st[0] == statusError {
+		msg, e := readString(r)
+		if e != nil {
+			return id, nil, e
+		}
+		return id, nil, errors.New(msg)
+	}
+	value, err = readBytes(r)
+	return id, value, err
+}
+
+type sliceReader struct{ b []byte }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}
+
+// Handler processes one RPC and returns the response value.
+type Handler func(method string, args []byte) ([]byte, error)

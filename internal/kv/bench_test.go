@@ -1,0 +1,98 @@
+package kv
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func benchRecords(n int) []Record {
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Key:   []byte(fmt.Sprintf("key-%08d", rng.Intn(n))),
+			Value: make([]byte, 90),
+		}
+	}
+	return recs
+}
+
+func BenchmarkAppendRecord(b *testing.B) {
+	rec := Record{Key: make([]byte, 10), Value: make([]byte, 90)}
+	buf := make([]byte, 0, 128)
+	b.SetBytes(int64(rec.Size()))
+	for i := 0; i < b.N; i++ {
+		buf = AppendRecord(buf[:0], rec)
+	}
+}
+
+func BenchmarkDecodeAll(b *testing.B) {
+	var buf []byte
+	for _, r := range benchRecords(1000) {
+		buf = AppendRecord(buf, r)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAll(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortRecords(b *testing.B) {
+	base := benchRecords(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		recs := append([]Record(nil), base...)
+		b.StartTimer()
+		SortRecords(recs, DefaultCompare)
+	}
+}
+
+func BenchmarkMerger8Way(b *testing.B) {
+	const runs, per = 8, 1000
+	sorted := make([][]Record, runs)
+	for r := range sorted {
+		sorted[r] = benchRecords(per)
+		SortRecords(sorted[r], DefaultCompare)
+	}
+	b.SetBytes(int64(runs * per * 100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		its := make([]Iterator, runs)
+		for r := range its {
+			its[r] = NewSliceIterator(sorted[r])
+		}
+		m, err := NewMerger(DefaultCompare, its...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := m.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkGrouper(b *testing.B) {
+	recs := benchRecords(10000)
+	SortRecords(recs, DefaultCompare)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGrouper(NewSliceIterator(recs), DefaultCompare)
+		for {
+			if _, err := g.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

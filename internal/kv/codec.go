@@ -1,0 +1,199 @@
+// Package kv provides the key-value data representation used throughout
+// DataMPI: typed codecs (the analogue of Hadoop's Writable serialization and
+// of the KEY_CLASS / VALUE_CLASS reserved configuration keys in the paper),
+// raw record framing for buffers and streams, comparators, and the default
+// hash-modulo partitioner.
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Codec serializes and deserializes one value type. Implementations must be
+// safe for concurrent use; the built-in codecs are stateless.
+type Codec interface {
+	// Name identifies the codec, e.g. "string". It plays the role of the
+	// KEY_CLASS / VALUE_CLASS reserved configuration values in the paper.
+	Name() string
+	// Encode appends the serialized form of v to buf and returns the
+	// extended slice.
+	Encode(buf []byte, v any) ([]byte, error)
+	// Decode parses one value from b. b holds exactly one value.
+	Decode(b []byte) (any, error)
+}
+
+// Built-in codecs covering the types used by the paper's benchmarks.
+var (
+	String  Codec = stringCodec{}
+	Bytes   Codec = bytesCodec{}
+	Int64   Codec = int64Codec{}
+	Float64 Codec = float64Codec{}
+	// Float64Slice serializes []float64; used by K-means (cluster centroids).
+	Float64Slice Codec = float64SliceCodec{}
+	// Null encodes struct{}{} in zero bytes; used when a key or value
+	// carries no information (e.g. the sort example sends empty values).
+	Null Codec = nullCodec{}
+)
+
+// ByName resolves a codec from its Name. It returns an error for unknown
+// names so configuration typos surface early, at MPI_D_Init time.
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "string":
+		return String, nil
+	case "bytes":
+		return Bytes, nil
+	case "int64":
+		return Int64, nil
+	case "float64":
+		return Float64, nil
+	case "float64slice":
+		return Float64Slice, nil
+	case "null":
+		return Null, nil
+	}
+	return nil, fmt.Errorf("kv: unknown codec %q", name)
+}
+
+type stringCodec struct{}
+
+func (stringCodec) Name() string { return "string" }
+
+func (stringCodec) Encode(buf []byte, v any) ([]byte, error) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, typeErr("string", v)
+	}
+	return append(buf, s...), nil
+}
+
+func (stringCodec) Decode(b []byte) (any, error) { return string(b), nil }
+
+type bytesCodec struct{}
+
+func (bytesCodec) Name() string { return "bytes" }
+
+func (bytesCodec) Encode(buf []byte, v any) ([]byte, error) {
+	b, ok := v.([]byte)
+	if !ok {
+		return nil, typeErr("[]byte", v)
+	}
+	return append(buf, b...), nil
+}
+
+func (bytesCodec) Decode(b []byte) (any, error) {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+type int64Codec struct{}
+
+func (int64Codec) Name() string { return "int64" }
+
+func (int64Codec) Encode(buf []byte, v any) ([]byte, error) {
+	var n int64
+	switch x := v.(type) {
+	case int64:
+		n = x
+	case int:
+		n = int64(x)
+	case int32:
+		n = int64(x)
+	default:
+		return nil, typeErr("int64", v)
+	}
+	// Big-endian with the sign bit flipped so that unsigned byte order
+	// matches numeric order; this keeps the default raw comparator
+	// correct for int64 keys.
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(n)^(1<<63))
+	return append(buf, tmp[:]...), nil
+}
+
+func (int64Codec) Decode(b []byte) (any, error) {
+	if len(b) != 8 {
+		return nil, fmt.Errorf("kv: int64 needs 8 bytes, got %d", len(b))
+	}
+	return int64(binary.BigEndian.Uint64(b) ^ (1 << 63)), nil
+}
+
+type float64Codec struct{}
+
+func (float64Codec) Name() string { return "float64" }
+
+func (float64Codec) Encode(buf []byte, v any) ([]byte, error) {
+	f, ok := v.(float64)
+	if !ok {
+		return nil, typeErr("float64", v)
+	}
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], orderedFloatBits(f))
+	return append(buf, tmp[:]...), nil
+}
+
+func (float64Codec) Decode(b []byte) (any, error) {
+	if len(b) != 8 {
+		return nil, fmt.Errorf("kv: float64 needs 8 bytes, got %d", len(b))
+	}
+	return floatFromOrderedBits(binary.BigEndian.Uint64(b)), nil
+}
+
+// orderedFloatBits maps a float64 to a uint64 whose unsigned order matches
+// the float's numeric order (standard IEEE-754 total-order trick).
+func orderedFloatBits(f float64) uint64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return ^u
+	}
+	return u | (1 << 63)
+}
+
+func floatFromOrderedBits(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+type float64SliceCodec struct{}
+
+func (float64SliceCodec) Name() string { return "float64slice" }
+
+func (float64SliceCodec) Encode(buf []byte, v any) ([]byte, error) {
+	fs, ok := v.([]float64)
+	if !ok {
+		return nil, typeErr("[]float64", v)
+	}
+	var tmp [8]byte
+	for _, f := range fs {
+		binary.BigEndian.PutUint64(tmp[:], math.Float64bits(f))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf, nil
+}
+
+func (float64SliceCodec) Decode(b []byte) (any, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("kv: float64slice length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+type nullCodec struct{}
+
+func (nullCodec) Name() string { return "null" }
+
+func (nullCodec) Encode(buf []byte, v any) ([]byte, error) { return buf, nil }
+
+func (nullCodec) Decode(b []byte) (any, error) { return struct{}{}, nil }
+
+func typeErr(want string, got any) error {
+	return fmt.Errorf("kv: value has type %T, codec wants %s", got, want)
+}

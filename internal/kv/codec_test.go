@@ -1,0 +1,210 @@
+package kv
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringCodecRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "hello world", "日本語", string([]byte{0, 1, 255})} {
+		b, err := String.Encode(nil, s)
+		if err != nil {
+			t.Fatalf("encode %q: %v", s, err)
+		}
+		v, err := String.Decode(b)
+		if err != nil {
+			t.Fatalf("decode %q: %v", s, err)
+		}
+		if v.(string) != s {
+			t.Errorf("round trip %q -> %q", s, v)
+		}
+	}
+}
+
+func TestStringCodecTypeError(t *testing.T) {
+	if _, err := String.Encode(nil, 42); err == nil {
+		t.Fatal("want type error encoding int with string codec")
+	}
+}
+
+func TestBytesCodecRoundTrip(t *testing.T) {
+	in := []byte{9, 8, 7, 0}
+	b, err := Bytes.Encode(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Bytes.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.([]byte), in) {
+		t.Errorf("round trip %v -> %v", in, out)
+	}
+	// Decode must copy, not alias.
+	b[0] = 99
+	if out.([]byte)[0] == 99 {
+		t.Error("Decode aliases input buffer")
+	}
+}
+
+func TestInt64CodecRoundTrip(t *testing.T) {
+	for _, n := range []int64{0, 1, -1, 42, math.MaxInt64, math.MinInt64} {
+		b, err := Int64.Encode(nil, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := Int64.Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int64) != n {
+			t.Errorf("round trip %d -> %d", n, v)
+		}
+	}
+}
+
+func TestInt64CodecAcceptsIntAndInt32(t *testing.T) {
+	b, err := Int64.Encode(nil, int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := Int64.Decode(b); v.(int64) != 7 {
+		t.Errorf("int encode: got %v", v)
+	}
+	b, err = Int64.Encode(nil, int32(-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := Int64.Decode(b); v.(int64) != -3 {
+		t.Errorf("int32 encode: got %v", v)
+	}
+}
+
+func TestInt64CodecOrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea, _ := Int64.Encode(nil, a)
+		eb, _ := Int64.Encode(nil, b)
+		c := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt64CodecBadLength(t *testing.T) {
+	if _, err := Int64.Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("want error for short int64")
+	}
+}
+
+func TestFloat64CodecRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		b, err := Float64.Encode(nil, x)
+		if err != nil {
+			return false
+		}
+		v, err := Float64.Decode(b)
+		if err != nil {
+			return false
+		}
+		got := v.(float64)
+		return got == x || (math.IsNaN(got) && math.IsNaN(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, x := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), 1.5, -1.5} {
+		b, _ := Float64.Encode(nil, x)
+		v, _ := Float64.Decode(b)
+		if v.(float64) != x {
+			t.Errorf("round trip %v -> %v", x, v)
+		}
+	}
+}
+
+func TestFloat64CodecOrderPreserving(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea, _ := Float64.Encode(nil, a)
+		eb, _ := Float64.Encode(nil, b)
+		c := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64SliceRoundTrip(t *testing.T) {
+	in := []float64{1.5, -2.25, 0, math.Pi}
+	b, err := Float64Slice.Encode(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Float64Slice.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := v.([]float64)
+	if len(out) != len(in) {
+		t.Fatalf("length %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("elem %d: %v != %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestFloat64SliceBadLength(t *testing.T) {
+	if _, err := Float64Slice.Decode(make([]byte, 9)); err == nil {
+		t.Fatal("want error for non-multiple-of-8 input")
+	}
+}
+
+func TestNullCodec(t *testing.T) {
+	b, err := Null.Encode(nil, struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 0 {
+		t.Errorf("null encoding not empty: %v", b)
+	}
+	if _, err := Null.Decode(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"string", "bytes", "int64", "float64", "float64slice", "null"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("want error for unknown codec name")
+	}
+}

@@ -1,0 +1,198 @@
+package kv
+
+import (
+	"container/heap"
+	"io"
+)
+
+// Iterator yields a sorted run of records. Next returns io.EOF at the end of
+// the run. Implementations are single-goroutine.
+type Iterator interface {
+	Next() (Record, error)
+}
+
+// SliceIterator iterates an in-memory run.
+type SliceIterator struct {
+	recs []Record
+	i    int
+}
+
+// NewSliceIterator returns an Iterator over recs (which must already be
+// sorted if used as a merge input).
+func NewSliceIterator(recs []Record) *SliceIterator { return &SliceIterator{recs: recs} }
+
+// Next implements Iterator.
+func (s *SliceIterator) Next() (Record, error) {
+	if s.i >= len(s.recs) {
+		return Record{}, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+// ReaderIterator adapts a *Reader (a spilled run on disk) to Iterator.
+type ReaderIterator struct{ R *Reader }
+
+// Next implements Iterator.
+func (r ReaderIterator) Next() (Record, error) { return r.R.Read() }
+
+type mergeEntry struct {
+	rec Record
+	src int
+}
+
+type mergeHeap struct {
+	entries []mergeEntry
+	cmp     Compare
+}
+
+func (h *mergeHeap) Len() int { return len(h.entries) }
+
+func (h *mergeHeap) Less(i, j int) bool {
+	c := h.cmp(h.entries[i].rec.Key, h.entries[j].rec.Key)
+	if c != 0 {
+		return c < 0
+	}
+	// Tie-break on source index for a stable, deterministic merge.
+	return h.entries[i].src < h.entries[j].src
+}
+
+func (h *mergeHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+
+func (h *mergeHeap) Push(x any) { h.entries = append(h.entries, x.(mergeEntry)) }
+
+func (h *mergeHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}
+
+// Merger performs a streaming k-way merge over sorted runs, as done by both
+// the Hadoop reduce-side merge and the DataMPI RPL merge queue.
+type Merger struct {
+	srcs []Iterator
+	h    mergeHeap
+	err  error
+}
+
+// NewMerger returns a Merger over the given sorted runs under cmp.
+func NewMerger(cmp Compare, srcs ...Iterator) (*Merger, error) {
+	m := &Merger{srcs: srcs}
+	m.h.cmp = cmp
+	for i, s := range srcs {
+		rec, err := s.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.h.entries = append(m.h.entries, mergeEntry{rec: rec, src: i})
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+// Next implements Iterator, yielding records in globally sorted order.
+func (m *Merger) Next() (Record, error) {
+	if m.err != nil {
+		return Record{}, m.err
+	}
+	if m.h.Len() == 0 {
+		return Record{}, io.EOF
+	}
+	top := m.h.entries[0]
+	next, err := m.srcs[top.src].Next()
+	if err == io.EOF {
+		heap.Pop(&m.h)
+	} else if err != nil {
+		m.err = err
+		return Record{}, err
+	} else {
+		m.h.entries[0] = mergeEntry{rec: next, src: top.src}
+		heap.Fix(&m.h, 0)
+	}
+	return top.rec, nil
+}
+
+// Group is one key together with every value that was emitted for it.
+type Group struct {
+	Key    []byte
+	Values [][]byte
+}
+
+// Grouper folds a sorted Iterator into per-key groups, the shape consumed by
+// a reduce function. Keys compare equal under cmp iff cmp returns 0.
+type Grouper struct {
+	it      Iterator
+	cmp     Compare
+	pending Record
+	has     bool
+	done    bool
+}
+
+// NewGrouper returns a Grouper over a sorted iterator.
+func NewGrouper(it Iterator, cmp Compare) *Grouper { return &Grouper{it: it, cmp: cmp} }
+
+// Next returns the next key group, or io.EOF.
+func (g *Grouper) Next() (Group, error) {
+	if g.done {
+		return Group{}, io.EOF
+	}
+	if !g.has {
+		rec, err := g.it.Next()
+		if err == io.EOF {
+			g.done = true
+			return Group{}, io.EOF
+		}
+		if err != nil {
+			return Group{}, err
+		}
+		g.pending, g.has = rec, true
+	}
+	grp := Group{Key: g.pending.Key, Values: [][]byte{g.pending.Value}}
+	for {
+		rec, err := g.it.Next()
+		if err == io.EOF {
+			g.done = true
+			g.has = false
+			return grp, nil
+		}
+		if err != nil {
+			return Group{}, err
+		}
+		if g.cmp(rec.Key, grp.Key) != 0 {
+			g.pending, g.has = rec, true
+			return grp, nil
+		}
+		grp.Values = append(grp.Values, rec.Value)
+	}
+}
+
+// ApplyCombine runs the combiner over a sorted slice of records, returning a
+// (usually shorter) sorted slice. It mirrors Hadoop's map-side combine and
+// DataMPI's MPI_D_Combine applied to an SPL before transmission.
+func ApplyCombine(recs []Record, cmp Compare, combine Combine) []Record {
+	if combine == nil || len(recs) == 0 {
+		return recs
+	}
+	g := NewGrouper(NewSliceIterator(recs), cmp)
+	var result []Record
+	for {
+		grp, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Cannot happen for in-memory iteration; keep input on error.
+			return recs
+		}
+		for _, v := range combine(grp.Key, grp.Values) {
+			result = append(result, Record{Key: grp.Key, Value: v})
+		}
+	}
+	return result
+}

@@ -1,0 +1,240 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func drain(t *testing.T, it Iterator) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func TestMergerSortedOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var runs []Iterator
+	var all []string
+	for r := 0; r < 5; r++ {
+		n := rng.Intn(50)
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%04d", rng.Intn(1000))
+		}
+		sort.Strings(keys)
+		recs := make([]Record, n)
+		for i, k := range keys {
+			recs[i] = Record{Key: []byte(k)}
+			all = append(all, k)
+		}
+		runs = append(runs, NewSliceIterator(recs))
+	}
+	m, err := NewMerger(DefaultCompare, runs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := drain(t, m)
+	if len(out) != len(all) {
+		t.Fatalf("merged %d records, want %d", len(out), len(all))
+	}
+	sort.Strings(all)
+	for i, r := range out {
+		if string(r.Key) != all[i] {
+			t.Fatalf("pos %d: got %q want %q", i, r.Key, all[i])
+		}
+	}
+}
+
+func TestMergerEmptyInputs(t *testing.T) {
+	m, err := NewMerger(DefaultCompare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Next(); err != io.EOF {
+		t.Errorf("empty merger: want EOF, got %v", err)
+	}
+	m, err = NewMerger(DefaultCompare, NewSliceIterator(nil), NewSliceIterator(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Next(); err != io.EOF {
+		t.Errorf("merger of empty runs: want EOF, got %v", err)
+	}
+}
+
+func TestMergerProperty(t *testing.T) {
+	f := func(runsRaw [][]uint16) bool {
+		var runs []Iterator
+		total := 0
+		for _, raw := range runsRaw {
+			recs := make([]Record, len(raw))
+			for i, v := range raw {
+				recs[i] = Record{Key: []byte{byte(v >> 8), byte(v)}}
+			}
+			SortRecords(recs, DefaultCompare)
+			runs = append(runs, NewSliceIterator(recs))
+			total += len(recs)
+		}
+		m, err := NewMerger(DefaultCompare, runs...)
+		if err != nil {
+			return false
+		}
+		var prev []byte
+		n := 0
+		for {
+			rec, err := m.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			if prev != nil && bytes.Compare(prev, rec.Key) > 0 {
+				return false
+			}
+			prev = rec.Key
+			n++
+		}
+		return n == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergerOverReaderIterators(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		w := NewWriter(&bufs[i])
+		for j := 0; j < 10; j++ {
+			if err := w.Write(Record{Key: []byte(fmt.Sprintf("%d-%02d", i, j))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m, err := NewMerger(DefaultCompare,
+		ReaderIterator{R: NewReader(&bufs[0])},
+		ReaderIterator{R: NewReader(&bufs[1])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := drain(t, m)
+	if len(out) != 20 {
+		t.Fatalf("got %d records, want 20", len(out))
+	}
+}
+
+func TestGrouper(t *testing.T) {
+	recs := []Record{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("a"), Value: []byte("2")},
+		{Key: []byte("b"), Value: []byte("3")},
+		{Key: []byte("c"), Value: []byte("4")},
+		{Key: []byte("c"), Value: []byte("5")},
+		{Key: []byte("c"), Value: []byte("6")},
+	}
+	g := NewGrouper(NewSliceIterator(recs), DefaultCompare)
+	wantKeys := []string{"a", "b", "c"}
+	wantLens := []int{2, 1, 3}
+	for i := range wantKeys {
+		grp, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(grp.Key) != wantKeys[i] || len(grp.Values) != wantLens[i] {
+			t.Errorf("group %d: key=%q nvals=%d", i, grp.Key, len(grp.Values))
+		}
+	}
+	if _, err := g.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+	// Repeated Next after EOF stays EOF.
+	if _, err := g.Next(); err != io.EOF {
+		t.Errorf("want EOF on second call, got %v", err)
+	}
+}
+
+func TestGrouperEmpty(t *testing.T) {
+	g := NewGrouper(NewSliceIterator(nil), DefaultCompare)
+	if _, err := g.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestGrouperPreservesTotalValues(t *testing.T) {
+	f := func(keys []uint8) bool {
+		recs := make([]Record, len(keys))
+		for i, k := range keys {
+			recs[i] = Record{Key: []byte{k}, Value: []byte{byte(i)}}
+		}
+		SortRecords(recs, DefaultCompare)
+		g := NewGrouper(NewSliceIterator(recs), DefaultCompare)
+		total := 0
+		seen := map[byte]bool{}
+		for {
+			grp, err := g.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			if len(grp.Key) != 1 || seen[grp.Key[0]] {
+				return false // duplicate group key
+			}
+			seen[grp.Key[0]] = true
+			total += len(grp.Values)
+		}
+		return total == len(keys)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyCombineSums(t *testing.T) {
+	recs := []Record{
+		{Key: []byte("x"), Value: []byte{1}},
+		{Key: []byte("x"), Value: []byte{2}},
+		{Key: []byte("y"), Value: []byte{5}},
+	}
+	sum := func(key []byte, vals [][]byte) [][]byte {
+		var s byte
+		for _, v := range vals {
+			s += v[0]
+		}
+		return [][]byte{{s}}
+	}
+	out := ApplyCombine(recs, DefaultCompare, sum)
+	if len(out) != 2 {
+		t.Fatalf("got %d records, want 2", len(out))
+	}
+	if string(out[0].Key) != "x" || out[0].Value[0] != 3 {
+		t.Errorf("combined x = %v", out[0])
+	}
+	if string(out[1].Key) != "y" || out[1].Value[0] != 5 {
+		t.Errorf("combined y = %v", out[1])
+	}
+}
+
+func TestApplyCombineNilPassThrough(t *testing.T) {
+	recs := []Record{{Key: []byte("x")}}
+	out := ApplyCombine(recs, DefaultCompare, nil)
+	if len(out) != 1 {
+		t.Fatal("nil combiner must pass input through")
+	}
+}

@@ -1,0 +1,193 @@
+package kv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Record is one key-value pair in serialized form. The runtime moves
+// Records; user code sees decoded values at the MPI_D_Send/Recv boundary.
+type Record struct {
+	Key   []byte
+	Value []byte
+}
+
+// Size returns the framed size of the record in a buffer (varint lengths
+// plus payloads). It is used for buffer-threshold accounting (SPL/RPL).
+func (r Record) Size() int {
+	return uvarintLen(uint64(len(r.Key))) + len(r.Key) +
+		uvarintLen(uint64(len(r.Value))) + len(r.Value)
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// AppendRecord appends the framed record to buf:
+// uvarint(len(key)) | key | uvarint(len(value)) | value.
+func AppendRecord(buf []byte, r Record) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(r.Key)))
+	buf = append(buf, tmp[:n]...)
+	buf = append(buf, r.Key...)
+	n = binary.PutUvarint(tmp[:], uint64(len(r.Value)))
+	buf = append(buf, tmp[:n]...)
+	buf = append(buf, r.Value...)
+	return buf
+}
+
+// ReadRecord parses one framed record from b, returning the record and the
+// number of bytes consumed. The returned slices alias b.
+func ReadRecord(b []byte) (Record, int, error) {
+	klen, n := binary.Uvarint(b)
+	if n <= 0 {
+		return Record{}, 0, fmt.Errorf("kv: bad key length varint")
+	}
+	off := n
+	if uint64(len(b)-off) < klen {
+		return Record{}, 0, fmt.Errorf("kv: truncated key: need %d have %d", klen, len(b)-off)
+	}
+	key := b[off : off+int(klen)]
+	off += int(klen)
+	vlen, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return Record{}, 0, fmt.Errorf("kv: bad value length varint")
+	}
+	off += n
+	if uint64(len(b)-off) < vlen {
+		return Record{}, 0, fmt.Errorf("kv: truncated value: need %d have %d", vlen, len(b)-off)
+	}
+	val := b[off : off+int(vlen)]
+	off += int(vlen)
+	return Record{Key: key, Value: val}, off, nil
+}
+
+// Writer streams framed records to an io.Writer (spill files, checkpoints,
+// HDFS output). It buffers internally; call Flush before relying on the
+// underlying writer's contents.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+	n   int64 // records written
+}
+
+// NewWriter returns a record Writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	w.buf = AppendRecord(w.buf[:0], r)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count reports how many records have been written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Reader streams framed records from an io.Reader.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a record Reader over r.
+func NewReader(r io.Reader) *Reader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &Reader{r: br}
+}
+
+// Read returns the next record, or io.EOF at a clean end of stream. The
+// returned record's slices are owned by the caller.
+func (r *Reader) Read() (Record, error) {
+	klen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("kv: reading key length: %w", err)
+	}
+	key := make([]byte, int(klen))
+	if _, err := io.ReadFull(r.r, key); err != nil {
+		return Record{}, fmt.Errorf("kv: reading key: %w", err)
+	}
+	vlen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("kv: reading value length: %w", err)
+	}
+	val := make([]byte, int(vlen))
+	if _, err := io.ReadFull(r.r, val); err != nil {
+		return Record{}, fmt.Errorf("kv: reading value: %w", err)
+	}
+	return Record{Key: key, Value: val}, nil
+}
+
+// DecodeAll parses every record in b (a fully framed buffer). Returned
+// records alias b.
+func DecodeAll(b []byte) ([]Record, error) {
+	var recs []Record
+	for len(b) > 0 {
+		rec, n, err := ReadRecord(b)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+		b = b[n:]
+	}
+	return recs, nil
+}
+
+// Compare is the key comparator signature (the paper's MPI_D_Compare).
+// It must return <0, 0, >0 like bytes.Compare.
+type Compare func(a, b []byte) int
+
+// DefaultCompare orders keys by raw bytes. The built-in codecs are
+// order-preserving (int64 and float64 use order-preserving encodings), so
+// raw-byte order equals natural order for all built-in key types.
+func DefaultCompare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// SortRecords sorts recs in place by key under cmp, using a stable sort so
+// values with equal keys retain emission order (as Hadoop's sort does).
+func SortRecords(recs []Record, cmp Compare) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		return cmp(recs[i].Key, recs[j].Key) < 0
+	})
+}
+
+// Partition is the partitioner signature (the paper's MPI_D_Partition):
+// given a record's key and value it selects the destination A-task index in
+// [0, numA).
+type Partition func(key, value []byte, numA int) int
+
+// DefaultPartition is hash-modulo over the key (FNV-1a), the default policy
+// required by the paper's specification.
+func DefaultPartition(key, _ []byte, numA int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return int(h % uint64(numA))
+}
+
+// Combine is the combiner signature (the paper's MPI_D_Combine): it folds
+// all values emitted for one key into a smaller set of values before
+// transmission.
+type Combine func(key []byte, values [][]byte) [][]byte

@@ -1,0 +1,136 @@
+package kv
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordFrameRoundTrip(t *testing.T) {
+	f := func(key, val []byte) bool {
+		buf := AppendRecord(nil, Record{Key: key, Value: val})
+		rec, n, err := ReadRecord(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return bytes.Equal(rec.Key, key) && bytes.Equal(rec.Value, val)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordSizeMatchesFrame(t *testing.T) {
+	f := func(key, val []byte) bool {
+		r := Record{Key: key, Value: val}
+		return r.Size() == len(AppendRecord(nil, r))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRecordTruncated(t *testing.T) {
+	buf := AppendRecord(nil, Record{Key: []byte("hello"), Value: []byte("world")})
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := ReadRecord(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+	if _, _, err := ReadRecord(nil); err == nil {
+		t.Error("empty buffer not rejected")
+	}
+}
+
+func TestWriterReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := []Record{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte(""), Value: []byte("")},
+		{Key: []byte("bb"), Value: bytes.Repeat([]byte{7}, 1000)},
+	}
+	for _, r := range want {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != int64(len(want)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(want))
+	}
+	r := NewReader(&buf)
+	for i, wr := range want {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Key, wr.Key) || !bytes.Equal(got.Value, wr.Value) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("want EOF at end, got %v", err)
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 10; i++ {
+		buf = AppendRecord(buf, Record{Key: []byte{byte(i)}, Value: []byte{byte(i * 2)}})
+	}
+	recs, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("got %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if r.Key[0] != byte(i) || r.Value[0] != byte(i*2) {
+			t.Errorf("record %d = %v", i, r)
+		}
+	}
+	if _, err := DecodeAll([]byte{0x80}); err == nil {
+		t.Error("corrupt buffer not rejected")
+	}
+}
+
+func TestSortRecordsStable(t *testing.T) {
+	recs := []Record{
+		{Key: []byte("b"), Value: []byte("1")},
+		{Key: []byte("a"), Value: []byte("x")},
+		{Key: []byte("b"), Value: []byte("2")},
+		{Key: []byte("a"), Value: []byte("y")},
+	}
+	SortRecords(recs, DefaultCompare)
+	want := []string{"x", "y", "1", "2"}
+	for i, v := range want {
+		if string(recs[i].Value) != v {
+			t.Errorf("pos %d: got %q want %q", i, recs[i].Value, v)
+		}
+	}
+}
+
+func TestDefaultPartitionRangeAndDeterminism(t *testing.T) {
+	f := func(key []byte) bool {
+		p := DefaultPartition(key, nil, 7)
+		return p >= 0 && p < 7 && p == DefaultPartition(key, nil, 7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultPartitionSpreads(t *testing.T) {
+	counts := make([]int, 8)
+	for i := 0; i < 4096; i++ {
+		key := []byte{byte(i), byte(i >> 8), byte(i * 17)}
+		counts[DefaultPartition(key, nil, 8)]++
+	}
+	for p, c := range counts {
+		if c == 0 {
+			t.Errorf("partition %d received no keys", p)
+		}
+	}
+}

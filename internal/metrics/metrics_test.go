@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"datampi/internal/diskio"
+	"datampi/internal/netsim"
+)
+
+func TestBusyTracker(t *testing.T) {
+	var b BusyTracker
+	end := b.Track()
+	time.Sleep(20 * time.Millisecond)
+	end()
+	if got := b.Total(); got < 15*time.Millisecond {
+		t.Errorf("busy = %v, want >= 15ms", got)
+	}
+	b.Add(time.Second)
+	if got := b.Total(); got < time.Second {
+		t.Errorf("after Add: %v", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Add(100)
+	g.Add(-30)
+	if g.Value() != 70 {
+		t.Errorf("gauge = %d, want 70", g.Value())
+	}
+}
+
+func TestPhaseProgress(t *testing.T) {
+	var p PhaseProgress
+	o, a := p.Percent()
+	if o != 0 || a != 0 {
+		t.Errorf("zero totals: %v %v", o, a)
+	}
+	p.SetTotals(4, 2)
+	p.FinishO()
+	p.FinishO()
+	p.FinishA()
+	o, a = p.Percent()
+	if o != 50 || a != 50 {
+		t.Errorf("progress = %v %v, want 50 50", o, a)
+	}
+}
+
+func TestCollectorSamples(t *testing.T) {
+	disk, err := diskio.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := netsim.NewLink(netsim.Unlimited)
+	var busy BusyTracker
+	var mem Gauge
+	var prog PhaseProgress
+	prog.SetTotals(1, 1)
+	c := NewCollector(Config{
+		Interval: 10 * time.Millisecond,
+		Cores:    2,
+		Busy:     &busy,
+		Memory:   &mem,
+		Disks:    []*diskio.Disk{disk},
+		Links:    []*netsim.Link{link},
+		Progress: prog.Percent,
+	})
+	c.Start()
+	f, _ := disk.Create("f")
+	f.Write(make([]byte, 1<<20))
+	f.Close()
+	link.Transfer(1<<20, 0, 0)
+	mem.Add(512)
+	busy.Add(5 * time.Millisecond)
+	prog.FinishO()
+	time.Sleep(60 * time.Millisecond)
+	samples := c.Stop()
+	if len(samples) < 3 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	var sawDisk, sawNet, sawMem, sawProg bool
+	for _, s := range samples {
+		if s.DiskWriteBps > 0 {
+			sawDisk = true
+		}
+		if s.NetBps > 0 {
+			sawNet = true
+		}
+		if s.MemoryBytes == 512 {
+			sawMem = true
+		}
+		if s.ProgressO == 100 {
+			sawProg = true
+		}
+		if s.CPUPercent < 0 || s.CPUPercent > 100 {
+			t.Errorf("cpu out of range: %v", s.CPUPercent)
+		}
+	}
+	if !sawDisk || !sawNet || !sawMem || !sawProg {
+		t.Errorf("missing signals: disk=%v net=%v mem=%v prog=%v", sawDisk, sawNet, sawMem, sawProg)
+	}
+}
+
+func TestCollectorStopIdempotentSafe(t *testing.T) {
+	c := NewCollector(Config{Interval: 5 * time.Millisecond})
+	c.Start()
+	time.Sleep(12 * time.Millisecond)
+	s1 := c.Stop()
+	if len(s1) == 0 {
+		t.Error("no samples collected")
+	}
+}

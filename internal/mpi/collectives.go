@@ -1,0 +1,278 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// System tags (negative: never matched by AnyTag).
+const (
+	tagBarrierUp   = -2
+	tagBarrierDown = -3
+	tagBcast       = -4
+	tagGather      = -5
+	tagAlltoall    = -6
+	tagReduce      = -7
+	tagScatter     = -8
+)
+
+// Barrier blocks until every rank in the communicator has entered it.
+// Implemented as a gather to rank 0 followed by a broadcast.
+func (c *Comm) Barrier() error {
+	if c.Size() == 1 {
+		return nil
+	}
+	if c.myRank == 0 {
+		for i := 1; i < c.Size(); i++ {
+			if _, _, err := c.Recv(i, tagBarrierUp); err != nil {
+				return err
+			}
+		}
+		for i := 1; i < c.Size(); i++ {
+			if err := c.send(i, tagBarrierDown, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.send(0, tagBarrierUp, nil); err != nil {
+		return err
+	}
+	_, _, err := c.Recv(0, tagBarrierDown)
+	return err
+}
+
+// Bcast broadcasts data from root to every rank. The root passes the data;
+// other ranks pass nil and receive it as the return value.
+func (c *Comm) Bcast(data []byte, root int) ([]byte, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	if c.Size() == 1 {
+		return data, nil
+	}
+	if c.myRank == root {
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			if err := c.send(i, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	got, _, err := c.Recv(root, tagBcast)
+	return got, err
+}
+
+// Gather collects each rank's data at root. At root it returns a slice
+// indexed by rank; elsewhere it returns nil.
+func (c *Comm) Gather(data []byte, root int) ([][]byte, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: gather root %d out of range", root)
+	}
+	if c.myRank != root {
+		return nil, c.send(root, tagGather, data)
+	}
+	out := make([][]byte, c.Size())
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	out[root] = buf
+	for i := 0; i < c.Size(); i++ {
+		if i == root {
+			continue
+		}
+		d, _, err := c.Recv(i, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// Scatter distributes parts (indexed by rank, only meaningful at root) so
+// that each rank receives parts[rank].
+func (c *Comm) Scatter(parts [][]byte, root int) ([]byte, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: scatter root %d out of range", root)
+	}
+	if c.myRank == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", c.Size(), len(parts))
+		}
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			if err := c.send(i, tagScatter, parts[i]); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	d, _, err := c.Recv(root, tagScatter)
+	return d, err
+}
+
+// Alltoall performs the complete exchange underlying shuffle: rank i's
+// send[j] arrives as rank j's result[i]. send must have Size() entries.
+func (c *Comm) Alltoall(send [][]byte) ([][]byte, error) {
+	if len(send) != c.Size() {
+		return nil, fmt.Errorf("mpi: alltoall needs %d buffers, got %d", c.Size(), len(send))
+	}
+	out := make([][]byte, c.Size())
+	buf := make([]byte, len(send[c.myRank]))
+	copy(buf, send[c.myRank])
+	out[c.myRank] = buf
+	// Send everything nonblockingly, then receive size-1 messages.
+	errCh := make(chan error, c.Size())
+	for j := 0; j < c.Size(); j++ {
+		if j == c.myRank {
+			continue
+		}
+		go func(j int) { errCh <- c.send(j, tagAlltoall, send[j]) }(j)
+	}
+	for i := 0; i < c.Size(); i++ {
+		if i == c.myRank {
+			continue
+		}
+		d, _, err := c.Recv(i, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	for j := 0; j < c.Size()-1; j++ {
+		if err := <-errCh; err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ReduceInt64 folds each rank's value with op at root (op must be
+// associative and commutative). Non-roots receive 0.
+func (c *Comm) ReduceInt64(x int64, op func(a, b int64) int64, root int) (int64, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(x))
+	if c.myRank != root {
+		return 0, c.send(root, tagReduce, buf[:])
+	}
+	acc := x
+	for i := 0; i < c.Size(); i++ {
+		if i == root {
+			continue
+		}
+		d, _, err := c.Recv(i, tagReduce)
+		if err != nil {
+			return 0, err
+		}
+		if len(d) != 8 {
+			return 0, fmt.Errorf("mpi: reduce payload %d bytes", len(d))
+		}
+		acc = op(acc, int64(binary.BigEndian.Uint64(d)))
+	}
+	return acc, nil
+}
+
+// AllreduceInt64 folds each rank's value with op and distributes the result
+// to every rank.
+func (c *Comm) AllreduceInt64(x int64, op func(a, b int64) int64) (int64, error) {
+	acc, err := c.ReduceInt64(x, op, 0)
+	if err != nil {
+		return 0, err
+	}
+	var buf []byte
+	if c.myRank == 0 {
+		buf = make([]byte, 8)
+		binary.BigEndian.PutUint64(buf, uint64(acc))
+	}
+	buf, err = c.Bcast(buf, 0)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(buf)), nil
+}
+
+// Intercomm is a simplified intercommunicator: a channel between two
+// disjoint groups (the paper's mpidrun <-> worker link, Fig. 4). A rank in
+// one group addresses ranks of the remote group.
+type Intercomm struct {
+	local  *Comm // communicator over localGroup ∪ remoteGroup
+	split  int   // ranks [0,split) are group L, [split,n) are group R
+	inL    bool  // whether this process is in group L
+	myRank int   // rank within the local group
+}
+
+// NewIntercomm builds, over the world, an intercommunicator between
+// groupL and groupR (disjoint world-rank lists). It returns per-world-rank
+// handles (nil for non-members).
+func NewIntercomm(w *World, groupL, groupR []int) ([]*Intercomm, error) {
+	all := append(append([]int(nil), groupL...), groupR...)
+	comms, err := w.NewComm(all)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Intercomm, w.Size())
+	for i, wr := range groupL {
+		out[wr] = &Intercomm{local: comms[wr], split: len(groupL), inL: true, myRank: i}
+	}
+	for i, wr := range groupR {
+		out[wr] = &Intercomm{local: comms[wr], split: len(groupL), inL: false, myRank: i}
+	}
+	return out, nil
+}
+
+// Rank returns this process's rank within its own group.
+func (ic *Intercomm) Rank() int { return ic.myRank }
+
+// RemoteSize returns the size of the remote group.
+func (ic *Intercomm) RemoteSize() int {
+	if ic.inL {
+		return ic.local.Size() - ic.split
+	}
+	return ic.split
+}
+
+// LocalSize returns the size of this process's group.
+func (ic *Intercomm) LocalSize() int { return ic.local.Size() - ic.RemoteSize() }
+
+func (ic *Intercomm) remoteToFlat(r int) int {
+	if ic.inL {
+		return ic.split + r
+	}
+	return r
+}
+
+// Send sends to rank dst of the remote group.
+func (ic *Intercomm) Send(dst, tag int, data []byte) error {
+	return ic.local.Send(ic.remoteToFlat(dst), tag, data)
+}
+
+// Recv receives from rank src of the remote group (AnySource allowed).
+func (ic *Intercomm) Recv(src, tag int) ([]byte, Status, error) {
+	flat := src
+	if src != AnySource {
+		flat = ic.remoteToFlat(src)
+	}
+	for {
+		data, st, err := ic.local.Recv(flat, tag)
+		if err != nil {
+			return nil, st, err
+		}
+		// With AnySource, discard messages from our own group: an
+		// intercommunicator only carries inter-group traffic.
+		if src == AnySource {
+			fromRemote := (ic.inL && st.Source >= ic.split) || (!ic.inL && st.Source < ic.split)
+			if !fromRemote {
+				continue
+			}
+		}
+		if st.Source >= ic.split {
+			st.Source -= ic.split
+		}
+		return data, st, nil
+	}
+}

@@ -1,0 +1,186 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Additional collectives and communicator operations beyond the minimal
+// set: Split (MPI_Comm_split), Allgather, Sendrecv, and a generic
+// byte-buffer Reduce with a user operator.
+
+const (
+	tagSplitUp    = -9
+	tagSplitDown  = -10
+	tagAllgather  = -11
+	tagSendrecv   = -12
+	tagReduceUser = -13
+)
+
+// Split partitions the communicator by color, ordering ranks within each
+// new communicator by (key, old rank) — MPI_Comm_split. Every rank must
+// call it collectively; each receives its own handle on the communicator
+// of its color (processes of other colors get distinct communicators).
+// A negative color returns nil (MPI_UNDEFINED).
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	// Gather (color, key) pairs at rank 0.
+	var pairs [][3]int // rank, color, key
+	enc := func(color, key int) []byte {
+		return []byte{
+			byte(uint32(color) >> 24), byte(uint32(color) >> 16), byte(uint32(color) >> 8), byte(uint32(color)),
+			byte(uint32(key) >> 24), byte(uint32(key) >> 16), byte(uint32(key) >> 8), byte(uint32(key)),
+		}
+	}
+	dec := func(b []byte) (int, int) {
+		color := int(int32(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])))
+		key := int(int32(uint32(b[4])<<24 | uint32(b[5])<<16 | uint32(b[6])<<8 | uint32(b[7])))
+		return color, key
+	}
+	if c.myRank == 0 {
+		pairs = append(pairs, [3]int{0, color, key})
+		for i := 1; i < c.Size(); i++ {
+			d, st, err := c.Recv(AnySource, tagSplitUp)
+			if err != nil {
+				return nil, err
+			}
+			col, k := dec(d)
+			pairs = append(pairs, [3]int{st.Source, col, k})
+		}
+		// Build membership lists per color.
+		byColor := map[int][][3]int{}
+		for _, p := range pairs {
+			if p[1] >= 0 {
+				byColor[p[1]] = append(byColor[p[1]], p)
+			}
+		}
+		// Create the communicators (world-rank member lists) and tell each
+		// rank its (commID-index, member list) via a serialized roster.
+		type roster struct {
+			ranks []int // comm ranks in order (old comm ranks)
+		}
+		rosterOf := map[int]roster{}
+		for col, members := range byColor {
+			sort.Slice(members, func(i, j int) bool {
+				if members[i][2] != members[j][2] {
+					return members[i][2] < members[j][2]
+				}
+				return members[i][0] < members[j][0]
+			})
+			var rk []int
+			for _, m := range members {
+				rk = append(rk, m[0])
+			}
+			rosterOf[col] = roster{ranks: rk}
+		}
+		// Register each new communicator once in the world; distribute the
+		// per-world-rank handles through a side table.
+		handles := make([]*Comm, c.Size())
+		for _, r := range rosterOf {
+			world := make([]int, len(r.ranks))
+			for i, oldRank := range r.ranks {
+				world[i] = c.ranks[oldRank]
+			}
+			comms, err := c.world.NewComm(world)
+			if err != nil {
+				return nil, err
+			}
+			for _, oldRank := range r.ranks {
+				handles[oldRank] = comms[c.ranks[oldRank]]
+			}
+		}
+		// Hand each rank its handle through the side channel (in-process:
+		// pointers ride a registry keyed by a ticket).
+		for i := 1; i < c.Size(); i++ {
+			ticket := c.world.registerHandle(handles[i])
+			if err := c.send(i, tagSplitDown, []byte{byte(ticket >> 24), byte(ticket >> 16), byte(ticket >> 8), byte(ticket)}); err != nil {
+				return nil, err
+			}
+		}
+		return handles[0], nil
+	}
+	if err := c.send(0, tagSplitUp, enc(color, key)); err != nil {
+		return nil, err
+	}
+	d, _, err := c.Recv(0, tagSplitDown)
+	if err != nil {
+		return nil, err
+	}
+	if len(d) != 4 {
+		return nil, fmt.Errorf("mpi: bad split ticket")
+	}
+	ticket := int(uint32(d[0])<<24 | uint32(d[1])<<16 | uint32(d[2])<<8 | uint32(d[3]))
+	return c.world.takeHandle(ticket), nil
+}
+
+// Allgather gathers every rank's data and distributes the full set to all
+// ranks, indexed by rank.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	out := make([][]byte, c.Size())
+	// Everyone sends to everyone (small communicators; simplicity over
+	// log-step rings).
+	errCh := make(chan error, c.Size())
+	for j := 0; j < c.Size(); j++ {
+		if j == c.myRank {
+			buf := make([]byte, len(data))
+			copy(buf, data)
+			out[j] = buf
+			continue
+		}
+		go func(j int) { errCh <- c.send(j, tagAllgather, data) }(j)
+	}
+	for i := 0; i < c.Size(); i++ {
+		if i == c.myRank {
+			continue
+		}
+		d, _, err := c.Recv(i, tagAllgather)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	for j := 0; j < c.Size()-1; j++ {
+		if err := <-errCh; err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Sendrecv performs a simultaneous send to dst and receive from src
+// (MPI_Sendrecv) without deadlocking on cycles.
+func (c *Comm) Sendrecv(dst int, sendData []byte, src int) ([]byte, error) {
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.send(dst, tagSendrecv, sendData) }()
+	d, _, err := c.Recv(src, tagSendrecv)
+	if err != nil {
+		return nil, err
+	}
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReduceBytes folds every rank's buffer at root with a user-provided
+// associative operator over raw buffers (MPI_Reduce with MPI_OP_CREATE).
+func (c *Comm) ReduceBytes(data []byte, op func(acc, x []byte) []byte, root int) ([]byte, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: reduce root %d out of range", root)
+	}
+	if c.myRank != root {
+		return nil, c.send(root, tagReduceUser, data)
+	}
+	acc := make([]byte, len(data))
+	copy(acc, data)
+	for i := 0; i < c.Size(); i++ {
+		if i == root {
+			continue
+		}
+		d, _, err := c.Recv(i, tagReduceUser)
+		if err != nil {
+			return nil, err
+		}
+		acc = op(acc, d)
+	}
+	return acc, nil
+}

@@ -1,0 +1,129 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestSplitByParity(t *testing.T) {
+	runBoth(t, 6, func(t *testing.T, w *World) {
+		spawn(t, w, func(c *Comm) error {
+			sub, err := c.Split(c.Rank()%2, -c.Rank()) // reverse key order
+			if err != nil {
+				return err
+			}
+			if sub == nil {
+				return fmt.Errorf("rank %d got nil comm", c.Rank())
+			}
+			if sub.Size() != 3 {
+				return fmt.Errorf("rank %d: split size %d", c.Rank(), sub.Size())
+			}
+			// Keys are -rank, so higher old ranks come first in the new comm.
+			wantRank := map[int]int{0: 2, 2: 1, 4: 0, 1: 2, 3: 1, 5: 0}[c.Rank()]
+			if sub.Rank() != wantRank {
+				return fmt.Errorf("old rank %d: new rank %d, want %d", c.Rank(), sub.Rank(), wantRank)
+			}
+			// The new communicator must actually work.
+			sum, err := sub.AllreduceInt64(int64(c.Rank()), func(a, b int64) int64 { return a + b })
+			if err != nil {
+				return err
+			}
+			want := int64(0 + 2 + 4)
+			if c.Rank()%2 == 1 {
+				want = 1 + 3 + 5
+			}
+			if sum != want {
+				return fmt.Errorf("rank %d: group sum %d, want %d", c.Rank(), sum, want)
+			}
+			return nil
+		})
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	runBoth(t, 3, func(t *testing.T, w *World) {
+		spawn(t, w, func(c *Comm) error {
+			color := 0
+			if c.Rank() == 1 {
+				color = -1 // MPI_UNDEFINED
+			}
+			sub, err := c.Split(color, c.Rank())
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 1 {
+				if sub != nil {
+					return fmt.Errorf("undefined color got a communicator")
+				}
+				return nil
+			}
+			if sub == nil || sub.Size() != 2 {
+				return fmt.Errorf("rank %d: bad split result", c.Rank())
+			}
+			return sub.Barrier()
+		})
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	runBoth(t, 4, func(t *testing.T, w *World) {
+		spawn(t, w, func(c *Comm) error {
+			out, err := c.Allgather([]byte{byte(c.Rank() * 3)})
+			if err != nil {
+				return err
+			}
+			for r := 0; r < c.Size(); r++ {
+				if len(out[r]) != 1 || out[r][0] != byte(r*3) {
+					return fmt.Errorf("rank %d: out[%d]=%v", c.Rank(), r, out[r])
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestSendrecvRing(t *testing.T) {
+	// Cyclic shift: rank i sends to i+1, receives from i-1. Deadlocks with
+	// naive blocking sends; Sendrecv must handle it.
+	runBoth(t, 5, func(t *testing.T, w *World) {
+		spawn(t, w, func(c *Comm) error {
+			n := c.Size()
+			got, err := c.Sendrecv((c.Rank()+1)%n, []byte{byte(c.Rank())}, (c.Rank()+n-1)%n)
+			if err != nil {
+				return err
+			}
+			want := byte((c.Rank() + n - 1) % n)
+			if len(got) != 1 || got[0] != want {
+				return fmt.Errorf("rank %d got %v, want %d", c.Rank(), got, want)
+			}
+			return nil
+		})
+	})
+}
+
+func TestReduceBytesConcat(t *testing.T) {
+	runBoth(t, 4, func(t *testing.T, w *World) {
+		// Max-byte reduce with a custom operator.
+		maxOp := func(acc, x []byte) []byte {
+			if bytes.Compare(x, acc) > 0 {
+				return append([]byte(nil), x...)
+			}
+			return acc
+		}
+		spawn(t, w, func(c *Comm) error {
+			out, err := c.ReduceBytes([]byte{byte(c.Rank() * 10)}, maxOp, 2)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 2 {
+				if len(out) != 1 || out[0] != 30 {
+					return fmt.Errorf("reduced %v, want [30]", out)
+				}
+			} else if out != nil {
+				return fmt.Errorf("non-root got %v", out)
+			}
+			return nil
+		})
+	})
+}

@@ -1,0 +1,268 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"datampi/internal/netsim"
+)
+
+// spawn runs fn on every rank concurrently and fails the test on error.
+func spawn(t *testing.T, w *World, fn func(c *Comm) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, w.Size())
+	for i := 0; i < w.Size(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(w.Comm(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	runBoth(t, 5, func(t *testing.T, w *World) {
+		// Repeated barriers must not cross-match.
+		var mu sync.Mutex
+		phase := make([]int, w.Size())
+		for round := 0; round < 3; round++ {
+			spawn(t, w, func(c *Comm) error {
+				mu.Lock()
+				phase[c.Rank()]++
+				mine := phase[c.Rank()]
+				mu.Unlock()
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				for r, p := range phase {
+					if p < mine {
+						return fmt.Errorf("rank %d passed barrier before rank %d entered", c.Rank(), r)
+					}
+				}
+				return nil
+			})
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	runBoth(t, 4, func(t *testing.T, w *World) {
+		spawn(t, w, func(c *Comm) error {
+			var in []byte
+			if c.Rank() == 2 {
+				in = []byte("broadcast")
+			}
+			out, err := c.Bcast(in, 2)
+			if err != nil {
+				return err
+			}
+			if string(out) != "broadcast" {
+				return fmt.Errorf("rank %d got %q", c.Rank(), out)
+			}
+			return nil
+		})
+	})
+}
+
+func TestBcastBadRoot(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer w.Close()
+	if _, err := w.Comm(0).Bcast(nil, 5); err == nil {
+		t.Error("bad root accepted")
+	}
+}
+
+func TestGather(t *testing.T) {
+	runBoth(t, 4, func(t *testing.T, w *World) {
+		spawn(t, w, func(c *Comm) error {
+			data := []byte{byte(c.Rank() * 10)}
+			out, err := c.Gather(data, 0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				for r := 0; r < c.Size(); r++ {
+					if len(out[r]) != 1 || out[r][0] != byte(r*10) {
+						return fmt.Errorf("gathered[%d] = %v", r, out[r])
+					}
+				}
+			} else if out != nil {
+				return fmt.Errorf("non-root got non-nil gather result")
+			}
+			return nil
+		})
+	})
+}
+
+func TestScatter(t *testing.T) {
+	runBoth(t, 3, func(t *testing.T, w *World) {
+		spawn(t, w, func(c *Comm) error {
+			var parts [][]byte
+			if c.Rank() == 0 {
+				parts = [][]byte{[]byte("p0"), []byte("p1"), []byte("p2")}
+			}
+			got, err := c.Scatter(parts, 0)
+			if err != nil {
+				return err
+			}
+			want := fmt.Sprintf("p%d", c.Rank())
+			if string(got) != want {
+				return fmt.Errorf("rank %d got %q want %q", c.Rank(), got, want)
+			}
+			return nil
+		})
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	runBoth(t, 4, func(t *testing.T, w *World) {
+		spawn(t, w, func(c *Comm) error {
+			send := make([][]byte, c.Size())
+			for j := range send {
+				send[j] = []byte{byte(c.Rank()), byte(j)}
+			}
+			out, err := c.Alltoall(send)
+			if err != nil {
+				return err
+			}
+			for i := range out {
+				want := []byte{byte(i), byte(c.Rank())}
+				if !bytes.Equal(out[i], want) {
+					return fmt.Errorf("rank %d out[%d]=%v want %v", c.Rank(), i, out[i], want)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestAlltoallWrongLen(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer w.Close()
+	if _, err := w.Comm(0).Alltoall([][]byte{nil}); err == nil {
+		t.Error("wrong buffer count accepted")
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	runBoth(t, 5, func(t *testing.T, w *World) {
+		sum := func(a, b int64) int64 { return a + b }
+		spawn(t, w, func(c *Comm) error {
+			v, err := c.ReduceInt64(int64(c.Rank()+1), sum, 0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 && v != 15 {
+				return fmt.Errorf("reduce got %d want 15", v)
+			}
+			all, err := c.AllreduceInt64(int64(c.Rank()+1), sum)
+			if err != nil {
+				return err
+			}
+			if all != 15 {
+				return fmt.Errorf("allreduce rank %d got %d want 15", c.Rank(), all)
+			}
+			return nil
+		})
+	})
+}
+
+func TestAnyTagDoesNotMatchCollectives(t *testing.T) {
+	runBoth(t, 2, func(t *testing.T, w *World) {
+		// Stage a collective message (barrier-up) and a user message; an
+		// AnyTag recv must return the user message only.
+		go func() {
+			w.Comm(0).send(1, tagBarrierUp, []byte("sys"))
+			w.Comm(0).Send(1, 0, []byte("user"))
+		}()
+		data, st, err := w.Comm(1).Recv(AnySource, AnyTag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != "user" || st.Tag != 0 {
+			t.Errorf("AnyTag matched %q tag %d", data, st.Tag)
+		}
+	})
+}
+
+func TestIntercomm(t *testing.T) {
+	runBoth(t, 5, func(t *testing.T, w *World) {
+		// Group L = {0}, group R = {1,2,3,4}: mpidrun and its workers.
+		ics, err := NewIntercomm(w, []int{0}, []int{1, 2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		master := ics[0]
+		if master.LocalSize() != 1 || master.RemoteSize() != 4 {
+			t.Fatalf("sizes: local %d remote %d", master.LocalSize(), master.RemoteSize())
+		}
+		var wg sync.WaitGroup
+		for wr := 1; wr <= 4; wr++ {
+			wg.Add(1)
+			go func(wr int) {
+				defer wg.Done()
+				ic := ics[wr]
+				data, st, err := ic.Recv(0, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if st.Source != 0 {
+					t.Errorf("worker saw source %d", st.Source)
+				}
+				ic.Send(0, 2, append([]byte("ack:"), data...))
+			}(wr)
+		}
+		for r := 0; r < 4; r++ {
+			if err := master.Send(r, 1, []byte{byte(r)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := map[byte]bool{}
+		for i := 0; i < 4; i++ {
+			data, st, err := master.Recv(AnySource, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Source < 0 || st.Source >= 4 {
+				t.Errorf("master saw remote source %d", st.Source)
+			}
+			got[data[4]] = true
+		}
+		wg.Wait()
+		if len(got) != 4 {
+			t.Errorf("acks from %d workers", len(got))
+		}
+	})
+}
+
+func TestWithLinkAccounting(t *testing.T) {
+	link := netsim.NewLink(netsim.Unlimited)
+	w, err := NewWorld(2, WithLink(link))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go w.Comm(0).Send(1, 0, make([]byte, 1000))
+	if _, _, err := w.Comm(1).Recv(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := link.Stats()
+	if s.PayloadBytes != 1000 {
+		t.Errorf("link payload = %d, want 1000", s.PayloadBytes)
+	}
+	if s.OverheadBytes == 0 {
+		t.Error("no protocol overhead charged")
+	}
+}

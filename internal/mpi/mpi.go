@@ -1,0 +1,345 @@
+// Package mpi is a from-scratch MPI-like message-passing library in pure Go.
+// It stands in for the native MPI (MVAPICH2) that DataMPI builds on in the
+// paper: communicators with ranks, tagged blocking and nonblocking
+// point-to-point messaging with MPI matching semantics (FIFO per
+// source/tag, ANY_SOURCE / ANY_TAG wildcards), common collectives, simple
+// intercommunicators, and two interchangeable transports — in-memory
+// channels and real TCP loopback sockets. Transfers can be charged to a
+// netsim.Link so experiments can be run "on" 1GigE, 10GigE or InfiniBand.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"datampi/internal/netsim"
+)
+
+// Wildcards for Recv. User tags must be non-negative; negative tags are
+// reserved for the library's collectives.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrClosed is returned by operations on a closed World.
+var ErrClosed = errors.New("mpi: world closed")
+
+// Status describes a received message's envelope.
+type Status struct {
+	Source int // rank within the communicator
+	Tag    int
+}
+
+// frame is the wire representation of one message.
+type frame struct {
+	comm    uint32
+	srcRank int32 // rank in the communicator
+	tag     int32
+	data    []byte
+}
+
+// World is a set of communicating processes ("ranks"). In this library an
+// MPI process is goroutine-hosted: the caller runs rank i's code against
+// World.Comm(i).
+type World struct {
+	size  int
+	tr    transport
+	procs []*proc
+
+	mu      sync.Mutex
+	comms   map[uint32][]*Comm // comm id -> per-world-rank comm
+	nextID  uint32
+	closed  bool
+	closeWG sync.WaitGroup
+
+	handleMu   sync.Mutex
+	handles    map[int]*Comm
+	nextTicket int
+}
+
+type config struct {
+	tcp  bool
+	link *netsim.Link
+}
+
+// Option configures NewWorld.
+type Option func(*config)
+
+// WithTCP makes the world communicate over real TCP loopback sockets
+// instead of in-memory channels.
+func WithTCP() Option { return func(c *config) { c.tcp = true } }
+
+// WithLink charges every transfer to the given shaped link.
+func WithLink(l *netsim.Link) Option { return func(c *config) { c.link = l } }
+
+// NewWorld creates a world of n ranks.
+func NewWorld(n int, opts ...Option) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: world size %d", n)
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	w := &World{
+		size:   n,
+		comms:  make(map[uint32][]*Comm),
+		nextID: 1,
+	}
+	var err error
+	if cfg.tcp {
+		w.tr, err = newTCPTransport(n, cfg.link)
+	} else {
+		w.tr, err = newMemTransport(n, cfg.link)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.procs = make([]*proc, n)
+	for i := 0; i < n; i++ {
+		w.procs[i] = &proc{world: w, rank: i}
+	}
+	// World communicator gets id 0.
+	w.makeComm(0, identityRanks(n))
+	for i := 0; i < n; i++ {
+		w.closeWG.Add(1)
+		go w.route(i)
+	}
+	return w, nil
+}
+
+func identityRanks(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Comm returns world rank i's handle on the world communicator.
+func (w *World) Comm(i int) *Comm {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.comms[0][i]
+}
+
+// makeComm registers a communicator with the given id whose member list is
+// ranks (world ranks, indexed by comm rank). Non-member world ranks get nil.
+func (w *World) makeComm(id uint32, ranks []int) []*Comm {
+	peers := make([]*Comm, w.size)
+	for commRank, worldRank := range ranks {
+		c := &Comm{
+			world:  w,
+			id:     id,
+			ranks:  ranks,
+			myRank: commRank,
+		}
+		c.cond = sync.NewCond(&c.mu)
+		peers[worldRank] = c
+	}
+	w.comms[id] = peers
+	return peers
+}
+
+// NewComm creates a communicator over the given world ranks (in comm-rank
+// order) and returns the per-world-rank handles (nil for non-members). All
+// handles share one communicator id, so messages do not cross communicators.
+func (w *World) NewComm(ranks []int) ([]*Comm, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, ErrClosed
+	}
+	seen := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		if r < 0 || r >= w.size {
+			return nil, fmt.Errorf("mpi: rank %d out of range", r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("mpi: duplicate rank %d", r)
+		}
+		seen[r] = true
+	}
+	id := w.nextID
+	w.nextID++
+	return w.makeComm(id, append([]int(nil), ranks...)), nil
+}
+
+// route is world rank r's delivery loop: it pulls frames off the transport
+// and enqueues them on the target communicator's unexpected-message queue.
+func (w *World) route(r int) {
+	defer w.closeWG.Done()
+	for {
+		f, ok := w.tr.recv(r)
+		if !ok {
+			return
+		}
+		w.mu.Lock()
+		peers := w.comms[f.comm]
+		var c *Comm
+		if peers != nil {
+			c = peers[r]
+		}
+		w.mu.Unlock()
+		if c == nil {
+			continue // message for an unknown communicator: drop
+		}
+		c.enqueue(f)
+	}
+}
+
+// Close shuts the world down. Pending and future Recv calls return
+// ErrClosed. Close is idempotent.
+func (w *World) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	comms := w.comms
+	w.mu.Unlock()
+	w.tr.close()
+	w.closeWG.Wait()
+	for _, peers := range comms {
+		for _, c := range peers {
+			if c == nil {
+				continue
+			}
+			c.mu.Lock()
+			c.closed = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// registerHandle parks a communicator handle for pickup by another rank
+// (used by Split to distribute the per-rank handles it creates).
+func (w *World) registerHandle(c *Comm) int {
+	w.handleMu.Lock()
+	defer w.handleMu.Unlock()
+	if w.handles == nil {
+		w.handles = map[int]*Comm{}
+	}
+	w.nextTicket++
+	w.handles[w.nextTicket] = c
+	return w.nextTicket
+}
+
+// takeHandle redeems a ticket from registerHandle.
+func (w *World) takeHandle(ticket int) *Comm {
+	w.handleMu.Lock()
+	defer w.handleMu.Unlock()
+	c := w.handles[ticket]
+	delete(w.handles, ticket)
+	return c
+}
+
+// proc is one world rank's endpoint state.
+type proc struct {
+	world *World
+	rank  int
+}
+
+// Comm is one rank's handle on a communicator. A Comm's methods may be used
+// by one goroutine at a time per operation type, matching MPI usage; Send
+// and Recv from different goroutines of the same rank are safe.
+type Comm struct {
+	world  *World
+	id     uint32
+	ranks  []int // world ranks indexed by comm rank
+	myRank int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []frame
+	closed bool
+}
+
+// Rank returns this process's rank in the communicator.
+func (c *Comm) Rank() int { return c.myRank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// WorldRank returns the world rank backing comm rank r.
+func (c *Comm) WorldRank(r int) int { return c.ranks[r] }
+
+// Send sends data to comm rank dst with the given tag. Blocking semantics
+// follow MPI's standard mode: the call may return once the message is
+// buffered; data may be reused afterwards. User tags must be >= 0.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: user tag %d must be >= 0", tag)
+	}
+	return c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= len(c.ranks) {
+		return fmt.Errorf("mpi: send to rank %d of %d", dst, len(c.ranks))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	f := frame{comm: c.id, srcRank: int32(c.myRank), tag: int32(tag), data: buf}
+	return c.world.tr.send(c.ranks[dst], f)
+}
+
+// Recv receives a message matching (src, tag); AnySource and AnyTag act as
+// wildcards (AnyTag matches only user tags, i.e. tags >= 0). It blocks
+// until a matching message arrives or the world is closed.
+func (c *Comm) Recv(src, tag int) ([]byte, Status, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for i, f := range c.queue {
+			if matches(f, src, tag) {
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				return f.data, Status{Source: int(f.srcRank), Tag: int(f.tag)}, nil
+			}
+		}
+		if c.closed {
+			return nil, Status{}, ErrClosed
+		}
+		c.cond.Wait()
+	}
+}
+
+// Probe reports whether a message matching (src, tag) is available without
+// receiving it.
+func (c *Comm) Probe(src, tag int) (Status, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range c.queue {
+		if matches(f, src, tag) {
+			return Status{Source: int(f.srcRank), Tag: int(f.tag)}, true
+		}
+	}
+	return Status{}, false
+}
+
+func matches(f frame, src, tag int) bool {
+	if src != AnySource && int(f.srcRank) != src {
+		return false
+	}
+	switch {
+	case tag == AnyTag:
+		return f.tag >= 0 // wildcard never matches system (negative) tags
+	default:
+		return int(f.tag) == tag
+	}
+}
+
+func (c *Comm) enqueue(f frame) {
+	c.mu.Lock()
+	c.queue = append(c.queue, f)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

@@ -1,0 +1,75 @@
+package mpi
+
+// Request represents an in-flight nonblocking operation (MPI_Isend /
+// MPI_Irecv).
+type Request struct {
+	done   chan struct{}
+	data   []byte
+	status Status
+	err    error
+}
+
+// Wait blocks until the operation completes. For an Irecv it returns the
+// received payload and envelope; for an Isend the payload is nil.
+func (r *Request) Wait() ([]byte, Status, error) {
+	<-r.done
+	return r.data, r.status, r.err
+}
+
+// Test reports whether the operation has completed; when it has, the
+// results are returned as in Wait.
+func (r *Request) Test() ([]byte, Status, bool, error) {
+	select {
+	case <-r.done:
+		return r.data, r.status, true, r.err
+	default:
+		return nil, Status{}, false, nil
+	}
+}
+
+// Isend starts a nonblocking send. The data slice is copied before Isend
+// returns, so the caller may reuse it immediately.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	// Copy here (not in send) so the goroutine never races the caller.
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(req.done)
+		if tag < 0 {
+			req.err = errNegativeTag(tag)
+			return
+		}
+		req.err = c.send(dst, tag, buf)
+	}()
+	return req
+}
+
+// Irecv starts a nonblocking receive matching (src, tag).
+func (c *Comm) Irecv(src, tag int) *Request {
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(req.done)
+		req.data, req.status, req.err = c.Recv(src, tag)
+	}()
+	return req
+}
+
+// WaitAll waits for every request and returns the first error encountered.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func errNegativeTag(tag int) error {
+	return errTag{tag}
+}
+
+type errTag struct{ tag int }
+
+func (e errTag) Error() string { return "mpi: user tag must be >= 0" }

@@ -1,0 +1,255 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"datampi/internal/netsim"
+)
+
+// transport moves frames between world ranks.
+type transport interface {
+	send(dstWorldRank int, f frame) error
+	// recv blocks for the next frame addressed to world rank r; ok=false
+	// means the transport has been closed.
+	recv(r int) (frame, bool)
+	close()
+}
+
+// frameOverhead is the per-message protocol overhead we charge to the
+// network link: comm id + src + tag + length (16 bytes of header) plus a
+// nominal transport-layer framing cost comparable to a TCP/IP header.
+const frameOverhead = 16 + 52
+
+// ---------------------------------------------------------------------------
+// In-memory transport
+
+type memTransport struct {
+	inboxes []chan frame
+	link    *netsim.Link
+	done    chan struct{}
+	once    sync.Once
+}
+
+func newMemTransport(n int, link *netsim.Link) (*memTransport, error) {
+	t := &memTransport{
+		inboxes: make([]chan frame, n),
+		link:    link,
+		done:    make(chan struct{}),
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan frame, 1024)
+	}
+	return t, nil
+}
+
+func (t *memTransport) send(dst int, f frame) error {
+	if t.link != nil {
+		t.link.Transfer(int64(len(f.data)), frameOverhead, 0)
+	}
+	select {
+	case t.inboxes[dst] <- f:
+		return nil
+	case <-t.done:
+		return ErrClosed
+	}
+}
+
+func (t *memTransport) recv(r int) (frame, bool) {
+	// Prefer pending frames over shutdown so queued messages drain.
+	select {
+	case f := <-t.inboxes[r]:
+		return f, true
+	default:
+	}
+	select {
+	case f := <-t.inboxes[r]:
+		return f, true
+	case <-t.done:
+		return frame{}, false
+	}
+}
+
+func (t *memTransport) close() {
+	t.once.Do(func() { close(t.done) })
+}
+
+// ---------------------------------------------------------------------------
+// TCP loopback transport
+
+type tcpTransport struct {
+	n         int
+	link      *netsim.Link
+	listeners []net.Listener
+	addrs     []string
+	inboxes   []chan frame
+	done      chan struct{}
+
+	mu     sync.Mutex
+	conns  map[[3]int]*tcpConn // [comm,srcRank,dst] -> connection owned by the sender
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+func newTCPTransport(n int, link *netsim.Link) (*tcpTransport, error) {
+	t := &tcpTransport{
+		n:         n,
+		link:      link,
+		listeners: make([]net.Listener, n),
+		addrs:     make([]string, n),
+		inboxes:   make([]chan frame, n),
+		done:      make(chan struct{}),
+		conns:     make(map[[3]int]*tcpConn),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.close()
+			return nil, fmt.Errorf("mpi: listen: %w", err)
+		}
+		t.listeners[i] = ln
+		t.addrs[i] = ln.Addr().String()
+		t.inboxes[i] = make(chan frame, 1024)
+	}
+	for i := 0; i < n; i++ {
+		t.wg.Add(1)
+		go t.acceptLoop(i)
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) acceptLoop(r int) {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listeners[r].Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(r, conn)
+	}
+}
+
+func (t *tcpTransport) readLoop(r int, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		select {
+		case t.inboxes[r] <- f:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+func writeFrame(w *bufio.Writer, f frame) error {
+	var hdr [16]byte
+	binary.BigEndian.PutUint32(hdr[0:], f.comm)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(f.srcRank))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(int32(f.tag)))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(f.data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(f.data); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	f := frame{
+		comm:    binary.BigEndian.Uint32(hdr[0:]),
+		srcRank: int32(binary.BigEndian.Uint32(hdr[4:])),
+		tag:     int32(binary.BigEndian.Uint32(hdr[8:])),
+	}
+	n := binary.BigEndian.Uint32(hdr[12:])
+	f.data = make([]byte, n)
+	if _, err := io.ReadFull(r, f.data); err != nil {
+		return frame{}, err
+	}
+	return f, nil
+}
+
+func (t *tcpTransport) send(dst int, f frame) error {
+	// One connection per (communicator, sender rank, destination) triple so
+	// concurrent senders never interleave partial frames.
+	key := [3]int{int(f.comm), int(f.srcRank), dst}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	tc := t.conns[key]
+	if tc == nil {
+		conn, err := net.Dial("tcp", t.addrs[dst])
+		if err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("mpi: dial rank %d: %w", dst, err)
+		}
+		tc = &tcpConn{c: conn, w: bufio.NewWriterSize(conn, 64<<10)}
+		t.conns[key] = tc
+	}
+	t.mu.Unlock()
+	if t.link != nil {
+		t.link.Transfer(int64(len(f.data)), frameOverhead, 0)
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return writeFrame(tc.w, f)
+}
+
+func (t *tcpTransport) recv(r int) (frame, bool) {
+	select {
+	case f := <-t.inboxes[r]:
+		return f, true
+	default:
+	}
+	select {
+	case f := <-t.inboxes[r]:
+		return f, true
+	case <-t.done:
+		return frame{}, false
+	}
+}
+
+func (t *tcpTransport) close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[[3]int]*tcpConn{}
+	t.mu.Unlock()
+	close(t.done)
+	for _, ln := range t.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, tc := range conns {
+		tc.c.Close()
+	}
+	t.wg.Wait()
+}

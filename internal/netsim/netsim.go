@@ -1,0 +1,127 @@
+// Package netsim models the networks the paper evaluates on (1GigE, 10GigE,
+// and 16 Gb/s InfiniBand/IPoIB) as shaped links. Every byte either engine
+// moves can be charged to a Link, which:
+//
+//   - accounts payload and protocol-overhead bytes and round trips,
+//   - accumulates the virtual time the transfer occupies on the wire
+//     (serialized, like a single NIC), and
+//   - optionally throttles in real time so an engine run actually
+//     experiences the link speed.
+//
+// The virtual-time view makes primitive-level experiments (Fig. 1)
+// deterministic: achieved bandwidth = payload bytes / virtual busy time,
+// with protocol overheads measured from the real protocol implementations.
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile describes a network. Bandwidth is in bytes/second; RTT is the
+// round-trip latency used to charge request/response exchanges.
+type Profile struct {
+	Name      string
+	Bandwidth float64
+	RTT       time.Duration
+}
+
+// The three networks from the paper's Figure 1.
+var (
+	// GigE1 is 1 Gigabit Ethernet: ~125 MB/s, typical LAN RTT.
+	GigE1 = Profile{Name: "1GigE", Bandwidth: 125e6, RTT: 100 * time.Microsecond}
+	// GigE10 is 10 Gigabit Ethernet: ~1250 MB/s.
+	GigE10 = Profile{Name: "10GigE", Bandwidth: 1250e6, RTT: 40 * time.Microsecond}
+	// InfiniBand is the paper's 16 Gb/s IB/IPoIB: ~2000 MB/s, low latency.
+	InfiniBand = Profile{Name: "IB/IPoIB(16Gbps)", Bandwidth: 2000e6, RTT: 15 * time.Microsecond}
+	// Unlimited disables shaping; transfers are only counted.
+	Unlimited = Profile{Name: "unlimited", Bandwidth: 0, RTT: 0}
+)
+
+// Link is one shared, serialized network link.
+type Link struct {
+	prof     Profile
+	throttle bool
+
+	payload  atomic.Int64
+	overhead atomic.Int64
+	trips    atomic.Int64
+	busyNS   atomic.Int64
+
+	mu       sync.Mutex
+	nextFree time.Time
+}
+
+// NewLink returns an accounting-only link with the given profile.
+func NewLink(p Profile) *Link { return &Link{prof: p} }
+
+// NewThrottledLink returns a link that sleeps callers so transfers really
+// proceed at the profile's bandwidth (shared across all callers).
+func NewThrottledLink(p Profile) *Link { return &Link{prof: p, throttle: true} }
+
+// Profile returns the link's network profile.
+func (l *Link) Profile() Profile { return l.prof }
+
+// Transfer charges one message: payload bytes of useful data, overhead
+// bytes of protocol framing, and rtts request/response round trips. It
+// returns the virtual time the transfer occupies. If the link is throttled
+// it also sleeps for that duration (serialized with other senders).
+func (l *Link) Transfer(payload, overhead int64, rtts int) time.Duration {
+	l.payload.Add(payload)
+	l.overhead.Add(overhead)
+	l.trips.Add(int64(rtts))
+	var d time.Duration
+	if l.prof.Bandwidth > 0 {
+		d = time.Duration(float64(payload+overhead) / l.prof.Bandwidth * float64(time.Second))
+	}
+	d += time.Duration(rtts) * l.prof.RTT
+	l.busyNS.Add(int64(d))
+	if l.throttle && d > 0 {
+		l.mu.Lock()
+		now := time.Now()
+		if l.nextFree.Before(now) {
+			l.nextFree = now
+		}
+		l.nextFree = l.nextFree.Add(d)
+		wake := l.nextFree
+		l.mu.Unlock()
+		time.Sleep(time.Until(wake))
+	}
+	return d
+}
+
+// Stats is a snapshot of a link's accounting counters.
+type Stats struct {
+	PayloadBytes  int64
+	OverheadBytes int64
+	RoundTrips    int64
+	Busy          time.Duration
+}
+
+// Stats returns the current counters.
+func (l *Link) Stats() Stats {
+	return Stats{
+		PayloadBytes:  l.payload.Load(),
+		OverheadBytes: l.overhead.Load(),
+		RoundTrips:    l.trips.Load(),
+		Busy:          time.Duration(l.busyNS.Load()),
+	}
+}
+
+// Reset zeroes the counters (the virtual clock restarts too).
+func (l *Link) Reset() {
+	l.payload.Store(0)
+	l.overhead.Store(0)
+	l.trips.Store(0)
+	l.busyNS.Store(0)
+}
+
+// Goodput computes the achieved useful bandwidth (payload bytes per second
+// of virtual wire time). It reports 0 when nothing was transferred.
+func (s Stats) Goodput() float64 {
+	if s.Busy <= 0 {
+		return 0
+	}
+	return float64(s.PayloadBytes) / s.Busy.Seconds()
+}

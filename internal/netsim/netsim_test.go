@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTransferAccounting(t *testing.T) {
+	l := NewLink(GigE1)
+	l.Transfer(1000, 100, 2)
+	l.Transfer(500, 0, 0)
+	s := l.Stats()
+	if s.PayloadBytes != 1500 {
+		t.Errorf("payload = %d, want 1500", s.PayloadBytes)
+	}
+	if s.OverheadBytes != 100 {
+		t.Errorf("overhead = %d, want 100", s.OverheadBytes)
+	}
+	if s.RoundTrips != 2 {
+		t.Errorf("trips = %d, want 2", s.RoundTrips)
+	}
+	if s.Busy <= 0 {
+		t.Error("busy time not accumulated")
+	}
+}
+
+func TestTransferVirtualTime(t *testing.T) {
+	l := NewLink(Profile{Name: "test", Bandwidth: 1e6, RTT: time.Millisecond})
+	d := l.Transfer(1e6, 0, 1)
+	want := time.Second + time.Millisecond
+	if d != want {
+		t.Errorf("duration = %v, want %v", d, want)
+	}
+}
+
+func TestUnlimitedChargesOnlyCounters(t *testing.T) {
+	l := NewLink(Unlimited)
+	d := l.Transfer(1<<30, 0, 0)
+	if d != 0 {
+		t.Errorf("unlimited link should take zero time, got %v", d)
+	}
+	if l.Stats().PayloadBytes != 1<<30 {
+		t.Error("bytes not counted")
+	}
+}
+
+func TestGoodput(t *testing.T) {
+	l := NewLink(Profile{Name: "test", Bandwidth: 100, RTT: 0})
+	l.Transfer(50, 50, 0) // 100 bytes at 100 B/s = 1 s busy, 50 useful
+	g := l.Stats().Goodput()
+	if g < 49 || g > 51 {
+		t.Errorf("goodput = %v, want ~50", g)
+	}
+	if (Stats{}).Goodput() != 0 {
+		t.Error("zero stats should give zero goodput")
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLink(GigE10)
+	l.Transfer(10, 10, 1)
+	l.Reset()
+	if s := l.Stats(); s != (Stats{}) {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestThrottledLinkSleeps(t *testing.T) {
+	// 1 MB at 10 MB/s should take ~100 ms even when sent concurrently.
+	l := NewThrottledLink(Profile{Name: "slow", Bandwidth: 10e6})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Transfer(250_000, 0, 0)
+		}()
+	}
+	wg.Wait()
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Errorf("throttled transfer finished too fast: %v", el)
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	if !(InfiniBand.Bandwidth > GigE10.Bandwidth && GigE10.Bandwidth > GigE1.Bandwidth) {
+		t.Error("profile bandwidth ordering wrong")
+	}
+	if !(GigE1.RTT > GigE10.RTT && GigE10.RTT > InfiniBand.RTT) {
+		t.Error("profile RTT ordering wrong")
+	}
+}

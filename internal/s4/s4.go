@@ -1,0 +1,296 @@
+// Package s4 is a minimal model of Apache S4 0.5, the streaming baseline
+// of the paper's Fig. 10(c) Top-K experiment. It reproduces S4's actor
+// architecture and its per-event costs: adapters inject keyed events;
+// every event is individually serialized into an envelope (stream name,
+// class name, key, payload — S4's Kryo-serialized Event objects), routed
+// by key hash to a processing node, enqueued on that node's event queue,
+// deserialized, and dispatched to a per-key Processing Element instance.
+// The per-event envelope + queue hand-off is exactly the overhead the
+// paper contrasts with DataMPI's batched MPI transfers.
+package s4
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"datampi/internal/kv"
+	"datampi/internal/netsim"
+)
+
+// Event is one keyed message on a stream.
+type Event struct {
+	Stream string
+	Key    string
+	Value  []byte
+	// Stamp is the injection time, carried through stages so sinks can
+	// measure end-to-end latency.
+	Stamp time.Time
+}
+
+// Emitter lets a PE emit derived events downstream or deliver results to
+// the application sink.
+type Emitter interface {
+	Emit(ev Event) error
+	Output(ev Event)
+}
+
+// PE is a Processing Element: S4 instantiates one per (stream, key).
+type PE interface {
+	// OnEvent handles one event.
+	OnEvent(ev Event, em Emitter) error
+	// OnTrigger fires on the stream's trigger interval (S4's time-based
+	// output policy); PEs aggregating windows emit here.
+	OnTrigger(now time.Time, em Emitter) error
+}
+
+// PEFactory builds the PE for a new key.
+type PEFactory func(key string) PE
+
+// StreamSpec binds a stream name to its PE prototype.
+type StreamSpec struct {
+	Name    string
+	Factory PEFactory
+	// Trigger, if > 0, fires OnTrigger on every PE of the stream at this
+	// period.
+	Trigger time.Duration
+}
+
+// Config configures a cluster.
+type Config struct {
+	Nodes     int
+	QueueSize int // per-node event queue capacity; default 8192
+	// Link, if set, is charged for each event envelope (S4 sends every
+	// event as its own message).
+	Link *netsim.Link
+	// Output receives sink events.
+	Output func(ev Event)
+}
+
+// Cluster is a running S4 topology.
+type Cluster struct {
+	cfg     Config
+	streams map[string]StreamSpec
+	nodes   []*node
+	wg      sync.WaitGroup
+	stopped chan struct{}
+	once    sync.Once
+}
+
+type node struct {
+	c     *Cluster
+	idx   int
+	inbox chan []byte // serialized envelopes, as on the wire
+	ctrl  chan chan struct{}
+	pes   map[string]PE
+}
+
+// New starts a cluster running the given streams.
+func New(cfg Config, streams ...StreamSpec) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, errors.New("s4: need at least one node")
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 8192
+	}
+	c := &Cluster{cfg: cfg, streams: map[string]StreamSpec{}, stopped: make(chan struct{})}
+	for _, s := range streams {
+		if _, dup := c.streams[s.Name]; dup {
+			return nil, fmt.Errorf("s4: duplicate stream %q", s.Name)
+		}
+		c.streams[s.Name] = s
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{
+			c:     c,
+			idx:   i,
+			inbox: make(chan []byte, cfg.QueueSize),
+			ctrl:  make(chan chan struct{}),
+			pes:   map[string]PE{},
+		}
+		c.nodes = append(c.nodes, n)
+		c.wg.Add(1)
+		go n.loop()
+	}
+	return c, nil
+}
+
+// Inject sends one event into the topology (the adapter path). It blocks
+// when the destination node's queue is full — S4's back-pressure.
+func (c *Cluster) Inject(ev Event) error {
+	return c.route(ev)
+}
+
+func (c *Cluster) route(ev Event) error {
+	if _, ok := c.streams[ev.Stream]; !ok {
+		return fmt.Errorf("s4: unknown stream %q", ev.Stream)
+	}
+	env := encodeEnvelope(ev)
+	if c.cfg.Link != nil {
+		// Every event is its own message: payload + envelope overhead.
+		c.cfg.Link.Transfer(int64(len(ev.Value)), int64(len(env)-len(ev.Value))+40, 0)
+	}
+	dst := c.nodes[kv.DefaultPartition([]byte(ev.Stream+"\x00"+ev.Key), nil, len(c.nodes))]
+	select {
+	case dst.inbox <- env:
+		return nil
+	case <-c.stopped:
+		return errors.New("s4: cluster stopped")
+	}
+}
+
+// Drain flushes the topology — repeated rounds of "wait for empty queues,
+// fire every PE's trigger" so windowed aggregations cascade through all
+// stream levels — and then stops the cluster.
+func (c *Cluster) Drain() {
+	for round := 0; round <= len(c.streams); round++ {
+		c.waitEmpty()
+		for _, n := range c.nodes {
+			ack := make(chan struct{})
+			n.ctrl <- ack
+			<-ack
+		}
+	}
+	c.waitEmpty()
+	c.once.Do(func() { close(c.stopped) })
+	c.wg.Wait()
+}
+
+func (c *Cluster) waitEmpty() {
+	for {
+		empty := true
+		for _, n := range c.nodes {
+			if len(n.inbox) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (n *node) loop() {
+	defer n.c.wg.Done()
+	var tick <-chan time.Time
+	var minTrigger time.Duration
+	for _, s := range n.c.streams {
+		if s.Trigger > 0 && (minTrigger == 0 || s.Trigger < minTrigger) {
+			minTrigger = s.Trigger
+		}
+	}
+	var ticker *time.Ticker
+	if minTrigger > 0 {
+		ticker = time.NewTicker(minTrigger)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	em := &nodeEmitter{c: n.c}
+	for {
+		select {
+		case env := <-n.inbox:
+			ev, err := decodeEnvelope(env)
+			if err != nil {
+				continue
+			}
+			n.dispatch(ev, em)
+		case now := <-tick:
+			for _, pe := range n.pes {
+				_ = pe.OnTrigger(now, em)
+			}
+		case ack := <-n.ctrl:
+			for _, pe := range n.pes {
+				_ = pe.OnTrigger(time.Now(), em)
+			}
+			close(ack)
+		case <-n.c.stopped:
+			return
+		}
+	}
+}
+
+func (n *node) dispatch(ev Event, em Emitter) {
+	id := ev.Stream + "\x00" + ev.Key
+	pe := n.pes[id]
+	if pe == nil {
+		spec := n.c.streams[ev.Stream]
+		pe = spec.Factory(ev.Key)
+		n.pes[id] = pe
+	}
+	_ = pe.OnEvent(ev, em)
+}
+
+type nodeEmitter struct{ c *Cluster }
+
+func (e *nodeEmitter) Emit(ev Event) error { return e.c.route(ev) }
+
+func (e *nodeEmitter) Output(ev Event) {
+	if e.c.cfg.Output != nil {
+		e.c.cfg.Output(ev)
+	}
+}
+
+// Envelope wire format, modelled on S4's serialized Event: class name and
+// stream name strings ride along with every single event.
+const eventClassName = "org.apache.s4.base.Event"
+
+func encodeEnvelope(ev Event) []byte {
+	var buf []byte
+	buf = appendString(buf, eventClassName)
+	buf = appendString(buf, ev.Stream)
+	buf = appendString(buf, ev.Key)
+	var ts [8]byte
+	for i := 0; i < 8; i++ {
+		ts[i] = byte(ev.Stamp.UnixNano() >> (56 - 8*i))
+	}
+	buf = append(buf, ts[:]...)
+	buf = appendString(buf, string(ev.Value))
+	return buf
+}
+
+func decodeEnvelope(b []byte) (Event, error) {
+	cls, b, err := readString(b)
+	if err != nil || cls != eventClassName {
+		return Event{}, errors.New("s4: bad envelope")
+	}
+	var ev Event
+	if ev.Stream, b, err = readString(b); err != nil {
+		return Event{}, err
+	}
+	if ev.Key, b, err = readString(b); err != nil {
+		return Event{}, err
+	}
+	if len(b) < 8 {
+		return Event{}, errors.New("s4: short envelope")
+	}
+	var ns int64
+	for i := 0; i < 8; i++ {
+		ns = ns<<8 | int64(b[i])
+	}
+	ev.Stamp = time.Unix(0, ns)
+	var val string
+	if val, _, err = readString(b[8:]); err != nil {
+		return Event{}, err
+	}
+	ev.Value = []byte(val)
+	return ev, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = append(buf, byte(len(s)>>8), byte(len(s)))
+	return append(buf, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errors.New("s4: short string")
+	}
+	n := int(b[0])<<8 | int(b[1])
+	if len(b) < 2+n {
+		return "", nil, errors.New("s4: truncated string")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}

@@ -1,0 +1,238 @@
+package s4
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"datampi/internal/netsim"
+)
+
+// countPE counts events per key and emits (key,count) downstream on
+// trigger — the WordCount PE of the S4 Top-K example.
+type countPE struct {
+	key   string
+	count int
+	dirty bool
+	out   string // downstream stream name
+}
+
+func (p *countPE) OnEvent(ev Event, em Emitter) error {
+	p.count++
+	p.dirty = true
+	return nil
+}
+
+func (p *countPE) OnTrigger(_ time.Time, em Emitter) error {
+	if !p.dirty {
+		return nil
+	}
+	p.dirty = false
+	return em.Emit(Event{
+		Stream: p.out,
+		Key:    "all", // single aggregator instance
+		Value:  []byte(p.key + "=" + strconv.Itoa(p.count)),
+		Stamp:  time.Now(),
+	})
+}
+
+// sinkPE forwards everything to the output sink.
+type sinkPE struct{}
+
+func (sinkPE) OnEvent(ev Event, em Emitter) error {
+	em.Output(ev)
+	return nil
+}
+
+func (sinkPE) OnTrigger(time.Time, Emitter) error { return nil }
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	ev := Event{Stream: "words", Key: "hello", Value: []byte("v"), Stamp: time.Unix(0, 12345)}
+	got, err := decodeEnvelope(encodeEnvelope(ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stream != ev.Stream || got.Key != ev.Key || string(got.Value) != "v" ||
+		!got.Stamp.Equal(ev.Stamp) {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestCountTopology(t *testing.T) {
+	var mu sync.Mutex
+	results := map[string]int{}
+	c, err := New(Config{
+		Nodes: 3,
+		Output: func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			var k string
+			var n int
+			fmt.Sscanf(string(ev.Value), "%s", &k)
+			if i := indexByte(ev.Value, '='); i >= 0 {
+				k = string(ev.Value[:i])
+				n, _ = strconv.Atoi(string(ev.Value[i+1:]))
+			}
+			results[k] = n // final trigger emits final counts
+		},
+	},
+		StreamSpec{
+			Name:    "words",
+			Factory: func(key string) PE { return &countPE{key: key, out: "agg"} },
+			Trigger: 5 * time.Millisecond,
+		},
+		StreamSpec{
+			Name:    "agg",
+			Factory: func(string) PE { return sinkPE{} },
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	words := []string{"apple", "banana", "cherry", "date", "apple", "banana", "apple"}
+	for round := 0; round < 50; round++ {
+		for _, w := range words {
+			if err := c.Inject(Event{Stream: "words", Key: w, Value: nil, Stamp: time.Now()}); err != nil {
+				t.Fatal(err)
+			}
+			want[w]++
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // let triggers fire
+	c.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	for k, w := range want {
+		if results[k] != w {
+			t.Errorf("count[%q] = %d, want %d", k, results[k], w)
+		}
+	}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestKeyAffinity(t *testing.T) {
+	// All events for one key must hit the same PE instance (counts equal
+	// injections even across many nodes).
+	var mu sync.Mutex
+	var outs []string
+	c, err := New(Config{
+		Nodes: 5,
+		Output: func(ev Event) {
+			mu.Lock()
+			outs = append(outs, string(ev.Value))
+			mu.Unlock()
+		},
+	}, StreamSpec{
+		Name:    "s",
+		Factory: func(key string) PE { return &countPE{key: key, out: "s2"} },
+	}, StreamSpec{
+		Name:    "s2",
+		Factory: func(string) PE { return sinkPE{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Inject(Event{Stream: "s", Key: "onlykey", Stamp: time.Now()})
+	}
+	c.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Strings(outs)
+	if len(outs) == 0 || outs[len(outs)-1] != "onlykey=100" {
+		t.Errorf("final count outputs: %v", outs)
+	}
+}
+
+func TestUnknownStreamRejected(t *testing.T) {
+	c, err := New(Config{Nodes: 1}, StreamSpec{Name: "a", Factory: func(string) PE { return sinkPE{} }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Drain()
+	if err := c.Inject(Event{Stream: "nope"}); err == nil {
+		t.Error("unknown stream accepted")
+	}
+}
+
+func TestLinkChargedPerEvent(t *testing.T) {
+	link := netsim.NewLink(netsim.Unlimited)
+	c, err := New(Config{Nodes: 2, Link: link},
+		StreamSpec{Name: "s", Factory: func(string) PE { return sinkPE{} }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Inject(Event{Stream: "s", Key: "k", Value: []byte("0123456789"), Stamp: time.Now()})
+	}
+	c.Drain()
+	s := link.Stats()
+	if s.PayloadBytes != 100 {
+		t.Errorf("payload = %d, want 100", s.PayloadBytes)
+	}
+	if s.OverheadBytes < 10*40 {
+		t.Errorf("per-event envelope overhead too small: %d", s.OverheadBytes)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := New(Config{Nodes: 1},
+		StreamSpec{Name: "x", Factory: func(string) PE { return sinkPE{} }},
+		StreamSpec{Name: "x", Factory: func(string) PE { return sinkPE{} }},
+	); err == nil {
+		t.Error("duplicate stream accepted")
+	}
+}
+
+func TestBackpressureSmallQueue(t *testing.T) {
+	// A queue of 1 must not deadlock or drop: Inject blocks until the
+	// dispatcher drains, and every event is still processed exactly once.
+	var mu sync.Mutex
+	count := 0
+	c, err := New(Config{Nodes: 1, QueueSize: 1},
+		StreamSpec{Name: "s", Factory: func(string) PE { return countingPE{mu: &mu, n: &count} }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := c.Inject(Event{Stream: "s", Key: "k", Stamp: time.Now()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != n {
+		t.Errorf("processed %d events, want %d", count, n)
+	}
+}
+
+type countingPE struct {
+	mu *sync.Mutex
+	n  *int
+}
+
+func (p countingPE) OnEvent(Event, Emitter) error {
+	p.mu.Lock()
+	*p.n++
+	p.mu.Unlock()
+	return nil
+}
+
+func (countingPE) OnTrigger(time.Time, Emitter) error { return nil }

@@ -1,0 +1,286 @@
+package simcluster
+
+import (
+	"math"
+	"sort"
+)
+
+// HDFS client path factors: reads and writes through the DFS client cost
+// more than raw disk passes (checksums, protocol copies, pipeline acks).
+const (
+	hdfsReadFactor  = 1.2
+	hdfsWriteFactor = 1.5
+	// taskDiskSetup is the fixed per-task disk time (seeks, task-file
+	// churn, output index) — this is what makes very small blocks lose.
+	taskDiskSetup = 1.0
+)
+
+// Workload describes a bipartite job's data volumes.
+type Workload struct {
+	DataBytes  float64 // total input size
+	BlockBytes float64 // HDFS block size (= split size)
+	// ShuffleFactor is intermediate bytes per input byte (TeraSort: 1.0;
+	// WordCount after combine: ~0.15).
+	ShuffleFactor float64
+	// OutputFactor is output bytes per intermediate byte (TeraSort: 1.0;
+	// WordCount: small).
+	OutputFactor float64
+	// CPUFactor scales per-byte compute relative to sort-like work
+	// (TeraSort: 1.0; CPU-heavier workloads > 1).
+	CPUFactor float64
+}
+
+// TeraSort returns the canonical workload of the evaluation.
+func TeraSort(dataBytes, blockBytes float64) Workload {
+	return Workload{
+		DataBytes:     dataBytes,
+		BlockBytes:    blockBytes,
+		ShuffleFactor: 1.0,
+		OutputFactor:  1.0,
+		CPUFactor:     1.0,
+	}
+}
+
+// WordCount has a small shuffle (map-side combining) and tiny output.
+func WordCount(dataBytes, blockBytes float64) Workload {
+	return Workload{
+		DataBytes:     dataBytes,
+		BlockBytes:    blockBytes,
+		ShuffleFactor: 0.15,
+		OutputFactor:  0.05,
+		CPUFactor:     1.4,
+	}
+}
+
+// HadoopParams are the Hadoop-1.x engine's cost parameters.
+type HadoopParams struct {
+	TaskLaunch  float64 // JVM start per task (s)
+	SlowStart   float64 // completed-map fraction before reducers launch
+	MapSlots    int     // concurrent maps per node
+	ReduceSlots int     // concurrent reduces per node
+	Replication int     // HDFS output replication
+	// SortBufBytes is io.sort.mb: map outputs larger than it spill in
+	// multiple rounds, and past MergeFactor spills an extra on-disk merge
+	// pass is needed.
+	SortBufBytes float64
+	MergeFactor  int
+}
+
+// DefaultHadoop mirrors the paper's tuned Hadoop 1.2.1 on Testbed A.
+func DefaultHadoop() HadoopParams {
+	return HadoopParams{
+		TaskLaunch: 1.8, SlowStart: 0.05, MapSlots: 4, ReduceSlots: 4,
+		Replication: 1, SortBufBytes: 100e6, MergeFactor: 10,
+	}
+}
+
+// DataMPIParams are the DataMPI engine's cost parameters.
+type DataMPIParams struct {
+	TaskLaunch float64 // task dispatch onto a resident process (s)
+	OSlots     int
+	ASlots     int
+	// MemCacheFraction limits intermediate caching to this fraction of
+	// node RAM; beyond it the A side spills (Fig. 12's knob). 1.0 = all.
+	MemCacheFraction float64
+	Replication      int
+	// PipelineOff disables computation/communication overlap (ablation).
+	PipelineOff bool
+	// DataCentricOff forces remote A-side reads (ablation).
+	DataCentricOff bool
+}
+
+// DefaultDataMPI mirrors the tuned DataMPI configuration.
+func DefaultDataMPI() DataMPIParams {
+	return DataMPIParams{TaskLaunch: 0.15, OSlots: 4, ASlots: 4, MemCacheFraction: 1.0, Replication: 1}
+}
+
+// Stats is a simulated job's outcome.
+type Stats struct {
+	Duration float64 // seconds
+	// MapDone / ReduceDone are per-task completion times, for progress
+	// curves (Fig. 9).
+	MapDone    []float64
+	ReduceDone []float64
+	// SpilledBytes is A-side (or reduce-side) disk traffic beyond the
+	// memory cache.
+	SpilledBytes float64
+}
+
+// Progress returns the phase completion percentage at time t.
+func Progress(done []float64, t float64) float64 {
+	if len(done) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range done {
+		if d <= t {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(done))
+}
+
+// SimulateHadoop runs the Hadoop-1.x model: map (read + cpu + sort/spill
+// write + merge), slow-started reducers pulling over the network, reduce
+// merge, reduce, replicated output write.
+func SimulateHadoop(n int, hw Hardware, w Workload, p HadoopParams) Stats {
+	nodes := newNodes(n, hw)
+	numMaps := int(math.Ceil(w.DataBytes / w.BlockBytes))
+	numReduces := n * p.ReduceSlots
+	mapSlots := newSlotPool(n, p.MapSlots)
+
+	mapDone := make([]float64, numMaps)
+	inter := w.BlockBytes * w.ShuffleFactor
+	// Map-side spill structure: io.sort.mb determines spill count; a merge
+	// pass (read + write of the whole output) is needed past io.sort.factor
+	// spills, and even a few spills pay a partial merge.
+	spillsPerMap := math.Ceil(inter / p.SortBufBytes)
+	mergeBytes := 0.0
+	switch {
+	case int(spillsPerMap) > p.MergeFactor:
+		mergeBytes = 2 * inter
+	case spillsPerMap > 1:
+		mergeBytes = 0.3 * inter
+	}
+	for m := 0; m < numMaps; m++ {
+		nd, sl, t := mapSlots.next(0)
+		t += p.TaskLaunch
+		node := nodes[nd]
+		// Read the split (data-local: ~99% in a replicated cluster).
+		t = node.disk.acquireOps(t, w.BlockBytes*hdfsReadFactor, taskDiskSetup)
+		t = node.cpu.acquire(t, w.BlockBytes*w.CPUFactor)
+		// Sort/spill the map output to local disk (the reducers later pull
+		// it back through the OS page cache, as the paper observes).
+		t = node.disk.acquire(t, inter)
+		t = node.cpu.acquire(t, inter*0.3) // sort cost
+		t = node.disk.acquire(t, mergeBytes)
+		mapDone[m] = t
+		mapSlots.book(nd, sl, t)
+	}
+	sorted := append([]float64(nil), mapDone...)
+	sort.Float64s(sorted)
+	lastMap := sorted[len(sorted)-1]
+	ssIdx := int(p.SlowStart * float64(numMaps))
+	if ssIdx >= numMaps {
+		ssIdx = numMaps - 1
+	}
+	reduceStart := sorted[ssIdx]
+
+	totalInter := w.DataBytes * w.ShuffleFactor
+	perReduce := totalInter / float64(numReduces)
+	// Reduce-side shuffle buffer: a slot's share of the JVM shuffle heap.
+	memBudget := hw.MemBytes / float64(p.ReduceSlots) * 0.15
+	reduceSlots := newSlotPool(n, p.ReduceSlots)
+	reduceDone := make([]float64, numReduces)
+	var spilled float64
+	for r := 0; r < numReduces; r++ {
+		nd, sl, t := reduceSlots.next(reduceStart)
+		t += p.TaskLaunch
+		node := nodes[nd]
+		// Shuffle: pull perReduce bytes over this node's NIC; the map-side
+		// files are served from the source's OS page cache (the paper notes
+		// Hadoop's re-reads are absorbed by the system disk cache), so only
+		// the network is charged. The copy cannot finish before the maps.
+		tNet := node.nic.acquire(t, perReduce)
+		t = math.Max(tNet, lastMap)
+		// Reduce-side merge: fetched runs past the in-memory budget are
+		// written to disk and re-read during the multi-pass merge — the
+		// delayed, disk-based merge the paper's Fig. 5 contrasts.
+		if perReduce > memBudget {
+			over := perReduce - memBudget
+			spilled += over
+			t = node.disk.acquire(t, 2*over) // spill write + merge re-read
+		}
+		t = node.cpu.acquire(t, perReduce*w.CPUFactor*0.5)
+		out := perReduce * w.OutputFactor
+		t = node.disk.acquire(t, out*hdfsWriteFactor)
+		if p.Replication > 1 {
+			t = node.nic.acquire(t, out*float64(p.Replication-1))
+		}
+		reduceDone[r] = t
+		reduceSlots.book(nd, sl, t)
+	}
+	end := 0.0
+	for _, d := range reduceDone {
+		end = math.Max(end, d)
+	}
+	return Stats{Duration: end, MapDone: mapDone, ReduceDone: reduceDone, SpilledBytes: spilled}
+}
+
+// SimulateDataMPI runs the DataMPI model: resident processes (cheap task
+// dispatch), O tasks whose computation overlaps the MPI transfer of their
+// sealed buffers (O-side shuffle pipeline), intermediate data cached in
+// the A-side processes' memory (spilling past the cache), data-centric A
+// tasks reading locally, replicated output write.
+func SimulateDataMPI(n int, hw Hardware, w Workload, p DataMPIParams) Stats {
+	nodes := newNodes(n, hw)
+	numO := int(math.Ceil(w.DataBytes / w.BlockBytes))
+	numA := n * p.ASlots
+	oSlots := newSlotPool(n, p.OSlots)
+
+	totalInter := w.DataBytes * w.ShuffleFactor
+	interPerNode := totalInter / float64(n)
+	memCache := hw.MemBytes * p.MemCacheFraction * 0.5 // cache share for intermediate data
+	spillPerNode := math.Max(0, interPerNode-memCache)
+
+	oDone := make([]float64, numO)
+	for m := 0; m < numO; m++ {
+		nd, sl, t := oSlots.next(0)
+		t += p.TaskLaunch
+		node := nodes[nd]
+		// Data-local read; resident processes need far less per-task setup.
+		t = node.disk.acquireOps(t, w.BlockBytes*hdfsReadFactor, taskDiskSetup*0.25)
+		inter := w.BlockBytes * w.ShuffleFactor
+		if p.PipelineOff {
+			// Ablation: compute first, transmit afterwards (no overlap).
+			t = node.cpu.acquire(t, w.BlockBytes*w.CPUFactor+inter*0.3)
+			t = node.nic.acquire(t, inter)
+		} else {
+			tCPU := node.cpu.acquire(t, w.BlockBytes*w.CPUFactor+inter*0.3)
+			tNet := node.nic.acquire(t, inter)
+			t = math.Max(tCPU, tNet)
+		}
+		oDone[m] = t
+		oSlots.book(nd, sl, t)
+	}
+	lastO := 0.0
+	for _, d := range oDone {
+		lastO = math.Max(lastO, d)
+	}
+	// A-side spill writes happen during the O phase and are largely
+	// absorbed by the OS write-back cache (the paper measures only up-to-9%
+	// degradation at zero caching); charge the residual synchronous cost.
+	for _, node := range nodes {
+		node.disk.acquire(0, spillPerNode*0.2)
+	}
+
+	perA := totalInter / float64(numA)
+	aSlots := newSlotPool(n, p.ASlots)
+	aDone := make([]float64, numA)
+	for r := 0; r < numA; r++ {
+		nd, sl, t := aSlots.next(lastO)
+		t += p.TaskLaunch
+		node := nodes[nd]
+		if p.DataCentricOff {
+			// Remote pull of the whole partition, as Hadoop reducers do.
+			t = math.Max(t, node.nic.acquire(t, perA))
+		} else if spillPerNode > 0 {
+			// Prefetch the spilled share — mostly still in the page cache,
+			// read back at a blended rate.
+			t = node.disk.acquire(t, 0.2*perA*(spillPerNode/interPerNode))
+		}
+		t = node.cpu.acquire(t, perA*w.CPUFactor*0.5)
+		out := perA * w.OutputFactor
+		t = node.disk.acquire(t, out*hdfsWriteFactor)
+		if p.Replication > 1 {
+			t = node.nic.acquire(t, out*float64(p.Replication-1))
+		}
+		aDone[r] = t
+		aSlots.book(nd, sl, t)
+	}
+	end := 0.0
+	for _, d := range aDone {
+		end = math.Max(end, d)
+	}
+	return Stats{Duration: end, MapDone: oDone, ReduceDone: aDone, SpilledBytes: spillPerNode * float64(n)}
+}

@@ -1,0 +1,268 @@
+package simcluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+const gb = 1e9
+
+func TestResourceSerializes(t *testing.T) {
+	r := newResource(1, 100)
+	if end := r.acquire(0, 100); end != 1 {
+		t.Errorf("first acquire end = %v, want 1", end)
+	}
+	if end := r.acquire(0, 100); end != 2 {
+		t.Errorf("second acquire end = %v, want 2 (serialized)", end)
+	}
+	if end := r.acquire(10, 100); end != 11 {
+		t.Errorf("idle acquire end = %v, want 11", end)
+	}
+	if end := r.acquire(5, 0); end != 5 {
+		t.Errorf("zero-byte acquire = %v, want 5", end)
+	}
+}
+
+func TestResourceMultiServer(t *testing.T) {
+	r := newResource(2, 100)
+	e1 := r.acquire(0, 100)
+	e2 := r.acquire(0, 100)
+	if e1 != 1 || e2 != 1 {
+		t.Errorf("two servers should run in parallel: %v %v", e1, e2)
+	}
+	if e3 := r.acquire(0, 100); e3 != 2 {
+		t.Errorf("third acquire = %v, want 2", e3)
+	}
+}
+
+func TestSlotPool(t *testing.T) {
+	p := newSlotPool(2, 2)
+	n, s, at := p.next(0)
+	if at != 0 {
+		t.Errorf("fresh pool next at %v", at)
+	}
+	p.book(n, s, 10)
+	counts := map[float64]int{}
+	for i := 0; i < 3; i++ {
+		n, s, at = p.next(0)
+		counts[at]++
+		p.book(n, s, 20)
+	}
+	if counts[0] != 3 {
+		t.Errorf("free slots not preferred: %v", counts)
+	}
+}
+
+func TestDataMPIBeatsHadoopOnTeraSort(t *testing.T) {
+	// The headline shape: 32-41% improvement at Testbed A scale.
+	for _, data := range []float64{48 * gb, 96 * gb, 168 * gb, 192 * gb} {
+		w := TeraSort(data, 256e6)
+		h := SimulateHadoop(16, TestbedA(), w, DefaultHadoop())
+		d := SimulateDataMPI(16, TestbedA(), w, DefaultDataMPI())
+		imp := 1 - d.Duration/h.Duration
+		if imp < 0.25 || imp > 0.60 {
+			t.Errorf("%.0f GB: improvement %.0f%% outside plausible band (H=%.0fs D=%.0fs)",
+				data/gb, imp*100, h.Duration, d.Duration)
+		}
+	}
+}
+
+func TestBlockSizeTuningHasInteriorOptimum(t *testing.T) {
+	// Fig. 8(a): throughput peaks at an interior block size (256 MB in the
+	// paper) — too-small blocks pay task launch, too-large lose balance.
+	best := ""
+	bestTP := 0.0
+	tps := map[string]float64{}
+	for _, bs := range []float64{64e6, 128e6, 256e6, 512e6, 1024e6} {
+		w := TeraSort(96*gb, bs)
+		h := SimulateHadoop(16, TestbedA(), w, DefaultHadoop())
+		tp := 96 * gb / h.Duration
+		name := fmt.Sprintf("%.0fMB", bs/1e6)
+		tps[name] = tp
+		if tp > bestTP {
+			bestTP, best = tp, name
+		}
+	}
+	if best == "64MB" || best == "1024MB" {
+		t.Errorf("optimum at boundary (%s): %v", best, tps)
+	}
+}
+
+func TestStrongScaling(t *testing.T) {
+	// Fig. 14(a): fixed 256 GB, more nodes -> shorter; DataMPI 35-40% faster.
+	prevH, prevD := 1e18, 1e18
+	for _, n := range []int{16, 32, 64} {
+		w := TeraSort(256*gb, 128e6)
+		h := SimulateHadoop(n, TestbedB(), w, HadoopParams{
+			TaskLaunch: 1.8, SlowStart: 0.05, MapSlots: 2, ReduceSlots: 2, Replication: 1,
+		})
+		d := SimulateDataMPI(n, TestbedB(), w, DataMPIParams{
+			TaskLaunch: 0.15, OSlots: 2, ASlots: 2, MemCacheFraction: 1.0, Replication: 1,
+		})
+		if h.Duration >= prevH || d.Duration >= prevD {
+			t.Errorf("n=%d: not strong-scaling (H %.0f->%.0f, D %.0f->%.0f)",
+				n, prevH, h.Duration, prevD, d.Duration)
+		}
+		imp := 1 - d.Duration/h.Duration
+		if imp < 0.25 || imp > 0.65 {
+			t.Errorf("n=%d: improvement %.0f%% implausible", n, imp*100)
+		}
+		prevH, prevD = h.Duration, d.Duration
+	}
+}
+
+func TestWeakScalingRoughlyFlat(t *testing.T) {
+	// Fig. 14(b): 2 GB per reduce task, time roughly constant with nodes.
+	var durs []float64
+	for _, n := range []int{16, 32, 64} {
+		data := float64(n) * 2 * 2 * gb // 2 slots/node x 2 GB
+		w := TeraSort(data, 128e6)
+		d := SimulateDataMPI(n, TestbedB(), w, DataMPIParams{
+			TaskLaunch: 0.15, OSlots: 2, ASlots: 2, MemCacheFraction: 1.0, Replication: 1,
+		})
+		durs = append(durs, d.Duration)
+	}
+	for i := 1; i < len(durs); i++ {
+		ratio := durs[i] / durs[0]
+		if ratio > 1.6 || ratio < 0.6 {
+			t.Errorf("weak scaling not flat: %v", durs)
+		}
+	}
+}
+
+func TestSpillSlowsDataMPIGracefully(t *testing.T) {
+	// Fig. 12: zero caching degrades DataMPI only mildly (<= ~15%) and it
+	// still beats Hadoop.
+	w := TeraSort(100*gb, 256e6)
+	full := SimulateDataMPI(10, TestbedA(), w, DefaultDataMPI())
+	none := DefaultDataMPI()
+	none.MemCacheFraction = 0
+	zero := SimulateDataMPI(10, TestbedA(), w, none)
+	if zero.SpilledBytes == 0 {
+		t.Error("zero cache should spill")
+	}
+	if zero.Duration < full.Duration {
+		t.Error("spilling should not be faster than caching")
+	}
+	if zero.Duration > full.Duration*1.3 {
+		t.Errorf("spill degradation too large: %.0fs vs %.0fs", zero.Duration, full.Duration)
+	}
+	h := SimulateHadoop(10, TestbedA(), w, DefaultHadoop())
+	if zero.Duration >= h.Duration {
+		t.Errorf("zero-cache DataMPI (%.0fs) should still beat Hadoop (%.0fs)", zero.Duration, h.Duration)
+	}
+}
+
+func TestPipelineAblationSlower(t *testing.T) {
+	w := TeraSort(96*gb, 256e6)
+	on := SimulateDataMPI(16, TestbedA(), w, DefaultDataMPI())
+	off := DefaultDataMPI()
+	off.PipelineOff = true
+	noOverlap := SimulateDataMPI(16, TestbedA(), w, off)
+	if noOverlap.Duration <= on.Duration {
+		t.Errorf("pipeline off (%.0fs) should be slower than on (%.0fs)",
+			noOverlap.Duration, on.Duration)
+	}
+}
+
+func TestDataCentricAblationSlower(t *testing.T) {
+	w := TeraSort(96*gb, 256e6)
+	on := SimulateDataMPI(16, TestbedA(), w, DefaultDataMPI())
+	off := DefaultDataMPI()
+	off.DataCentricOff = true
+	remote := SimulateDataMPI(16, TestbedA(), w, off)
+	if remote.Duration <= on.Duration {
+		t.Errorf("data-centric off (%.0fs) should be slower than on (%.0fs)",
+			remote.Duration, on.Duration)
+	}
+}
+
+func TestProgressCurveShape(t *testing.T) {
+	// Fig. 9: Hadoop's reduce progress lags; DataMPI finishes earlier.
+	w := TeraSort(168*gb, 256e6)
+	h := SimulateHadoop(16, TestbedA(), w, DefaultHadoop())
+	d := SimulateDataMPI(16, TestbedA(), w, DefaultDataMPI())
+	if d.Duration >= h.Duration {
+		t.Fatalf("DataMPI (%.0fs) not faster than Hadoop (%.0fs)", d.Duration, h.Duration)
+	}
+	if p := Progress(h.MapDone, h.Duration/2); p <= 0 {
+		t.Error("map progress should be positive at half time")
+	}
+	if p := Progress(h.ReduceDone, h.Duration); p != 100 {
+		t.Errorf("reduce progress at end = %v", p)
+	}
+	if p := Progress(nil, 1); p != 0 {
+		t.Error("empty progress should be 0")
+	}
+}
+
+func TestWordCountWorkloadShape(t *testing.T) {
+	// WordCount shuffles far less than TeraSort (combiner), so both engines
+	// run faster per input byte and DataMPI still wins (~31% in the paper).
+	ts := TeraSort(96*gb, 256e6)
+	wc := WordCount(96*gb, 256e6)
+	hTS := SimulateHadoop(16, TestbedA(), ts, DefaultHadoop())
+	hWC := SimulateHadoop(16, TestbedA(), wc, DefaultHadoop())
+	dWC := SimulateDataMPI(16, TestbedA(), wc, DefaultDataMPI())
+	if hWC.Duration >= hTS.Duration {
+		t.Errorf("WordCount (%0.fs) should be faster than TeraSort (%0.fs) on Hadoop",
+			hWC.Duration, hTS.Duration)
+	}
+	imp := 1 - dWC.Duration/hWC.Duration
+	if imp < 0.1 || imp > 0.7 {
+		t.Errorf("WordCount improvement %.0f%% implausible (H=%.0fs D=%.0fs)",
+			imp*100, hWC.Duration, dWC.Duration)
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	w := TeraSort(48*gb, 256e6)
+	a := SimulateHadoop(16, TestbedA(), w, DefaultHadoop())
+	b := SimulateHadoop(16, TestbedA(), w, DefaultHadoop())
+	if a.Duration != b.Duration {
+		t.Errorf("DES not deterministic: %v vs %v", a.Duration, b.Duration)
+	}
+	c := SimulateDataMPI(16, TestbedA(), w, DefaultDataMPI())
+	d := SimulateDataMPI(16, TestbedA(), w, DefaultDataMPI())
+	if c.Duration != d.Duration {
+		t.Errorf("DataMPI DES not deterministic: %v vs %v", c.Duration, d.Duration)
+	}
+}
+
+func TestIterationModelsFig10b(t *testing.T) {
+	// Fig. 10(b) at paper scale: 40 GB, 7 rounds; DataMPI ~41% (PageRank)
+	// and ~40% (K-means) faster on average, with round 0 paying the load.
+	for _, tc := range []struct {
+		name string
+		w    IterWorkload
+	}{
+		{"PageRank", PageRankWorkload(40 * gb)},
+		{"KMeans", KMeansWorkload(40 * gb)},
+	} {
+		h := SimulateHadoopIteration(16, TestbedA(), tc.w, DefaultHadoop(), 7)
+		d := SimulateDataMPIIteration(16, TestbedA(), tc.w, DefaultDataMPI(), 7)
+		if len(h) != 7 || len(d) != 7 {
+			t.Fatalf("%s: wrong round counts", tc.name)
+		}
+		var hSum, dSum float64
+		for r := 0; r < 7; r++ {
+			hSum += h[r]
+			dSum += d[r]
+			if d[r] >= h[r] {
+				t.Errorf("%s round %d: DataMPI %.1fs not faster than Hadoop %.1fs",
+					tc.name, r, d[r], h[r])
+			}
+		}
+		imp := 1 - dSum/hSum
+		if imp < 0.25 || imp > 0.98 {
+			t.Errorf("%s: average improvement %.0f%% implausible (H=%.0fs D=%.0fs)",
+				tc.name, imp*100, hSum, dSum)
+		}
+		// Round 0 includes the resident-data load; later DataMPI rounds are
+		// cheaper.
+		if d[1] >= d[0] {
+			t.Errorf("%s: round 1 (%.1fs) should be cheaper than round 0 (%.1fs)",
+				tc.name, d[1], d[0])
+		}
+	}
+}
