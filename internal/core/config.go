@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"datampi/internal/fault"
 	"datampi/internal/kv"
 )
 
@@ -124,6 +125,27 @@ type Config struct {
 	// persisted different sizes of checkpoints".
 	InjectFailAfterCPRecords int64
 
+	// FaultPlan, when non-nil, runs the job's entire MPI traffic (data
+	// plane and mpidrun control plane) under the deterministic
+	// fault-injection transport: message drops, delays, duplication,
+	// reordering, connection resets, and rank deaths are injected exactly
+	// as the plan's seed and rules dictate (see internal/fault). Rank
+	// death surfaces as ErrRankDead and aborts the job cleanly, so a
+	// FaultTolerance-enabled rerun can recover from the checkpoints.
+	FaultPlan *fault.Plan
+
+	// FaultInjector, when non-nil, overrides FaultPlan with a
+	// caller-managed injector, letting tests kill ranks cooperatively at
+	// chosen points mid-run.
+	FaultInjector *fault.Injector
+
+	// IOTimeout bounds blocking transport operations: sends that cannot
+	// make progress fail with a timeout instead of hanging, and the
+	// mpidrun master re-checks its failure detector at this interval while
+	// waiting for worker events. Defaults to 2s when fault injection is
+	// enabled; 0 (no deadline) otherwise.
+	IOTimeout time.Duration
+
 	// Extra carries user-defined configuration, as MPI_D_Init's conf
 	// parameter allows for advanced users.
 	Extra map[string]string
@@ -160,6 +182,9 @@ func (c *Config) Normalize(mode Mode) error {
 	}
 	if c.CheckpointRecords <= 0 {
 		c.CheckpointRecords = 4096
+	}
+	if (c.FaultPlan != nil || c.FaultInjector != nil) && c.IOTimeout <= 0 {
+		c.IOTimeout = 2 * time.Second
 	}
 	if c.FaultTolerance && c.CheckpointDir == "" {
 		return errors.New("core: FaultTolerance requires CheckpointDir")

@@ -66,11 +66,9 @@ func recvCtrl(ic *mpi.Intercomm) (ctrlMsg, error) {
 	return m, nil
 }
 
-func recvEvent(ic *mpi.Intercomm) (eventMsg, error) {
-	b, _, err := ic.Recv(mpi.AnySource, tagEvent)
-	if err != nil {
-		return eventMsg{}, err
-	}
+// decodeEvent parses a worker event's wire form. The master receives the
+// bytes itself (deadline- and abort-aware) via Runtime.recvMasterEvent.
+func decodeEvent(b []byte) (eventMsg, error) {
 	var m eventMsg
 	if err := json.Unmarshal(b, &m); err != nil {
 		return eventMsg{}, fmt.Errorf("core: bad event message: %w", err)

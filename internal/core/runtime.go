@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,10 +10,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"datampi/internal/fault"
 	"datampi/internal/hdfs"
 	"datampi/internal/mpi"
 	"datampi/internal/netsim"
 )
+
+// ErrRankDead re-exports the MPI failure-detector verdict: a worker
+// process died (or was killed by an injected fault) and the job was
+// aborted instead of hanging. With FaultTolerance enabled, a rerun
+// recovers from the surviving checkpoints.
+var ErrRankDead = mpi.ErrRankDead
 
 // Runtime is one job's mpidrun instance: it spawns the DataMPI worker
 // processes, connects to them with an intercommunicator, and schedules O
@@ -31,11 +39,14 @@ type Runtime struct {
 	workerICs []*mpi.Intercomm
 	procs     []*process
 
-	aborted  chan struct{}
-	wg       sync.WaitGroup
-	failOnce sync.Once
-	failMu   sync.Mutex
-	failErr  error
+	aborted     chan struct{}
+	abortCtx    context.Context
+	abortCancel context.CancelFunc
+	inj         *fault.Injector
+	wg          sync.WaitGroup
+	failOnce    sync.Once
+	failMu      sync.Mutex
+	failErr     error
 
 	sent          atomic.Int64
 	cpDurable     atomic.Int64
@@ -126,6 +137,8 @@ func Run(job *Job, opts ...RunOption) (*Result, error) {
 		cpSeq:      map[int]int{},
 		skipByTask: map[int]int64{},
 	}
+	rt.abortCtx, rt.abortCancel = context.WithCancel(context.Background())
+	defer rt.abortCancel()
 	for _, o := range opts {
 		o(&rt.rcfg)
 	}
@@ -173,6 +186,18 @@ func (rt *Runtime) setup() error {
 	}
 	if rt.rcfg.link != nil {
 		wopts = append(wopts, mpi.WithLink(rt.rcfg.link))
+	}
+	switch {
+	case j.Conf.FaultInjector != nil:
+		rt.inj = j.Conf.FaultInjector
+	case j.Conf.FaultPlan != nil:
+		rt.inj = fault.NewInjector(j.Conf.FaultPlan)
+	}
+	if rt.inj != nil {
+		wopts = append(wopts, mpi.WithFaults(rt.inj))
+	}
+	if d := j.Conf.IOTimeout; d > 0 {
+		wopts = append(wopts, mpi.WithSendTimeout(d))
 	}
 	world, err := mpi.NewWorld(j.Procs+1, wopts...)
 	if err != nil {
@@ -273,6 +298,9 @@ func (rt *Runtime) fail(err error) {
 		rt.failErr = err
 		rt.failMu.Unlock()
 		close(rt.aborted)
+		if rt.abortCancel != nil {
+			rt.abortCancel()
+		}
 		for _, p := range rt.procs {
 			p.mu.Lock()
 			merges := make([]*mergeState, 0, len(p.merges))
@@ -300,6 +328,51 @@ func (rt *Runtime) firstErr(err error) error {
 		return e
 	}
 	return err
+}
+
+// recvMasterEvent waits for the next worker event without ever hanging on
+// a failed cluster: the wait aborts as soon as any component records a
+// failure, and (when Config.IOTimeout is set) wakes at that interval to
+// sweep the failure detector for silently dead workers.
+func (rt *Runtime) recvMasterEvent() (eventMsg, error) {
+	for {
+		ctx := rt.abortCtx
+		var cancel context.CancelFunc
+		if d := rt.job.Conf.IOTimeout; d > 0 {
+			ctx, cancel = context.WithTimeout(ctx, d)
+		}
+		b, _, err := rt.masterIC.RecvContext(ctx, mpi.AnySource, tagEvent)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return decodeEvent(b)
+		}
+		if e := rt.err(); e != nil {
+			return eventMsg{}, e
+		}
+		if errors.Is(err, mpi.ErrTimeout) {
+			// Deadline tick with no failure recorded yet: consult the
+			// failure detector, then keep waiting.
+			if p := rt.deadWorker(); p >= 0 {
+				derr := fmt.Errorf("core: worker process %d died: %w", p, mpi.ErrRankDead)
+				rt.fail(derr)
+				return eventMsg{}, derr
+			}
+			continue
+		}
+		return eventMsg{}, err
+	}
+}
+
+// deadWorker returns the lowest dead worker rank, or -1.
+func (rt *Runtime) deadWorker() int {
+	for p := 0; p < rt.job.Procs; p++ {
+		if rt.world.RankDead(p) {
+			return p
+		}
+	}
+	return -1
 }
 
 // countSend enforces fault injection and tallies sent records.
@@ -409,7 +482,7 @@ func (rt *Runtime) reload() error {
 		sentTo++
 	}
 	for done := 0; done < sentTo; {
-		ev, err := recvEvent(rt.masterIC)
+		ev, err := rt.recvMasterEvent()
 		if err != nil {
 			return err
 		}
@@ -561,7 +634,7 @@ func (rt *Runtime) runRound(r int) error {
 		return err
 	}
 	for oDone < j.NumO || aDone < j.NumA {
-		ev, err := recvEvent(rt.masterIC)
+		ev, err := rt.recvMasterEvent()
 		if err != nil {
 			return err
 		}
@@ -624,7 +697,7 @@ func (rt *Runtime) shutdownWorkers() error {
 		}
 	}
 	for byes := 0; byes < rt.job.Procs; {
-		ev, err := recvEvent(rt.masterIC)
+		ev, err := rt.recvMasterEvent()
 		if err != nil {
 			return err
 		}

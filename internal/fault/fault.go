@@ -1,0 +1,285 @@
+// Package fault provides deterministic, seed-driven communication fault
+// injection for the DataMPI transports. A Plan is pure data — a seed plus a
+// list of Rules scoped to (src, dst) world-rank pairs and per-pair message
+// windows — and an Injector evaluates it. Every decision is a pure function
+// of (seed, src, dst, per-pair sequence number, rule index), so a given
+// plan produces the same faults on every run regardless of goroutine
+// scheduling, as long as each sender's per-destination message order is
+// stable. Wall-clock time never enters a decision.
+//
+// The fault kinds mirror what a real cluster network does to a message:
+// drop it, delay it, duplicate it, reorder it against its successor, reset
+// the underlying connection, or kill the sending process outright. The mpi
+// package composes an Injector over either transport (channel or TCP); the
+// core runtime exposes it through Config so jobs can be run under chaos.
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind int
+
+const (
+	// Drop silently discards the message.
+	Drop Kind = iota
+	// Delay holds the message (and, to preserve per-pair ordering,
+	// everything behind it on the same (src, dst) link) for a deterministic
+	// latency in [0, Rule.Latency).
+	Delay
+	// Duplicate delivers the message twice.
+	Duplicate
+	// Reorder swaps the message with the next one sent on the same
+	// (src, dst) pair.
+	Reorder
+	// Reset tears down the transport connection for the pair immediately
+	// before the message is written, forcing the sender through its
+	// reconnect/retry path. With sender-side retry this is survivable and
+	// lossless.
+	Reset
+	// Kill marks the source rank dead once it has sent Rule.After
+	// messages: the crossing send and every later operation involving the
+	// rank fail with the transport's rank-dead error.
+	Kill
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Duplicate:
+		return "duplicate"
+	case Reorder:
+		return "reorder"
+	case Reset:
+		return "reset"
+	case Kill:
+		return "kill"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Any matches every rank when used as a Rule's Src or Dst.
+const Any = -1
+
+// Rule scopes one fault kind to a (src, dst) pair and a message window.
+type Rule struct {
+	Kind Kind
+	// Src and Dst are world ranks; Any matches all. Kill uses only Src.
+	Src, Dst int
+	// Prob is the per-message firing probability in [0, 1]. Kill ignores
+	// it (death is a threshold, not a coin flip).
+	Prob float64
+	// From and To bound the rule to per-pair message sequence numbers
+	// (0-based) in [From, To). To == 0 means unbounded. This is the
+	// "time window" of the plan, expressed in message counts so it stays
+	// deterministic.
+	From, To int64
+	// Latency is the maximum injected delay for Delay rules; the actual
+	// delay is deterministic in [0, Latency).
+	Latency time.Duration
+	// After is the Kill threshold: the rank dies once it has sent this
+	// many messages (0 kills it on its first send).
+	After int64
+}
+
+// matches reports whether the rule applies to pair (src, dst) at per-pair
+// sequence number seq.
+func (r Rule) matches(src, dst int, seq int64) bool {
+	if r.Src != Any && r.Src != src {
+		return false
+	}
+	if r.Dst != Any && r.Dst != dst {
+		return false
+	}
+	if seq < r.From {
+		return false
+	}
+	if r.To > 0 && seq >= r.To {
+		return false
+	}
+	return true
+}
+
+// Plan is a deterministic fault schedule: pure data, safe to share.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// LinkChaos returns a plan injecting benign, semantics-preserving link
+// faults everywhere: probabilistic delays up to maxLatency and (on
+// transports with connections) resets. Every correct program must survive
+// it unchanged.
+func LinkChaos(seed uint64, prob float64, maxLatency time.Duration) *Plan {
+	return &Plan{
+		Seed: seed,
+		Rules: []Rule{
+			{Kind: Delay, Src: Any, Dst: Any, Prob: prob, Latency: maxLatency},
+			{Kind: Reset, Src: Any, Dst: Any, Prob: prob / 4},
+		},
+	}
+}
+
+// KillRank returns a plan under which rank dies after sending after
+// messages.
+func KillRank(seed uint64, rank int, after int64) *Plan {
+	return &Plan{
+		Seed:  seed,
+		Rules: []Rule{{Kind: Kill, Src: rank, After: after}},
+	}
+}
+
+// Action is the injector's verdict for one message.
+type Action struct {
+	// SrcDead / DstDead report that the sending / receiving rank is dead;
+	// the transport should fail the operation with its rank-dead error.
+	SrcDead, DstDead bool
+	Drop             bool
+	Duplicate        bool
+	Reorder          bool
+	Reset            bool
+	Latency          time.Duration
+}
+
+// Injector evaluates a Plan. It is safe for concurrent use; per-pair
+// sequence counters make its decisions independent of interleaving across
+// pairs.
+type Injector struct {
+	plan Plan
+
+	mu        sync.Mutex
+	seq       map[[2]int]int64 // per (src, dst) messages seen
+	sent      map[int]int64    // per src messages seen (Kill threshold)
+	dead      map[int]bool
+	listeners []func(rank int)
+}
+
+// NewInjector builds an injector for the plan. A nil plan yields a
+// pass-through injector that never injects anything.
+func NewInjector(p *Plan) *Injector {
+	in := &Injector{
+		seq:  map[[2]int]int64{},
+		sent: map[int]int64{},
+		dead: map[int]bool{},
+	}
+	if p != nil {
+		in.plan = *p
+		in.plan.Rules = append([]Rule(nil), p.Rules...)
+	}
+	return in
+}
+
+// OnSend records one message from src to dst and returns the faults to
+// apply to it.
+func (in *Injector) OnSend(src, dst int) Action {
+	in.mu.Lock()
+	var act Action
+	pair := [2]int{src, dst}
+	seq := in.seq[pair]
+	in.seq[pair] = seq + 1
+	in.sent[src]++
+	var died bool
+	for i, r := range in.plan.Rules {
+		switch r.Kind {
+		case Kill:
+			if (r.Src == Any || r.Src == src) && !in.dead[src] && in.sent[src] > r.After {
+				in.dead[src] = true
+				died = true
+			}
+		default:
+			if !r.matches(src, dst, seq) {
+				continue
+			}
+			if r.Prob < 1 && u01(in.plan.Seed, src, dst, seq, i) >= r.Prob {
+				continue
+			}
+			switch r.Kind {
+			case Drop:
+				act.Drop = true
+			case Delay:
+				if r.Latency > 0 {
+					// A second hash draw so the delay amount is independent
+					// of the firing decision.
+					act.Latency = time.Duration(u01(in.plan.Seed^0x9e3779b97f4a7c15, src, dst, seq, i) * float64(r.Latency))
+				}
+			case Duplicate:
+				act.Duplicate = true
+			case Reorder:
+				act.Reorder = true
+			case Reset:
+				act.Reset = true
+			}
+		}
+	}
+	act.SrcDead = in.dead[src]
+	act.DstDead = in.dead[dst]
+	var fire []func(int)
+	if died {
+		fire = append(fire, in.listeners...)
+	}
+	in.mu.Unlock()
+	for _, fn := range fire {
+		fn(src)
+	}
+	return act
+}
+
+// Kill marks a rank dead immediately (a cooperative kill, for tests that
+// need a death not tied to a send count).
+func (in *Injector) Kill(rank int) {
+	in.mu.Lock()
+	already := in.dead[rank]
+	in.dead[rank] = true
+	var fire []func(int)
+	if !already {
+		fire = append(fire, in.listeners...)
+	}
+	in.mu.Unlock()
+	for _, fn := range fire {
+		fn(rank)
+	}
+}
+
+// Dead reports whether a rank has died.
+func (in *Injector) Dead(rank int) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dead[rank]
+}
+
+// Subscribe registers a callback fired (outside the injector's lock) each
+// time a rank dies. Ranks already dead at subscription time are replayed.
+func (in *Injector) Subscribe(fn func(rank int)) {
+	in.mu.Lock()
+	in.listeners = append(in.listeners, fn)
+	var replay []int
+	for r, d := range in.dead {
+		if d {
+			replay = append(replay, r)
+		}
+	}
+	in.mu.Unlock()
+	for _, r := range replay {
+		fn(r)
+	}
+}
+
+// u01 hashes the decision coordinates to a uniform float64 in [0, 1).
+func u01(seed uint64, src, dst int, seq int64, rule int) float64 {
+	x := seed
+	x ^= uint64(src)*0x9e3779b97f4a7c15 + uint64(dst)*0xc2b2ae3d27d4eb4f
+	x ^= uint64(seq)*0x165667b19e3779f9 + uint64(rule)*0xd6e8feb86659fd93
+	// splitmix64 finalizer.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

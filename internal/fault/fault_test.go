@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// decisions replays n messages on pair (src, dst) and returns the actions.
+func decisions(in *Injector, src, dst, n int) []Action {
+	out := make([]Action, n)
+	for i := range out {
+		out[i] = in.OnSend(src, dst)
+	}
+	return out
+}
+
+func TestDeterministicAcrossInjectors(t *testing.T) {
+	plan := &Plan{Seed: 42, Rules: []Rule{
+		{Kind: Drop, Src: Any, Dst: Any, Prob: 0.3},
+		{Kind: Delay, Src: Any, Dst: Any, Prob: 0.5, Latency: 3 * time.Millisecond},
+		{Kind: Duplicate, Src: 0, Dst: 1, Prob: 0.2},
+	}}
+	a := decisions(NewInjector(plan), 0, 1, 500)
+	b := decisions(NewInjector(plan), 0, 1, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	var fired int
+	for _, act := range a {
+		if act.Drop || act.Duplicate || act.Latency > 0 {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Error("no fault ever fired over 500 messages")
+	}
+}
+
+func TestPairIsolation(t *testing.T) {
+	// Decisions on one pair must not depend on traffic on other pairs.
+	plan := &Plan{Seed: 7, Rules: []Rule{{Kind: Drop, Src: Any, Dst: Any, Prob: 0.4}}}
+	solo := decisions(NewInjector(plan), 2, 3, 200)
+	mixed := NewInjector(plan)
+	var interleaved []Action
+	for i := 0; i < 200; i++ {
+		mixed.OnSend(0, 1) // unrelated traffic
+		interleaved = append(interleaved, mixed.OnSend(2, 3))
+		mixed.OnSend(1, 0)
+	}
+	for i := range solo {
+		if solo[i].Drop != interleaved[i].Drop {
+			t.Fatalf("pair (2,3) decision %d changed under unrelated traffic", i)
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	mk := func(seed uint64) []Action {
+		return decisions(NewInjector(&Plan{Seed: seed, Rules: []Rule{
+			{Kind: Drop, Src: Any, Dst: Any, Prob: 0.5},
+		}}), 0, 1, 200)
+	}
+	a, b := mk(1), mk(2)
+	same := 0
+	for i := range a {
+		if a[i].Drop == b[i].Drop {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical decisions")
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	plan := &Plan{Seed: 1, Rules: []Rule{
+		{Kind: Drop, Src: Any, Dst: Any, Prob: 1, From: 10, To: 20},
+	}}
+	acts := decisions(NewInjector(plan), 0, 1, 30)
+	for i, act := range acts {
+		want := i >= 10 && i < 20
+		if act.Drop != want {
+			t.Errorf("message %d: drop=%v, want %v", i, act.Drop, want)
+		}
+	}
+}
+
+func TestKillAfterThreshold(t *testing.T) {
+	in := NewInjector(KillRank(3, 1, 5))
+	for i := 0; i < 5; i++ {
+		if act := in.OnSend(1, 0); act.SrcDead {
+			t.Fatalf("rank 1 dead after only %d sends", i+1)
+		}
+	}
+	if act := in.OnSend(1, 0); !act.SrcDead {
+		t.Fatal("rank 1 still alive after crossing threshold")
+	}
+	if !in.Dead(1) {
+		t.Error("Dead(1) = false")
+	}
+	if act := in.OnSend(0, 1); !act.DstDead {
+		t.Error("send to dead rank not flagged")
+	}
+	if act := in.OnSend(0, 2); act.SrcDead || act.DstDead {
+		t.Error("unrelated pair flagged dead")
+	}
+}
+
+func TestSubscribeFiresOnceAndReplays(t *testing.T) {
+	in := NewInjector(nil)
+	var got []int
+	in.Subscribe(func(r int) { got = append(got, r) })
+	in.Kill(4)
+	in.Kill(4) // idempotent
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("listener calls = %v, want [4]", got)
+	}
+	var late []int
+	in.Subscribe(func(r int) { late = append(late, r) })
+	if len(late) != 1 || late[0] != 4 {
+		t.Errorf("late subscriber replay = %v, want [4]", late)
+	}
+}
+
+func TestNilPlanPassThrough(t *testing.T) {
+	in := NewInjector(nil)
+	for i := 0; i < 100; i++ {
+		if act := in.OnSend(0, 1); act != (Action{}) {
+			t.Fatalf("nil plan injected %+v", act)
+		}
+	}
+}

@@ -120,19 +120,38 @@ func (r *Reader) Read() (Record, error) {
 		}
 		return Record{}, fmt.Errorf("kv: reading key length: %w", err)
 	}
-	key := make([]byte, int(klen))
-	if _, err := io.ReadFull(r.r, key); err != nil {
+	key, err := readN(r.r, klen)
+	if err != nil {
 		return Record{}, fmt.Errorf("kv: reading key: %w", err)
 	}
 	vlen, err := binary.ReadUvarint(r.r)
 	if err != nil {
 		return Record{}, fmt.Errorf("kv: reading value length: %w", err)
 	}
-	val := make([]byte, int(vlen))
-	if _, err := io.ReadFull(r.r, val); err != nil {
+	val, err := readN(r.r, vlen)
+	if err != nil {
 		return Record{}, fmt.Errorf("kv: reading value: %w", err)
 	}
 	return Record{Key: key, Value: val}, nil
+}
+
+// readN reads exactly n bytes, growing the buffer in bounded chunks so a
+// corrupt length prefix cannot allocate memory the stream never backs.
+func readN(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := []byte{}
+	for uint64(len(buf)) < n {
+		c := n - uint64(len(buf))
+		if c > chunk {
+			c = chunk
+		}
+		old := len(buf)
+		buf = append(buf, make([]byte, c)...)
+		if _, err := io.ReadFull(r, buf[old:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // DecodeAll parses every record in b (a fully framed buffer). Returned

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 )
@@ -253,12 +254,19 @@ func (ic *Intercomm) Send(dst, tag int, data []byte) error {
 
 // Recv receives from rank src of the remote group (AnySource allowed).
 func (ic *Intercomm) Recv(src, tag int) ([]byte, Status, error) {
+	return ic.RecvContext(context.Background(), src, tag)
+}
+
+// RecvContext is Recv bounded by a context (see Comm.RecvContext): it
+// fails with an error wrapping ErrTimeout once ctx is done, so a process
+// waiting on a dead remote group member cannot hang forever.
+func (ic *Intercomm) RecvContext(ctx context.Context, src, tag int) ([]byte, Status, error) {
 	flat := src
 	if src != AnySource {
 		flat = ic.remoteToFlat(src)
 	}
 	for {
-		data, st, err := ic.local.Recv(flat, tag)
+		data, st, err := ic.local.RecvContext(ctx, flat, tag)
 		if err != nil {
 			return nil, st, err
 		}

@@ -1,0 +1,92 @@
+package mpi
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrameRoundTrip: every frame writeFrame accepts must read back
+// identical through readFrame.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint32(0), int32(0), int32(0), uint64(0), []byte(nil))
+	f.Add(uint32(1), int32(3), int32(-7), uint64(1<<40), []byte("payload"))
+	f.Add(uint32(0xFFFFFFFF), int32(-1), int32(1<<30), uint64(0xFFFFFFFFFFFFFFFF), bytes.Repeat([]byte{0xAA}, 1024))
+	f.Fuzz(func(t *testing.T, comm uint32, srcRank, tag int32, seq uint64, data []byte) {
+		in := frame{comm: comm, srcRank: srcRank, tag: tag, seq: seq, data: data}
+		var sink bytes.Buffer
+		if err := writeFrame(bufio.NewWriter(&sink), in); err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				t.Skip()
+			}
+			t.Fatalf("writeFrame: %v", err)
+		}
+		out, err := readFrame(bytes.NewReader(sink.Bytes()))
+		if err != nil {
+			t.Fatalf("readFrame of writeFrame output: %v", err)
+		}
+		if out.comm != in.comm || out.srcRank != in.srcRank || out.tag != in.tag || out.seq != in.seq {
+			t.Fatalf("header mismatch: %+v != %+v", out, in)
+		}
+		if !bytes.Equal(out.data, in.data) {
+			t.Fatalf("payload mismatch: %d vs %d bytes", len(out.data), len(in.data))
+		}
+	})
+}
+
+// FuzzReadFrame: arbitrary bytes must never panic readFrame or make it
+// allocate beyond what the stream backs; anything it does parse must
+// re-encode and re-parse to the same frame.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3})
+	// A well-formed empty-payload frame header.
+	f.Add(make([]byte, 24))
+	// A header claiming 2 GiB.
+	f.Add(append(make([]byte, 20), 0x80, 0, 0, 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must error, not panic — fine
+		}
+		var sink bytes.Buffer
+		if err := writeFrame(bufio.NewWriter(&sink), in); err != nil {
+			t.Fatalf("re-encode of parsed frame: %v", err)
+		}
+		out, err := readFrame(bytes.NewReader(sink.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if out.comm != in.comm || out.srcRank != in.srcRank || out.tag != in.tag ||
+			out.seq != in.seq || !bytes.Equal(out.data, in.data) {
+			t.Fatalf("re-parse mismatch: %+v != %+v", out, in)
+		}
+	})
+}
+
+// FuzzReadFrameStream: a stream of arbitrary bytes, read as consecutive
+// frames the way readLoop does, terminates (no infinite loop on a stuck
+// parser) and stops at the first malformed frame.
+func FuzzReadFrameStream(f *testing.F) {
+	f.Add([]byte(nil))
+	var two bytes.Buffer
+	w := bufio.NewWriter(&two)
+	writeFrame(w, frame{comm: 1, tag: 2, data: []byte("a")})
+	writeFrame(w, frame{comm: 1, tag: 3, seq: 1, data: []byte("bb")})
+	f.Add(two.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 1<<16; i++ {
+			if _, err := readFrame(r); err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+					errors.Is(err, ErrFrameTooLarge) {
+					return
+				}
+				return // any parse error ends the connection; must not panic
+			}
+		}
+		t.Fatal("65536 frames from a fuzz input: runaway parse")
+	})
+}

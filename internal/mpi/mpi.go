@@ -9,10 +9,13 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"datampi/internal/fault"
 	"datampi/internal/netsim"
 )
 
@@ -26,6 +29,23 @@ const (
 // ErrClosed is returned by operations on a closed World.
 var ErrClosed = errors.New("mpi: world closed")
 
+// ErrRankDead reports that a peer (or the calling rank itself) has failed:
+// the TCP transport returns it once its bounded retry/reconnect loop is
+// exhausted, and the fault-injection layer returns it for ranks its plan
+// has killed. Callers should treat it as a failure-detector verdict and
+// escalate (e.g. trigger checkpoint restart) rather than retry.
+var ErrRankDead = errors.New("mpi: rank dead")
+
+// ErrTimeout reports that a deadline-bounded operation (RecvTimeout,
+// RecvContext, or a transport send with a configured send timeout) expired
+// before completing.
+var ErrTimeout = errors.New("mpi: operation timed out")
+
+// ErrFrameTooLarge reports a frame whose length header exceeds
+// maxFrameSize — either a corrupt stream on the read side or an oversized
+// payload on the write side.
+var ErrFrameTooLarge = errors.New("mpi: frame exceeds size cap")
+
 // Status describes a received message's envelope.
 type Status struct {
 	Source int // rank within the communicator
@@ -37,6 +57,7 @@ type frame struct {
 	comm    uint32
 	srcRank int32 // rank in the communicator
 	tag     int32
+	seq     uint64 // per-(comm,srcRank,dst) stream position, assigned by TCP
 	data    []byte
 }
 
@@ -57,11 +78,16 @@ type World struct {
 	handleMu   sync.Mutex
 	handles    map[int]*Comm
 	nextTicket int
+
+	deadMu sync.Mutex
+	dead   map[int]bool // world ranks marked dead by the fault layer
 }
 
 type config struct {
-	tcp  bool
-	link *netsim.Link
+	tcp         bool
+	link        *netsim.Link
+	inj         *fault.Injector
+	sendTimeout time.Duration
 }
 
 // Option configures NewWorld.
@@ -73,6 +99,17 @@ func WithTCP() Option { return func(c *config) { c.tcp = true } }
 
 // WithLink charges every transfer to the given shaped link.
 func WithLink(l *netsim.Link) Option { return func(c *config) { c.link = l } }
+
+// WithFaults wraps the world's transport in the deterministic
+// fault-injection layer driven by inj (see internal/fault). Rank deaths
+// reported by the injector propagate into Send/Recv as ErrRankDead.
+func WithFaults(inj *fault.Injector) Option { return func(c *config) { c.inj = inj } }
+
+// WithSendTimeout bounds how long a transport-level send may block (full
+// peer inbox on the channel transport, socket write on TCP) before failing
+// with ErrTimeout. Zero means block indefinitely, the pre-deadline
+// behaviour.
+func WithSendTimeout(d time.Duration) Option { return func(c *config) { c.sendTimeout = d } }
 
 // NewWorld creates a world of n ranks.
 func NewWorld(n int, opts ...Option) (*World, error) {
@@ -90,12 +127,17 @@ func NewWorld(n int, opts ...Option) (*World, error) {
 	}
 	var err error
 	if cfg.tcp {
-		w.tr, err = newTCPTransport(n, cfg.link)
+		w.tr, err = newTCPTransport(n, cfg.link, cfg.sendTimeout)
 	} else {
-		w.tr, err = newMemTransport(n, cfg.link)
+		w.tr, err = newMemTransport(n, cfg.link, cfg.sendTimeout)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if cfg.inj != nil {
+		w.tr = newFaultTransport(w.tr, cfg.inj)
+		// Rank deaths must wake receivers blocked on the dead peer.
+		cfg.inj.Subscribe(w.markDead)
 	}
 	w.procs = make([]*proc, n)
 	for i := 0; i < n; i++ {
@@ -220,6 +262,37 @@ func (w *World) Close() error {
 	return nil
 }
 
+// markDead records a world rank's death and wakes every blocked receiver
+// so waits on the dead peer can fail with ErrRankDead instead of hanging.
+func (w *World) markDead(worldRank int) {
+	w.deadMu.Lock()
+	if w.dead == nil {
+		w.dead = map[int]bool{}
+	}
+	w.dead[worldRank] = true
+	w.deadMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, peers := range w.comms {
+		for _, c := range peers {
+			if c == nil {
+				continue
+			}
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// RankDead reports whether a world rank has been declared dead (by the
+// fault-injection layer).
+func (w *World) RankDead(worldRank int) bool {
+	w.deadMu.Lock()
+	defer w.deadMu.Unlock()
+	return w.dead[worldRank]
+}
+
 // registerHandle parks a communicator handle for pickup by another rank
 // (used by Split to distribute the per-rank handles it creates).
 func (w *World) registerHandle(c *Comm) int {
@@ -289,13 +362,59 @@ func (c *Comm) send(dst, tag int, data []byte) error {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	f := frame{comm: c.id, srcRank: int32(c.myRank), tag: int32(tag), data: buf}
-	return c.world.tr.send(c.ranks[dst], f)
+	return c.world.tr.send(c.ranks[c.myRank], c.ranks[dst], f)
 }
 
 // Recv receives a message matching (src, tag); AnySource and AnyTag act as
 // wildcards (AnyTag matches only user tags, i.e. tags >= 0). It blocks
-// until a matching message arrives or the world is closed.
+// until a matching message arrives, the world is closed, or — under fault
+// injection — the calling rank or the awaited source rank is declared
+// dead (ErrRankDead).
 func (c *Comm) Recv(src, tag int) ([]byte, Status, error) {
+	return c.recvWait(src, tag, nil, nil)
+}
+
+// RecvContext is Recv bounded by a context: when ctx is cancelled or its
+// deadline passes before a matching message arrives, it returns an error
+// wrapping both ErrTimeout and ctx.Err(). This is the failure-detection
+// primitive for callers that must not hang on a dead or wedged peer.
+func (c *Comm) RecvContext(ctx context.Context, src, tag int) ([]byte, Status, error) {
+	if ctx.Done() == nil {
+		return c.Recv(src, tag)
+	}
+	return c.recvWait(src, tag, ctx.Done(), ctx.Err)
+}
+
+// RecvTimeout is Recv with a deadline; it returns an error wrapping
+// ErrTimeout if no matching message arrives within d.
+func (c *Comm) RecvTimeout(src, tag int, d time.Duration) ([]byte, Status, error) {
+	if d <= 0 {
+		return c.Recv(src, tag)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return c.RecvContext(ctx, src, tag)
+}
+
+// recvWait is the matching loop shared by the Recv variants. cancel, when
+// non-nil, aborts the wait; cause (may be nil) supplies the context error
+// to report alongside ErrTimeout.
+func (c *Comm) recvWait(src, tag int, cancel <-chan struct{}, cause func() error) ([]byte, Status, error) {
+	var cancelled bool // guarded by c.mu
+	if cancel != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-cancel:
+				c.mu.Lock()
+				cancelled = true
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
@@ -307,6 +426,19 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status, error) {
 		}
 		if c.closed {
 			return nil, Status{}, ErrClosed
+		}
+		if c.world.RankDead(c.ranks[c.myRank]) {
+			return nil, Status{}, fmt.Errorf("mpi: receiving rank %d: %w", c.myRank, ErrRankDead)
+		}
+		if src != AnySource && c.world.RankDead(c.ranks[src]) {
+			return nil, Status{}, fmt.Errorf("mpi: source rank %d: %w", src, ErrRankDead)
+		}
+		if cancelled {
+			err := error(nil)
+			if cause != nil {
+				err = cause()
+			}
+			return nil, Status{}, fmt.Errorf("mpi: recv (src=%d tag=%d): %w", src, tag, errors.Join(ErrTimeout, err))
 		}
 		c.cond.Wait()
 	}

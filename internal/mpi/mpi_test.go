@@ -6,20 +6,64 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"datampi/internal/fault"
 )
 
-// runBoth runs a subtest under both transports.
+// parityCases is the transport-parity matrix: every test body runs on the
+// channel transport, the TCP transport, and — unless -short — on both
+// again under benign link chaos (deterministic probabilistic delays, plus
+// connection resets on TCP). Delays and sender-side resets preserve the
+// library's delivery guarantees, so identical assertions must hold; what
+// changes is timing, interleaving, and (for TCP) exercise of the
+// reconnect/retry path. opts is a factory because fault injectors carry
+// per-world state.
+func parityCases(t *testing.T) []struct {
+	name string
+	opts func() []Option
+} {
+	cases := []struct {
+		name string
+		opts func() []Option
+	}{
+		{"mem", func() []Option { return nil }},
+		{"tcp", func() []Option { return []Option{WithTCP()} }},
+	}
+	if !testing.Short() {
+		delayPlan := &fault.Plan{Seed: 0xDA7A, Rules: []fault.Rule{
+			{Kind: fault.Delay, Src: fault.Any, Dst: fault.Any, Prob: 0.2, Latency: 2 * time.Millisecond},
+		}}
+		chaosTCP := &fault.Plan{Seed: 0xDA7A, Rules: []fault.Rule{
+			{Kind: fault.Delay, Src: fault.Any, Dst: fault.Any, Prob: 0.2, Latency: 2 * time.Millisecond},
+			{Kind: fault.Reset, Src: fault.Any, Dst: fault.Any, Prob: 0.05},
+		}}
+		cases = append(cases,
+			struct {
+				name string
+				opts func() []Option
+			}{"mem/chaos", func() []Option {
+				return []Option{WithFaults(fault.NewInjector(delayPlan)), WithSendTimeout(5 * time.Second)}
+			}},
+			struct {
+				name string
+				opts func() []Option
+			}{"tcp/chaos", func() []Option {
+				return []Option{WithTCP(), WithFaults(fault.NewInjector(chaosTCP)), WithSendTimeout(5 * time.Second)}
+			}},
+		)
+	}
+	return cases
+}
+
+// runBoth runs a subtest across the whole transport-parity matrix. The
+// subtests run in parallel so the race detector sees real interleavings.
 func runBoth(t *testing.T, n int, fn func(t *testing.T, w *World)) {
 	t.Helper()
-	for _, tc := range []struct {
-		name string
-		opts []Option
-	}{
-		{"mem", nil},
-		{"tcp", []Option{WithTCP()}},
-	} {
+	for _, tc := range parityCases(t) {
+		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			w, err := NewWorld(n, tc.opts...)
+			t.Parallel()
+			w, err := NewWorld(n, tc.opts()...)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -7,13 +7,16 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"datampi/internal/netsim"
 )
 
-// transport moves frames between world ranks.
+// transport moves frames between world ranks. src and dst are world ranks;
+// src lets a fault-injection wrapper attribute traffic to its true sender
+// even on sub-communicators, where frame.srcRank is a comm rank.
 type transport interface {
-	send(dstWorldRank int, f frame) error
+	send(src, dst int, f frame) error
 	// recv blocks for the next frame addressed to world rank r; ok=false
 	// means the transport has been closed.
 	recv(r int) (frame, bool)
@@ -21,25 +24,45 @@ type transport interface {
 }
 
 // frameOverhead is the per-message protocol overhead we charge to the
-// network link: comm id + src + tag + length (16 bytes of header) plus a
-// nominal transport-layer framing cost comparable to a TCP/IP header.
-const frameOverhead = 16 + 52
+// network link: comm id + src + tag + seq + length (24 bytes of header)
+// plus a nominal transport-layer framing cost comparable to a TCP/IP
+// header.
+const frameOverhead = 24 + 52
+
+// maxFrameSize caps one message's payload. A corrupt or hostile length
+// header can therefore not force an unbounded allocation; readFrame
+// rejects larger claims with ErrFrameTooLarge.
+const maxFrameSize = 256 << 20
+
+// frameAllocChunk bounds how much readFrame allocates ahead of the bytes
+// the stream has actually produced, so even an in-cap lying header cannot
+// balloon memory before the short read surfaces.
+const frameAllocChunk = 1 << 20
+
+// tcpSendRetries is how many times a TCP send redials and rewrites after a
+// connection failure before declaring the peer dead.
+const tcpSendRetries = 4
+
+// tcpDialTimeout bounds one dial attempt inside the retry loop.
+const tcpDialTimeout = 2 * time.Second
 
 // ---------------------------------------------------------------------------
 // In-memory transport
 
 type memTransport struct {
-	inboxes []chan frame
-	link    *netsim.Link
-	done    chan struct{}
-	once    sync.Once
+	inboxes     []chan frame
+	link        *netsim.Link
+	sendTimeout time.Duration
+	done        chan struct{}
+	once        sync.Once
 }
 
-func newMemTransport(n int, link *netsim.Link) (*memTransport, error) {
+func newMemTransport(n int, link *netsim.Link, sendTimeout time.Duration) (*memTransport, error) {
 	t := &memTransport{
-		inboxes: make([]chan frame, n),
-		link:    link,
-		done:    make(chan struct{}),
+		inboxes:     make([]chan frame, n),
+		link:        link,
+		sendTimeout: sendTimeout,
+		done:        make(chan struct{}),
 	}
 	for i := range t.inboxes {
 		t.inboxes[i] = make(chan frame, 1024)
@@ -47,7 +70,7 @@ func newMemTransport(n int, link *netsim.Link) (*memTransport, error) {
 	return t, nil
 }
 
-func (t *memTransport) send(dst int, f frame) error {
+func (t *memTransport) send(src, dst int, f frame) error {
 	if t.link != nil {
 		t.link.Transfer(int64(len(f.data)), frameOverhead, 0)
 	}
@@ -56,6 +79,28 @@ func (t *memTransport) send(dst int, f frame) error {
 		return nil
 	case <-t.done:
 		return ErrClosed
+	default:
+	}
+	// Inbox full: wait, but never forever when a deadline is configured —
+	// a receiver that has exited (dead rank) would otherwise block this
+	// sender indefinitely.
+	if t.sendTimeout <= 0 {
+		select {
+		case t.inboxes[dst] <- f:
+			return nil
+		case <-t.done:
+			return ErrClosed
+		}
+	}
+	tm := time.NewTimer(t.sendTimeout)
+	defer tm.Stop()
+	select {
+	case t.inboxes[dst] <- f:
+		return nil
+	case <-t.done:
+		return ErrClosed
+	case <-tm.C:
+		return fmt.Errorf("mpi: send to rank %d: inbox full for %v: %w", dst, t.sendTimeout, ErrTimeout)
 	}
 }
 
@@ -82,17 +127,33 @@ func (t *memTransport) close() {
 // TCP loopback transport
 
 type tcpTransport struct {
-	n         int
-	link      *netsim.Link
-	listeners []net.Listener
-	addrs     []string
-	inboxes   []chan frame
-	done      chan struct{}
+	n           int
+	link        *netsim.Link
+	sendTimeout time.Duration
+	listeners   []net.Listener
+	addrs       []string
+	inboxes     []chan frame
+	done        chan struct{}
 
-	mu     sync.Mutex
-	conns  map[[3]int]*tcpConn // [comm,srcRank,dst] -> connection owned by the sender
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[[3]int]*tcpConn // [comm,srcRank,dst] -> connection owned by the sender
+	sendSeq map[[3]int]uint64   // next sequence number per outgoing stream
+	closed  bool
+	wg      sync.WaitGroup
+
+	rdMu    sync.Mutex
+	streams map[[3]int]*streamState // [comm,srcRank,dst] -> receive ordering
+}
+
+// streamState reorders one incoming stream. After a connection reset the
+// sender redials, and the replacement connection's readLoop races the old
+// one draining its final frames into the inbox; delivering strictly by the
+// sender-assigned sequence number restores stream order and discards the
+// rare duplicate (a frame whose write "failed" after the bytes were
+// already delivered, then was rewritten on the new connection).
+type streamState struct {
+	next uint64
+	held map[uint64]frame
 }
 
 type tcpConn struct {
@@ -101,15 +162,18 @@ type tcpConn struct {
 	w  *bufio.Writer
 }
 
-func newTCPTransport(n int, link *netsim.Link) (*tcpTransport, error) {
+func newTCPTransport(n int, link *netsim.Link, sendTimeout time.Duration) (*tcpTransport, error) {
 	t := &tcpTransport{
-		n:         n,
-		link:      link,
-		listeners: make([]net.Listener, n),
-		addrs:     make([]string, n),
-		inboxes:   make([]chan frame, n),
-		done:      make(chan struct{}),
-		conns:     make(map[[3]int]*tcpConn),
+		n:           n,
+		link:        link,
+		sendTimeout: sendTimeout,
+		listeners:   make([]net.Listener, n),
+		addrs:       make([]string, n),
+		inboxes:     make([]chan frame, n),
+		done:        make(chan struct{}),
+		conns:       make(map[[3]int]*tcpConn),
+		sendSeq:     make(map[[3]int]uint64),
+		streams:     make(map[[3]int]*streamState),
 	}
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -149,20 +213,60 @@ func (t *tcpTransport) readLoop(r int, conn net.Conn) {
 		if err != nil {
 			return
 		}
-		select {
-		case t.inboxes[r] <- f:
-		case <-t.done:
-			return
+		for _, g := range t.orderStream(r, f) {
+			select {
+			case t.inboxes[r] <- g:
+			case <-t.done:
+				return
+			}
 		}
 	}
 }
 
+// orderStream admits a received frame into its stream's sequence order,
+// returning the frames that are now deliverable (possibly none: the frame
+// is held until its predecessors arrive; possibly several: it filled a
+// gap). Duplicates — sequence numbers already delivered — are discarded,
+// making TCP delivery exactly-once even across connection resets.
+func (t *tcpTransport) orderStream(r int, f frame) []frame {
+	key := [3]int{int(f.comm), int(f.srcRank), r}
+	t.rdMu.Lock()
+	defer t.rdMu.Unlock()
+	st := t.streams[key]
+	if st == nil {
+		st = &streamState{held: make(map[uint64]frame)}
+		t.streams[key] = st
+	}
+	if f.seq < st.next {
+		return nil // duplicate of an already-delivered frame
+	}
+	if f.seq > st.next {
+		st.held[f.seq] = f
+		return nil
+	}
+	out := []frame{f}
+	st.next++
+	for {
+		g, ok := st.held[st.next]
+		if !ok {
+			return out
+		}
+		delete(st.held, st.next)
+		out = append(out, g)
+		st.next++
+	}
+}
+
 func writeFrame(w *bufio.Writer, f frame) error {
-	var hdr [16]byte
+	if len(f.data) > maxFrameSize {
+		return fmt.Errorf("mpi: %d-byte frame: %w", len(f.data), ErrFrameTooLarge)
+	}
+	var hdr [24]byte
 	binary.BigEndian.PutUint32(hdr[0:], f.comm)
 	binary.BigEndian.PutUint32(hdr[4:], uint32(f.srcRank))
 	binary.BigEndian.PutUint32(hdr[8:], uint32(int32(f.tag)))
-	binary.BigEndian.PutUint32(hdr[12:], uint32(len(f.data)))
+	binary.BigEndian.PutUint64(hdr[12:], f.seq)
+	binary.BigEndian.PutUint32(hdr[20:], uint32(len(f.data)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -173,7 +277,7 @@ func writeFrame(w *bufio.Writer, f frame) error {
 }
 
 func readFrame(r io.Reader) (frame, error) {
-	var hdr [16]byte
+	var hdr [24]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return frame{}, err
 	}
@@ -181,41 +285,144 @@ func readFrame(r io.Reader) (frame, error) {
 		comm:    binary.BigEndian.Uint32(hdr[0:]),
 		srcRank: int32(binary.BigEndian.Uint32(hdr[4:])),
 		tag:     int32(binary.BigEndian.Uint32(hdr[8:])),
+		seq:     binary.BigEndian.Uint64(hdr[12:]),
 	}
-	n := binary.BigEndian.Uint32(hdr[12:])
-	f.data = make([]byte, n)
-	if _, err := io.ReadFull(r, f.data); err != nil {
-		return frame{}, err
+	n := int64(binary.BigEndian.Uint32(hdr[20:]))
+	if n > maxFrameSize {
+		return frame{}, fmt.Errorf("mpi: frame header claims %d bytes: %w", n, ErrFrameTooLarge)
+	}
+	// Grow in bounded chunks: the stream must keep producing bytes before
+	// the next chunk is allocated, so a lying in-cap length cannot reserve
+	// memory the connection never backs.
+	for int64(len(f.data)) < n {
+		chunk := n - int64(len(f.data))
+		if chunk > frameAllocChunk {
+			chunk = frameAllocChunk
+		}
+		old := len(f.data)
+		f.data = append(f.data, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, f.data[old:]); err != nil {
+			return frame{}, err
+		}
 	}
 	return f, nil
 }
 
-func (t *tcpTransport) send(dst int, f frame) error {
+func (t *tcpTransport) send(src, dst int, f frame) error {
+	if t.link != nil {
+		t.link.Transfer(int64(len(f.data)), frameOverhead, 0)
+	}
 	// One connection per (communicator, sender rank, destination) triple so
 	// concurrent senders never interleave partial frames.
 	key := [3]int{int(f.comm), int(f.srcRank), dst}
+	// The stream sequence number is assigned once and reused across
+	// retries: a rewrite after a connection failure carries the same seq,
+	// so the receiver's reorderer can discard it if the original actually
+	// arrived.
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed
 	}
-	tc := t.conns[key]
-	if tc == nil {
-		conn, err := net.Dial("tcp", t.addrs[dst])
-		if err != nil {
-			t.mu.Unlock()
-			return fmt.Errorf("mpi: dial rank %d: %w", dst, err)
+	f.seq = t.sendSeq[key]
+	t.sendSeq[key]++
+	t.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= tcpSendRetries; attempt++ {
+		if attempt > 0 {
+			// Exponential backoff: 1, 2, 4, 8 ms.
+			backoff := time.Duration(1<<uint(attempt-1)) * time.Millisecond
+			select {
+			case <-t.done:
+				return ErrClosed
+			case <-time.After(backoff):
+			}
 		}
-		tc = &tcpConn{c: conn, w: bufio.NewWriterSize(conn, 64<<10)}
-		t.conns[key] = tc
+		tc, err := t.conn(key, dst)
+		if err != nil {
+			if err == ErrClosed {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		tc.mu.Lock()
+		if t.sendTimeout > 0 {
+			tc.c.SetWriteDeadline(time.Now().Add(t.sendTimeout))
+		}
+		err = writeFrame(tc.w, f)
+		tc.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		// The connection (and any partially written frame) is poisoned:
+		// drop it so the next attempt redials and rewrites from scratch.
+		// The receiver discards partial frames, so a rewrite cannot
+		// duplicate data.
+		t.dropConn(key, tc)
+	}
+	return fmt.Errorf("mpi: send to rank %d failed after %d attempts (%v): %w",
+		dst, tcpSendRetries+1, lastErr, ErrRankDead)
+}
+
+// conn returns the cached connection for key, dialing dst if needed.
+func (t *tcpTransport) conn(key [3]int, dst int) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	tc := t.conns[key]
+	t.mu.Unlock()
+	if tc != nil {
+		return tc, nil
+	}
+	d := net.Dialer{Timeout: tcpDialTimeout}
+	c, err := d.Dial("tcp", t.addrs[dst])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: dial rank %d: %w", dst, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return nil, ErrClosed
+	}
+	if cur := t.conns[key]; cur != nil {
+		t.mu.Unlock()
+		c.Close()
+		return cur, nil
+	}
+	tc = &tcpConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
+	t.conns[key] = tc
+	t.mu.Unlock()
+	return tc, nil
+}
+
+// dropConn closes and forgets a broken connection (only if it is still the
+// cached one, so a racing reconnect is not clobbered).
+func (t *tcpTransport) dropConn(key [3]int, tc *tcpConn) {
+	t.mu.Lock()
+	if t.conns[key] == tc {
+		delete(t.conns, key)
 	}
 	t.mu.Unlock()
-	if t.link != nil {
-		t.link.Transfer(int64(len(f.data)), frameOverhead, 0)
+	tc.c.Close()
+}
+
+// resetPair injects a connection reset: the next send on the (comm, src,
+// dst) triple must redial. Used by the fault layer; net.Conn.Close is safe
+// against concurrent writers, whose writes then fail into the retry path.
+func (t *tcpTransport) resetPair(comm uint32, srcRank int32, dst int) {
+	key := [3]int{int(comm), int(srcRank), dst}
+	t.mu.Lock()
+	tc := t.conns[key]
+	delete(t.conns, key)
+	t.mu.Unlock()
+	if tc != nil {
+		tc.c.Close()
 	}
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	return writeFrame(tc.w, f)
 }
 
 func (t *tcpTransport) recv(r int) (frame, bool) {
