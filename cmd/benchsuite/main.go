@@ -9,15 +9,24 @@
 //	benchsuite [-exp all|fig1a|fig1b|fig8a|fig8b|fig9|fig10a|fig10b|fig10c|
 //	            wordcount|fig11|fig12|fig13a|fig13b|fig14a|fig14b|ablations]
 //	           [-quick]
+//
+// The regression harness runs the shuffle micro-benchmarks instead of the
+// figure experiments and snapshots ns/op plus the runtime shuffle counters:
+//
+//	benchsuite -regress [-quick] [-bench-out BENCH_shuffle.json]
+//	           [-against BENCH_shuffle.json] [-trace out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"datampi/internal/bench"
+	"datampi/internal/trace"
 )
 
 func main() {
@@ -25,11 +34,29 @@ func main() {
 	quick := flag.Bool("quick", false, "use small test-scale inputs")
 	outPath := flag.String("o", "", "also write the output to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	regress := flag.Bool("regress", false, "run the benchmark-regression harness instead of the experiments")
+	benchOut := flag.String("bench-out", "", "write the regression snapshot JSON to this path")
+	against := flag.String("against", "", "compare the regression run against this baseline snapshot (informational)")
+	tracePath := flag.String("trace", "", "with -regress: write a Chrome trace_event JSON of one traced run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "benchsuite: pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	o := bench.Default()
 	if *quick {
 		o = bench.Quick()
+	}
+	if *regress {
+		runRegress(o, *quick, *benchOut, *against, *tracePath)
+		return
 	}
 	cpDir := func() string {
 		d, err := os.MkdirTemp("", "datampi-cp-")
@@ -105,5 +132,54 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+}
+
+// runRegress drives the regression harness: run, print, optionally snapshot
+// and compare. A baseline mismatch is reported but never fails the run —
+// CI keeps perf deltas non-blocking.
+func runRegress(o bench.Opts, quick bool, benchOut, against, tracePath string) {
+	var tr *trace.Tracer
+	if tracePath != "" {
+		tr = trace.New()
+	}
+	rep, err := bench.Regress(o, quick, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Entries {
+		fmt.Printf("%-16s %10d ns/op  %10d B/op  %8d allocs/op  (%d iterations)\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Iterations)
+		if e.Counters != nil {
+			fmt.Printf("%-16s shuffle %d records / %d bytes, combine %d->%d\n", "",
+				e.Counters["shuffle.records.sent"], e.Counters["shuffle.bytes.sent"],
+				e.Counters["combine.records.in"], e.Counters["combine.records.out"])
+		}
+	}
+	if against != "" {
+		base, err := bench.ReadRegress(against)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nvs baseline %s (%s, quick=%v):\n", against, base.Date, base.Quick)
+		for _, line := range bench.CompareRegress(base, rep) {
+			fmt.Println(" ", line)
+		}
+	}
+	if benchOut != "" {
+		if err := bench.WriteRegress(rep, benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsuite: snapshot written to %s\n", benchOut)
+	}
+	if tr != nil {
+		if err := tr.WriteFile(tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsuite: trace written to %s\n", tracePath)
 	}
 }

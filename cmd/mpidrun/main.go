@@ -13,16 +13,28 @@
 //	mpidrun -O 4 -A 2 -M Streaming topk      [events]
 //
 // -n sets the number of worker processes (the hostfile analogue).
+//
+// Observability:
+//
+//	-trace out.json   write a Chrome trace_event file of the run (open in
+//	                  chrome://tracing or https://ui.perfetto.dev)
+//	-counters         print the runtime shuffle/spill/checkpoint counters
+//	-pprof addr       serve net/http/pprof on addr for the run's duration
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"datampi/internal/bench"
+	"datampi/internal/core"
+	"datampi/internal/trace"
 )
 
 func main() {
@@ -32,6 +44,9 @@ func main() {
 	procs := flag.Int("n", 2, "worker processes to spawn")
 	ft := flag.Bool("ft", false, "enable the key-value library-level checkpoint (fault tolerance)")
 	hostfile := flag.String("f", "", "hostfile (accepted for mpidrun compatibility; one host per line overrides -n)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
+	counters := flag.Bool("counters", false, "print the runtime counters after the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if *hostfile != "" {
 		if data, err := os.ReadFile(*hostfile); err == nil {
@@ -52,6 +67,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: mpidrun -O n -A m -M mode <terasort|wordcount|pagerank|kmeans|topk> [params]")
 		os.Exit(2)
 	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mpidrun: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "mpidrun: pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	app := flag.Arg(0)
 	arg := func(i, def int) int {
 		if flag.NArg() > i {
@@ -66,6 +89,12 @@ func main() {
 		fatal(err)
 	}
 	defer env.Close()
+
+	inst := bench.Instr{}
+	if *tracePath != "" {
+		inst.Trace = trace.New()
+	}
+	var res *core.Result
 
 	switch app {
 	case "terasort":
@@ -84,7 +113,7 @@ func main() {
 			opts.CheckpointDir = dir
 			opts.CheckpointRecords = int64(records / 50)
 		}
-		res, err := bench.DataMPITeraSort(env, "/in", opts, bench.Instr{})
+		res, err = bench.DataMPITeraSort(env, "/in", opts, inst)
 		if err != nil {
 			fatal(err)
 		}
@@ -98,7 +127,7 @@ func main() {
 		if err := bench.TextGen(env.FS, "/in", lines, 10, 5000, 1); err != nil {
 			fatal(err)
 		}
-		res, err := bench.DataMPIWordCount(env, "/in", *numO, *numA, bench.Instr{})
+		res, err = bench.DataMPIWordCount(env, "/in", *numO, *numA, inst)
 		if err != nil {
 			fatal(err)
 		}
@@ -110,7 +139,8 @@ func main() {
 	case "pagerank":
 		pages, rounds := arg(1, 5000), arg(2, 7)
 		g := bench.GenGraph(pages, 8, 1)
-		times, ranks, err := bench.DataMPIPageRank(env, g, *numO, *numA, rounds, bench.Instr{})
+		var ranks []float64
+		res, ranks, err = bench.DataMPIPageRank(env, g, *numO, *numA, rounds, inst)
 		if err != nil {
 			fatal(err)
 		}
@@ -118,19 +148,21 @@ func main() {
 		for _, r := range ranks {
 			sum += r
 		}
-		fmt.Printf("pagerank: %d pages, %d rounds %v (rank mass %.3f)\n", pages, rounds, times, sum)
+		fmt.Printf("pagerank: %d pages, %d rounds %v (rank mass %.3f)\n", pages, rounds, res.RoundTimes, sum)
 	case "kmeans":
 		points, rounds := arg(1, 10000), arg(2, 7)
 		pts := bench.GenPoints(points, 8, *numA*2, 1)
-		times, cents, err := bench.DataMPIKMeans(env, pts, *numA*2, *numO, rounds, bench.Instr{})
+		var cents [][]float64
+		res, cents, err = bench.DataMPIKMeans(env, pts, *numA*2, *numO, rounds, inst)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("kmeans: %d points, %d centroids, %d rounds %v\n", points, len(cents), rounds, times)
+		fmt.Printf("kmeans: %d points, %d centroids, %d rounds %v\n", points, len(cents), rounds, res.RoundTimes)
 	case "topk":
 		events := arg(1, 5000)
 		var lat bench.LatencyCollector
-		top, err := bench.DataMPITopK(env, bench.EventGen(events, 200, 100, 1), 5000, *numO, 10, &lat)
+		var top map[string]uint64
+		top, res, err = bench.DataMPITopK(env, bench.EventGen(events, 200, 100, 1), 5000, *numO, 10, &lat, inst)
 		if err != nil {
 			fatal(err)
 		}
@@ -141,6 +173,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpidrun: unknown application %q\n", app)
 		os.Exit(2)
 	}
+
+	if *counters && res != nil {
+		printCounters(res)
+	}
+	if inst.Trace != nil {
+		if err := inst.Trace.WriteFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mpidrun: trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
+}
+
+// printCounters renders the runtime counters (and any user counters) as a
+// sorted human-readable table.
+func printCounters(res *core.Result) {
+	section := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		fmt.Printf("%s:\n", title)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-40s %12d\n", k, m[k])
+		}
+	}
+	section("runtime counters", res.RuntimeCounters)
+	section("user counters", res.Counters)
 }
 
 func fatal(err error) {

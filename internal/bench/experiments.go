@@ -298,6 +298,10 @@ func WordCountExp(o Opts) (*Table, error) {
 	t.AddRow("Hadoop", secs(hres.Elapsed.Seconds()), "-")
 	t.AddRow("DataMPI", secs(dres.Elapsed.Seconds()),
 		fmt.Sprintf("%.0f%%", 100*(1-dres.Elapsed.Seconds()/hres.Elapsed.Seconds())))
+	rc := dres.RuntimeCounters
+	t.Note("DataMPI shuffle counters: %d records / %d bytes sent, combine %d->%d records, %d spill bytes",
+		rc["shuffle.records.sent"], rc["shuffle.bytes.sent"],
+		rc["combine.records.in"], rc["combine.records.out"], rc["spill.bytes.written"])
 	t.Note("paper: DataMPI speeds up WordCount by 31%%")
 	return t, nil
 }

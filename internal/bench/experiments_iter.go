@@ -40,10 +40,11 @@ func Fig10b(o Opts) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	dTimes, dRanks, err := DataMPIPageRank(env, g, o.Nodes*2, o.Nodes, o.Rounds, Instr{})
+	dRes, dRanks, err := DataMPIPageRank(env, g, o.Nodes*2, o.Nodes, o.Rounds, Instr{})
 	if err != nil {
 		return nil, err
 	}
+	dTimes := dRes.RoundTimes
 	for p := 0; p < g.N; p++ {
 		diff := hRanks[p] - dRanks[p]
 		if diff > 1e-9 || diff < -1e-9 {
@@ -65,11 +66,11 @@ func Fig10b(o Opts) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	dkTimes, _, err := DataMPIKMeans(env, pts, 8, o.Nodes*2, o.Rounds, Instr{})
+	dkRes, _, err := DataMPIKMeans(env, pts, 8, o.Nodes*2, o.Rounds, Instr{})
 	if err != nil {
 		return nil, err
 	}
-	addRounds("K-means", hkTimes, dkTimes)
+	addRounds("K-means", hkTimes, dkRes.RoundTimes)
 	// DES rows at the paper's 40 GB scale (seconds, not ms).
 	desRounds := func(name string, h, d []float64) {
 		for r := range h {
@@ -98,7 +99,7 @@ func Fig10c(o Opts) (*Table, error) {
 	defer env.Close()
 	events := EventGen(o.Events, 100, 100, 42)
 	var dLat, sLat LatencyCollector
-	dTop, err := DataMPITopK(env, events, o.EventRate, o.Nodes, 10, &dLat)
+	dTop, _, err := DataMPITopK(env, events, o.EventRate, o.Nodes, 10, &dLat, Instr{})
 	if err != nil {
 		return nil, err
 	}

@@ -42,9 +42,9 @@ func initialCentroids(pts *Points, k int) [][]float64 {
 
 // DataMPIKMeans runs `rounds` K-means iterations in the Iteration mode:
 // points stay resident in the O tasks; per-cluster partial sums flow O->A;
-// the updated centroids flow back A->O. It returns per-round times and the
-// final centroids.
-func DataMPIKMeans(env *Env, pts *Points, k, numO, rounds int, inst Instr) ([]time.Duration, [][]float64, error) {
+// the updated centroids flow back A->O. It returns the run result
+// (per-round times in Result.RoundTimes) and the final centroids.
+func DataMPIKMeans(env *Env, pts *Points, k, numO, rounds int, inst Instr) (*core.Result, [][]float64, error) {
 	var mu sync.Mutex
 	final := initialCentroids(pts, k)
 	numA := env.Nodes
@@ -78,7 +78,7 @@ func DataMPIKMeans(env *Env, pts *Points, k, numO, rounds int, inst Instr) ([]ti
 		NumO: numO, NumA: numA, Procs: env.Nodes, Slots: 2,
 		Rounds:     rounds,
 		SpillDisks: env.NodeDisks,
-		Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+		Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress, Trace: inst.Trace,
 		OTask: func(ctx *core.Context) error {
 			cents, _ := ctx.Local.([][]float64)
 			if cents == nil {
@@ -177,7 +177,7 @@ func DataMPIKMeans(env *Env, pts *Points, k, numO, rounds int, inst Instr) ([]ti
 	if err != nil {
 		return nil, nil, err
 	}
-	return res.RoundTimes, final, nil
+	return res, final, nil
 }
 
 // WritePointsFile stores points as lines of space-separated coordinates.

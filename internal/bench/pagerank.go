@@ -32,8 +32,9 @@ func intKeyPartition(key, _ []byte, numDest int) int {
 // DataMPIPageRank runs `rounds` PageRank iterations in the Iteration mode:
 // the graph stays resident in the O tasks (Twister-style); contributions
 // flow O->A, aggregated new ranks flow A->O as the reverse exchange.
-// It returns the per-round times and the final ranks.
-func DataMPIPageRank(env *Env, g *Graph, numO, numA, rounds int, inst Instr) ([]time.Duration, []float64, error) {
+// It returns the run result (per-round times in Result.RoundTimes) and the
+// final ranks.
+func DataMPIPageRank(env *Env, g *Graph, numO, numA, rounds int, inst Instr) (*core.Result, []float64, error) {
 	base := (1 - pagerankDamping) / float64(g.N)
 	ranks := make([]float64, g.N)
 	for i := range ranks {
@@ -51,7 +52,7 @@ func DataMPIPageRank(env *Env, g *Graph, numO, numA, rounds int, inst Instr) ([]
 		NumO: numO, NumA: numA, Procs: env.Nodes, Slots: 2,
 		Rounds:     rounds,
 		SpillDisks: env.NodeDisks,
-		Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+		Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress, Trace: inst.Trace,
 		OTask: func(ctx *core.Context) error {
 			// Resident per-task rank table, initialized on round 0.
 			local, _ := ctx.Local.(map[int32]float64)
@@ -122,7 +123,7 @@ func DataMPIPageRank(env *Env, g *Graph, numO, numA, rounds int, inst Instr) ([]
 	if err != nil {
 		return nil, nil, err
 	}
-	return res.RoundTimes, ranks, nil
+	return res, ranks, nil
 }
 
 // WriteGraphFile stores the graph in the line format the Hadoop PageRank

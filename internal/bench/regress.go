@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"datampi/internal/core"
+	"datampi/internal/kv"
+	"datampi/internal/trace"
+)
+
+// The benchmark-regression harness: a fixed set of shuffle-centric
+// micro-benchmarks run through testing.Benchmark, with the runtime shuffle
+// counters of one representative run attached to each entry. The output
+// snapshot (BENCH_shuffle.json at the repo root) is the baseline future
+// runs are compared against — counter drift flags a behavioural change
+// (more bytes shuffled, more spills) even when wall time is too noisy to.
+
+// RegressEntry is one benchmark's measurement.
+type RegressEntry struct {
+	Name        string           `json:"name"`
+	Iterations  int              `json:"iterations"`
+	NsPerOp     int64            `json:"ns_per_op"`
+	BytesPerOp  int64            `json:"bytes_per_op"`
+	AllocsPerOp int64            `json:"allocs_per_op"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
+}
+
+// RegressReport is the full snapshot written to BENCH_shuffle.json.
+type RegressReport struct {
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	Quick     bool           `json:"quick"`
+	Date      string         `json:"date"`
+	Entries   []RegressEntry `json:"entries"`
+}
+
+// shuffleJob builds a synthetic pure-shuffle run: O tasks emit records
+// round-robin over a small key space, A tasks drain groups. No filesystem,
+// so the measurement isolates SPL/transport/RPL costs.
+func shuffleJob(records int, tcp bool, res **core.Result) func() error {
+	return func() error {
+		job := &core.Job{
+			Name: "shuffle",
+			Mode: core.MapReduce,
+			Conf: core.Config{ValueCodec: kv.Int64},
+			NumO: 4, NumA: 2, Procs: 2, Slots: 2,
+			OTask: func(ctx *core.Context) error {
+				for i := 0; i < records; i++ {
+					if err := ctx.Send(fmt.Sprintf("key-%04d", i%257), int64(i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			ATask: func(ctx *core.Context) error {
+				for {
+					_, ok, err := ctx.NextGroup()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+				}
+			},
+		}
+		var opts []core.RunOption
+		if tcp {
+			opts = append(opts, core.WithTCPTransport())
+		}
+		r, err := core.Run(job, opts...)
+		if err != nil {
+			return err
+		}
+		*res = r
+		return nil
+	}
+}
+
+// Regress runs the harness. When tr is non-nil, one extra traced WordCount
+// run is appended after the timed benchmarks (tracing is never enabled
+// inside a timed loop — the snapshot must measure the disabled path).
+func Regress(o Opts, quick bool, tr *trace.Tracer) (*RegressReport, error) {
+	rep := &RegressReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     quick,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+	}
+	var benchErr error
+	add := func(name string, lastRes **core.Result, fn func() error) error {
+		benchErr = nil
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return fmt.Errorf("bench: %s: %w", name, benchErr)
+		}
+		e := RegressEntry{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if lastRes != nil && *lastRes != nil {
+			e.Counters = (*lastRes).RuntimeCounters
+		}
+		rep.Entries = append(rep.Entries, e)
+		return nil
+	}
+
+	shuffleRecords := 20000
+	if quick {
+		shuffleRecords = 4000
+	}
+	var sres *core.Result
+	if err := add("shuffle/mem", &sres, shuffleJob(shuffleRecords, false, &sres)); err != nil {
+		return nil, err
+	}
+	var tres *core.Result
+	if err := add("shuffle/tcp", &tres, shuffleJob(shuffleRecords, true, &tres)); err != nil {
+		return nil, err
+	}
+
+	// WordCount end-to-end (the tier-1 shuffle workload): one shared env,
+	// the job reruns over the same input every iteration.
+	env, err := NewEnv(EnvConfig{Nodes: 2, BlockSize: 16 << 10})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	lines := o.TextLines
+	if lines <= 0 {
+		lines = 2000
+	}
+	if err := TextGen(env.FS, "/wc/in", lines, 10, 1000, 42); err != nil {
+		return nil, err
+	}
+	var wres *core.Result
+	if err := add("wordcount", &wres, func() error {
+		r, err := DataMPIWordCount(env, "/wc/in", 0, 0, Instr{})
+		if err != nil {
+			return err
+		}
+		wres = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if tr != nil {
+		if _, err := DataMPIWordCount(env, "/wc/in", 0, 0, Instr{Trace: tr}); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// WriteRegress writes the snapshot as indented JSON.
+func WriteRegress(rep *RegressReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadRegress loads a snapshot.
+func ReadRegress(path string) (*RegressReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep RegressReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// CompareRegress renders a human-readable delta report of cur vs base.
+// Timing deltas are informational (CI does not gate on them); counter
+// deltas in the shuffle totals usually mean a real behavioural change.
+func CompareRegress(base, cur *RegressReport) []string {
+	byName := map[string]RegressEntry{}
+	for _, e := range base.Entries {
+		byName[e.Name] = e
+	}
+	var out []string
+	for _, e := range cur.Entries {
+		b, ok := byName[e.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: new benchmark (no baseline)", e.Name))
+			continue
+		}
+		pct := func(old, new int64) float64 {
+			if old == 0 {
+				return 0
+			}
+			return 100 * (float64(new) - float64(old)) / float64(old)
+		}
+		out = append(out, fmt.Sprintf("%s: %d ns/op vs %d baseline (%+.1f%%), %d B/op (%+.1f%%)",
+			e.Name, e.NsPerOp, b.NsPerOp, pct(b.NsPerOp, e.NsPerOp),
+			e.BytesPerOp, pct(b.BytesPerOp, e.BytesPerOp)))
+		for _, key := range []string{"shuffle.bytes.sent", "shuffle.records.sent", "spill.bytes.written"} {
+			if b.Counters[key] != e.Counters[key] {
+				out = append(out, fmt.Sprintf("  %s counter %s: %d vs %d baseline",
+					e.Name, key, e.Counters[key], b.Counters[key]))
+			}
+		}
+	}
+	return out
+}

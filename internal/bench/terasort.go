@@ -10,6 +10,7 @@ import (
 	"datampi/internal/hdfs"
 	"datampi/internal/kv"
 	"datampi/internal/metrics"
+	"datampi/internal/trace"
 )
 
 // TeraPartition is the range partitioner TeraSort uses for a globally
@@ -27,11 +28,13 @@ func TeraPartition(key, _ []byte, numA int) int {
 	return p
 }
 
-// Instr bundles optional instrumentation shared by both engines.
+// Instr bundles optional instrumentation shared by both engines. Trace is
+// DataMPI-only: the Hadoop baseline ignores it.
 type Instr struct {
 	Busy     *metrics.BusyTracker
 	Mem      *metrics.Gauge
 	Progress *metrics.PhaseProgress
+	Trace    *trace.Tracer
 }
 
 // TeraSortOpts tunes the DataMPI TeraSort job.
@@ -84,7 +87,7 @@ func DataMPITeraSort(env *Env, input string, o TeraSortOpts, inst Instr) (*core.
 		},
 		NumO: o.NumO, NumA: o.NumA, Procs: o.Procs, Slots: o.Slots,
 		Input: splits,
-		Busy:  inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+		Busy:  inst.Busy, Mem: inst.Mem, Progress: inst.Progress, Trace: inst.Trace,
 		OTask: func(ctx *core.Context) error {
 			mine := hdfs.SplitsForRank(splits, ctx.Rank(), ctx.CommSize(core.CommO))
 			skip := ctx.TakeCheckpointSkip()

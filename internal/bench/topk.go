@@ -91,8 +91,8 @@ func stampAge(v []byte) time.Duration {
 
 // DataMPITopK streams `events` at ratePerSec through a Streaming-mode job
 // with numO adapters and numA counting/top-K tasks, recording per-event
-// latencies. It returns the latencies and the global top-K estimate.
-func DataMPITopK(env *Env, events []string, ratePerSec, numO, k int, lat *LatencyCollector) (map[string]uint64, error) {
+// latencies. It returns the global top-K estimate and the run result.
+func DataMPITopK(env *Env, events []string, ratePerSec, numO, k int, lat *LatencyCollector, inst Instr) (map[string]uint64, *core.Result, error) {
 	var mu sync.Mutex
 	counts := map[string]uint64{}
 	interval := time.Duration(float64(time.Second) / float64(ratePerSec) * float64(numO))
@@ -106,6 +106,7 @@ func DataMPITopK(env *Env, events []string, ratePerSec, numO, k int, lat *Latenc
 			FlushInterval: 10 * time.Millisecond,
 		},
 		NumO: numO, NumA: env.Nodes, Procs: env.Nodes, Slots: 4,
+		Busy: inst.Busy, Mem: inst.Mem, Progress: inst.Progress, Trace: inst.Trace,
 		OTask: func(ctx *core.Context) error {
 			tick := time.NewTicker(interval)
 			defer tick.Stop()
@@ -142,10 +143,11 @@ func DataMPITopK(env *Env, events []string, ratePerSec, numO, k int, lat *Latenc
 			return nil
 		},
 	}
-	if _, err := core.Run(job); err != nil {
-		return nil, err
+	res, err := core.Run(job)
+	if err != nil {
+		return nil, nil, err
 	}
-	return topKOf(counts, k), nil
+	return topKOf(counts, k), res, nil
 }
 
 func topKOf(counts map[string]uint64, k int) map[string]uint64 {

@@ -51,7 +51,7 @@ func DataMPIWordCount(env *Env, input string, numO, numA int, inst Instr) (*core
 		NumO: numO, NumA: numA, Procs: env.Nodes, Slots: 2,
 		Input:      splits,
 		SpillDisks: env.NodeDisks,
-		Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress,
+		Busy:       inst.Busy, Mem: inst.Mem, Progress: inst.Progress, Trace: inst.Trace,
 		OTask: func(ctx *core.Context) error {
 			one := u64(1)
 			mine := hdfs.SplitsForRank(splits, ctx.Rank(), ctx.CommSize(core.CommO))

@@ -73,12 +73,12 @@ func TestPageRankEnginesAgree(t *testing.T) {
 	env := testEnv(t, 2, 32<<10)
 	g := GenGraph(300, 4, 3)
 	const rounds = 3
-	times, dRanks, err := DataMPIPageRank(env, g, 4, 2, rounds, Instr{})
+	res, dRanks, err := DataMPIPageRank(env, g, 4, 2, rounds, Instr{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(times) != rounds {
-		t.Errorf("got %d round times", len(times))
+	if len(res.RoundTimes) != rounds {
+		t.Errorf("got %d round times", len(res.RoundTimes))
 	}
 	_, hRanks, err := HadoopPageRank(env, g, 2, rounds, Instr{})
 	if err != nil {
@@ -125,7 +125,7 @@ func TestTopKBothSystems(t *testing.T) {
 	env := testEnv(t, 2, 32<<10)
 	events := EventGen(400, 30, 40, 9)
 	var dLat, sLat LatencyCollector
-	dTop, err := DataMPITopK(env, events, 4000, 2, 5, &dLat)
+	dTop, _, err := DataMPITopK(env, events, 4000, 2, 5, &dLat, Instr{})
 	if err != nil {
 		t.Fatal(err)
 	}

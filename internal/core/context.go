@@ -162,6 +162,10 @@ func (c *Context) SendRecord(rec kv.Record) error {
 		c.job.Mem.Add(int64(rec.Size()))
 	}
 	if sealed := c.spl.add(p, rec); sealed != nil {
+		if tb := c.proc.tb; tb != nil {
+			tb.Instant(taskTID(c.task, c.isO), "spl.seal", "buffer",
+				map[string]any{"partition": p, "bytes": len(sealed.data), "records": sealed.records})
+		}
 		if err := c.proc.submit(sendItem{
 			task:      c.task,
 			partition: p,
@@ -207,7 +211,9 @@ func (c *Context) checkpointRound() error {
 
 // drainSPL seals and submits every pending partition buffer.
 func (c *Context) drainSPL() error {
-	for _, sp := range c.spl.drain() {
+	start := c.proc.tb.Start()
+	sealed := c.spl.drain()
+	for _, sp := range sealed {
 		err := c.proc.submit(sendItem{
 			task:      c.task,
 			partition: sp.partition,
@@ -218,6 +224,10 @@ func (c *Context) drainSPL() error {
 		if err != nil {
 			return err
 		}
+	}
+	if tb := c.proc.tb; tb != nil && len(sealed) > 0 {
+		tb.Span(taskTID(c.task, c.isO), "spl.drain", "buffer", start,
+			map[string]any{"buffers": len(sealed)})
 	}
 	return nil
 }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"datampi/internal/mpi"
+)
+
+// runtimeCounters are the built-in shuffle counters (as opposed to the
+// user counters of Context.AddCounter): always-on atomics incremented on
+// the data path and folded into Result.RuntimeCounters when Run returns.
+// The per-pair matrices index by [src][dst] worker process; pair traffic
+// counts post-combine record bytes (the payload minus framing), so a
+// clean run balances exactly: bytes sent from src to dst equals bytes dst
+// received from src. End-of-phase markers carry no records and are not
+// counted on either side.
+type runtimeCounters struct {
+	procs    int
+	pairSent []atomic.Int64 // [src*procs+dst] record bytes transmitted
+	pairRecv []atomic.Int64 // [src*procs+dst] record bytes delivered
+
+	recordsSent atomic.Int64 // post-combine records transmitted
+	recordsRecv atomic.Int64 // records delivered to RPL/stream consumers
+	combineIn   atomic.Int64 // records entering sort/combine
+	combineOut  atomic.Int64 // records surviving sort/combine
+
+	spillBytes     atomic.Int64 // record bytes written to spill runs
+	spillFiles     atomic.Int64 // spill runs created
+	spillReadBytes atomic.Int64 // record bytes read back from spill runs
+
+	cpRecords atomic.Int64 // records appended to checkpoint chunks
+	cpChunks  atomic.Int64 // checkpoint chunks sealed
+
+	fetchBytesServed atomic.Int64 // ablation path: bytes served to remote fetches
+}
+
+func newRuntimeCounters(procs int) *runtimeCounters {
+	return &runtimeCounters{procs: procs, pairSent: make([]atomic.Int64, procs*procs),
+		pairRecv: make([]atomic.Int64, procs*procs)}
+}
+
+func (rc *runtimeCounters) addPairSent(src, dst int, bytes int64, records int64) {
+	rc.pairSent[src*rc.procs+dst].Add(bytes)
+	rc.recordsSent.Add(records)
+}
+
+func (rc *runtimeCounters) addPairRecv(src, dst int, bytes int64, records int64) {
+	rc.pairRecv[src*rc.procs+dst].Add(bytes)
+	rc.recordsRecv.Add(records)
+}
+
+// snapshot folds the counters (plus the MPI transport's wire counters)
+// into the flat name->value map reported on Result.RuntimeCounters.
+func (rc *runtimeCounters) snapshot(ws mpi.Stats) map[string]int64 {
+	out := map[string]int64{}
+	var sent, recv int64
+	for s := 0; s < rc.procs; s++ {
+		for d := 0; d < rc.procs; d++ {
+			if v := rc.pairSent[s*rc.procs+d].Load(); v != 0 {
+				out[fmt.Sprintf("shuffle.bytes.sent.%d->%d", s, d)] = v
+				sent += v
+			}
+			if v := rc.pairRecv[s*rc.procs+d].Load(); v != 0 {
+				out[fmt.Sprintf("shuffle.bytes.received.%d->%d", s, d)] = v
+				recv += v
+			}
+		}
+	}
+	out["shuffle.bytes.sent"] = sent
+	out["shuffle.bytes.received"] = recv
+	out["shuffle.records.sent"] = rc.recordsSent.Load()
+	out["shuffle.records.received"] = rc.recordsRecv.Load()
+	out["combine.records.in"] = rc.combineIn.Load()
+	out["combine.records.out"] = rc.combineOut.Load()
+	out["spill.bytes.written"] = rc.spillBytes.Load()
+	out["spill.files"] = rc.spillFiles.Load()
+	out["spill.bytes.read"] = rc.spillReadBytes.Load()
+	out["checkpoint.records"] = rc.cpRecords.Load()
+	out["checkpoint.chunks"] = rc.cpChunks.Load()
+	out["fetch.bytes.served"] = rc.fetchBytesServed.Load()
+	out["mpi.frames.sent"] = ws.FramesSent
+	out["mpi.bytes.sent"] = ws.BytesSent
+	out["mpi.frames.received"] = ws.FramesRecv
+	out["mpi.bytes.received"] = ws.BytesRecv
+	out["mpi.send.retries"] = ws.SendRetries
+	out["mpi.dials"] = ws.Dials
+	return out
+}
+
+// Trace row layout: each worker process is one trace pid (the master uses
+// pid Procs); within a process, the communication threads get fixed tids
+// and each task gets its own row so concurrent tasks do not overlap.
+const (
+	tidControl = 0
+	tidSend    = 1
+	tidRecv    = 2
+)
+
+// taskTID maps a task to its trace row: O task t at 10+2t, A task t at
+// 11+2t, so the two sides interleave predictably in the viewer.
+func taskTID(task int, isO bool) int {
+	if isO {
+		return 10 + 2*task
+	}
+	return 11 + 2*task
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"io"
+	"sync/atomic"
 
 	"datampi/internal/kv"
 )
@@ -66,6 +67,19 @@ func (rt *Runtime) iteratorOverRuns(memRuns [][]byte, extra []kv.Iterator) (kv.I
 	return &chainIterator{its: its}, nil
 }
 
+// countingReader tallies bytes read into an atomic counter (spill-read
+// accounting for RuntimeCounters).
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
 // iteratorOverRunsDisk additionally merges spilled disk runs, closing the
 // files when the iterator is drained.
 func (rt *Runtime) iteratorOverRunsDisk(memRuns [][]byte, diskRuns []string, procIdx int) (kv.Iterator, error) {
@@ -80,7 +94,8 @@ func (rt *Runtime) iteratorOverRunsDisk(memRuns [][]byte, diskRuns []string, pro
 			return nil, err
 		}
 		closers = append(closers, f)
-		extra = append(extra, kv.ReaderIterator{R: kv.NewReader(f)})
+		cr := countingReader{r: f, n: &rt.ctrs.spillReadBytes}
+		extra = append(extra, kv.ReaderIterator{R: kv.NewReader(cr)})
 	}
 	it, err := rt.iteratorOverRuns(memRuns, extra)
 	if err != nil {

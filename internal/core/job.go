@@ -7,6 +7,7 @@ import (
 	"datampi/internal/diskio"
 	"datampi/internal/hdfs"
 	"datampi/internal/metrics"
+	"datampi/internal/trace"
 )
 
 // TaskFunc is the body of an O or A task. It is invoked with the task's
@@ -65,6 +66,11 @@ type Job struct {
 	Busy     *metrics.BusyTracker
 	Mem      *metrics.Gauge
 	Progress *metrics.PhaseProgress
+	// Trace records structured span events (task execution, SPL seals,
+	// shuffle transmits, RPL merges, spills, checkpoint commits, fault
+	// retries) for chrome://tracing. nil disables tracing at the cost of
+	// one pointer check per event site.
+	Trace *trace.Tracer
 }
 
 // validate fills defaults and checks the job description.

@@ -83,6 +83,7 @@ func (ms *mergeState) spillLargestLocked() error {
 	if vb == 0 {
 		return nil // nothing spillable; allow overshoot
 	}
+	start := ms.p.tb.Start()
 	pr := ms.parts[victim]
 	disk := ms.p.rt.job.SpillDisks[ms.p.idx]
 	rel := fmt.Sprintf("dmpi-spill/run%d/r%d_rev%v_p%d_%d",
@@ -124,6 +125,12 @@ func (ms *mergeState) spillLargestLocked() error {
 		ms.p.rt.job.Mem.Add(-freed)
 	}
 	ms.p.rt.spilledBytes.Add(freed)
+	ms.p.rt.ctrs.spillBytes.Add(freed)
+	ms.p.rt.ctrs.spillFiles.Add(1)
+	if tb := ms.p.tb; tb != nil {
+		tb.Span(tidRecv, "spill.write", "spill", start,
+			map[string]any{"partition": victim, "bytes": freed})
+	}
 	return nil
 }
 
@@ -204,6 +211,7 @@ func (ms *mergeState) serializeRuns(partition int) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		ms.p.rt.ctrs.spillReadBytes.Add(int64(len(data)))
 		runs = append(runs, data)
 	}
 	var total int

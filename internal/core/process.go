@@ -8,6 +8,7 @@ import (
 
 	"datampi/internal/kv"
 	"datampi/internal/mpi"
+	"datampi/internal/trace"
 )
 
 // Data-plane tags. End-of-phase markers travel in-band on tagData (with
@@ -33,6 +34,7 @@ type process struct {
 	rt   *Runtime
 	idx  int
 	comm *mpi.Comm
+	tb   *trace.Buf // nil when tracing is disabled
 
 	sendQ chan qItem
 
@@ -74,6 +76,7 @@ func newProcess(rt *Runtime, idx int, comm *mpi.Comm) *process {
 		rt:      rt,
 		idx:     idx,
 		comm:    comm,
+		tb:      rt.job.Trace.Rank(idx),
 		sendQ:   make(chan qItem, 256),
 		cpws:    make(map[int]*cpWriter),
 		merges:  make(map[mergeKey]*mergeState),
@@ -155,6 +158,7 @@ func (p *process) senderLoop() {
 func (p *process) processItem(item sendItem, round int) error {
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
+	start := p.tb.Start()
 	cfg := &p.rt.job.Conf
 	if item.cpSeal {
 		w := p.cpws[item.task]
@@ -164,6 +168,13 @@ func (p *process) processItem(item sendItem, round int) error {
 		n := w.records
 		if err := w.seal(); err != nil {
 			return err
+		}
+		if n > 0 {
+			p.rt.ctrs.cpChunks.Add(1)
+			if p.tb != nil {
+				p.tb.Span(tidSend, "cp.commit", "checkpoint", start,
+					map[string]any{"task": item.task, "records": n})
+			}
 		}
 		if fa := cfg.InjectFailAfterCPRecords; fa > 0 && n > 0 {
 			if p.rt.cpDurable.Add(n) >= fa {
@@ -187,6 +198,8 @@ func (p *process) processItem(item sendItem, round int) error {
 		if err != nil {
 			return err
 		}
+		p.rt.ctrs.combineIn.Add(item.records)
+		p.rt.ctrs.combineOut.Add(nrec)
 	}
 	payload := encodePayload(item.partition, item.reverse, data)
 	if cfg.FaultTolerance && !item.noCheckpoint && !item.reverse {
@@ -199,6 +212,7 @@ func (p *process) processItem(item sendItem, round int) error {
 		if err := w.append(payload, nrec); err != nil {
 			return err
 		}
+		p.rt.ctrs.cpRecords.Add(nrec)
 	}
 	var dst int
 	if item.reverse {
@@ -216,6 +230,13 @@ func (p *process) processItem(item sendItem, round int) error {
 		p.rt.job.Mem.Add(-int64(len(item.data)))
 	}
 	p.rt.bytesShuffled.Add(int64(len(data)))
+	p.rt.ctrs.addPairSent(p.idx, dst, int64(len(data)), nrec)
+	if p.tb != nil {
+		p.tb.Span(tidSend, "xmit", "shuffle", start, map[string]any{
+			"task": item.task, "partition": item.partition, "dst": dst,
+			"bytes": len(data), "records": nrec, "reverse": item.reverse,
+		})
+	}
 	return nil
 }
 
@@ -226,10 +247,11 @@ func (p *process) dataReceiver() {
 	defer p.wg.Done()
 	streaming := p.rt.job.Mode == Streaming
 	for {
-		wire, _, err := p.comm.Recv(mpi.AnySource, tagData)
+		wire, st, err := p.comm.Recv(mpi.AnySource, tagData)
 		if err != nil {
 			return // world closed
 		}
+		start := p.tb.Start()
 		if len(wire) < 4 {
 			p.rt.fail(fmt.Errorf("core: short data message (%d bytes)", len(wire)))
 			return
@@ -247,17 +269,29 @@ func (p *process) dataReceiver() {
 			}
 			continue
 		}
+		nrec, err := kv.CountRecords(records)
+		if err != nil {
+			p.rt.fail(err)
+			return
+		}
+		p.rt.ctrs.addPairRecv(st.Source, p.idx, int64(len(records)), nrec)
 		if streaming && !reverse {
 			if err := p.streamDeliver(partition, records); err != nil {
 				p.rt.fail(err)
 				return
 			}
-			continue
+		} else {
+			ms := p.merge(mergeKey{round: round, reverse: reverse})
+			if err := ms.addRun(partition, records); err != nil {
+				p.rt.fail(err)
+				return
+			}
 		}
-		ms := p.merge(mergeKey{round: round, reverse: reverse})
-		if err := ms.addRun(partition, records); err != nil {
-			p.rt.fail(err)
-			return
+		if p.tb != nil {
+			p.tb.Span(tidRecv, "recv", "shuffle", start, map[string]any{
+				"src": st.Source, "partition": partition,
+				"bytes": len(records), "records": nrec, "reverse": reverse,
+			})
 		}
 	}
 }
@@ -371,6 +405,11 @@ func (p *process) fetchServer() {
 			if err != nil {
 				p.rt.fail(err)
 				return
+			}
+			p.rt.ctrs.fetchBytesServed.Add(int64(len(blob)))
+			if p.tb != nil {
+				p.tb.Instant(tidRecv, "fetch.serve", "shuffle",
+					map[string]any{"partition": partition, "dst": src, "bytes": len(blob)})
 			}
 			if err := p.comm.Send(src, tagFetchResp+partition, blob); err != nil {
 				p.rt.fail(err)

@@ -52,6 +52,7 @@ type Runtime struct {
 	cpDurable     atomic.Int64
 	bytesShuffled atomic.Int64
 	spilledBytes  atomic.Int64
+	ctrs          *runtimeCounters
 
 	assignMu sync.Mutex
 	assignO  []int
@@ -89,6 +90,15 @@ type Result struct {
 	// Counters aggregates the user counters every task incremented with
 	// Context.AddCounter (the Hadoop job-counters analogue).
 	Counters map[string]int64
+
+	// RuntimeCounters are the library's built-in counters: shuffle bytes
+	// per process pair, records combined, spill traffic, checkpoint
+	// volume, and the MPI transport's wire counters (frames, bytes, TCP
+	// retransmits and dials). See runtimeCounters.snapshot for the names.
+	// Unconsumed traffic still in flight at shutdown (e.g. final-round
+	// Iteration feedback no O task will read) may be missing from the
+	// receive-side counters.
+	RuntimeCounters map[string]int64
 
 	RecordsSent     int64
 	RecordsReloaded int64
@@ -174,6 +184,7 @@ func Run(job *Job, opts ...RunOption) (*Result, error) {
 	rt.res.RecordsSent = rt.sent.Load()
 	rt.res.BytesShuffled = rt.bytesShuffled.Load()
 	rt.res.SpilledBytes = rt.spilledBytes.Load()
+	rt.res.RuntimeCounters = rt.ctrs.snapshot(rt.world.Stats())
 	res := rt.res
 	return &res, nil
 }
@@ -198,6 +209,22 @@ func (rt *Runtime) setup() error {
 	}
 	if d := j.Conf.IOTimeout; d > 0 {
 		wopts = append(wopts, mpi.WithSendTimeout(d))
+	}
+	rt.ctrs = newRuntimeCounters(j.Procs)
+	if j.Trace.Enabled() {
+		// TCP retransmits surface as instants on the retrying sender's row.
+		tr := j.Trace
+		wopts = append(wopts, mpi.WithRetryHook(func(src, dst, attempt int) {
+			tr.Rank(src).Instant(tidSend, "mpi.retry", "fault",
+				map[string]any{"dst": dst, "attempt": attempt})
+		}))
+		tr.SetProcessName(j.Procs, "mpidrun (master)")
+		for i := 0; i < j.Procs; i++ {
+			tr.SetProcessName(i, fmt.Sprintf("worker %d", i))
+			tr.SetThreadName(i, tidControl, "control")
+			tr.SetThreadName(i, tidSend, "send")
+			tr.SetThreadName(i, tidRecv, "recv/merge")
+		}
 	}
 	world, err := mpi.NewWorld(j.Procs+1, wopts...)
 	if err != nil {

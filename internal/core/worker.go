@@ -89,6 +89,7 @@ func (rt *Runtime) taskContext(p *process, task int, isO bool, skip int64) *Cont
 
 // runOTask executes one task of COMM_BIPARTITE_O.
 func (rt *Runtime) runOTask(p *process, cmd ctrlMsg) {
+	tstart := p.tb.Start()
 	ctx := rt.taskContext(p, cmd.Task, true, cmd.Skip)
 	ctx.round = cmd.Round
 	ctx.it, ctx.grouper, ctx.streamCh = nil, nil, nil
@@ -121,11 +122,16 @@ func (rt *Runtime) runOTask(p *process, cmd ctrlMsg) {
 	if rt.job.Progress != nil {
 		rt.job.Progress.FinishO()
 	}
+	if p.tb != nil {
+		p.tb.Span(taskTID(cmd.Task, true), fmt.Sprintf("O%d", cmd.Task), "task", tstart,
+			map[string]any{"round": cmd.Round, "sent": ctx.sent})
+	}
 	rt.reportEvent(p, eventMsg{Type: "oDone", Task: cmd.Task, Round: cmd.Round, Records: ctx.sent, Counters: ctx.takeCounters()})
 }
 
 // runATask executes one task of COMM_BIPARTITE_A.
 func (rt *Runtime) runATask(p *process, cmd ctrlMsg) {
+	tstart := p.tb.Start()
 	ctx := rt.taskContext(p, cmd.Task, false, 0)
 	ctx.round = cmd.Round
 	ctx.it, ctx.grouper, ctx.streamCh = nil, nil, nil
@@ -139,6 +145,10 @@ func (rt *Runtime) runATask(p *process, cmd ctrlMsg) {
 		if err != nil {
 			rt.taskFailed(p, err)
 			return
+		}
+		if p.tb != nil {
+			p.tb.Instant(taskTID(cmd.Task, false), "rpl.merge", "merge",
+				map[string]any{"partition": cmd.Task, "round": cmd.Round})
 		}
 		ctx.it = it
 	} else {
@@ -164,6 +174,10 @@ func (rt *Runtime) runATask(p *process, cmd ctrlMsg) {
 	}
 	if rt.job.Progress != nil {
 		rt.job.Progress.FinishA()
+	}
+	if p.tb != nil {
+		p.tb.Span(taskTID(cmd.Task, false), fmt.Sprintf("A%d", cmd.Task), "task", tstart,
+			map[string]any{"round": cmd.Round, "received": ctx.received})
 	}
 	rt.reportEvent(p, eventMsg{Type: "aDone", Task: cmd.Task, Round: cmd.Round, Records: ctx.received, Counters: ctx.takeCounters()})
 }

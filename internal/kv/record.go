@@ -154,6 +154,23 @@ func readN(r io.Reader, n uint64) ([]byte, error) {
 	return buf, nil
 }
 
+// CountRecords walks a framed buffer and returns how many records it
+// holds without materializing them — the receive-side record counter can
+// afford this on every shuffle message because it only reads the length
+// varints and skips the payloads.
+func CountRecords(b []byte) (int64, error) {
+	var n int64
+	for len(b) > 0 {
+		_, adv, err := ReadRecord(b)
+		if err != nil {
+			return 0, err
+		}
+		b = b[adv:]
+		n++
+	}
+	return n, nil
+}
+
 // DecodeAll parses every record in b (a fully framed buffer). Returned
 // records alias b.
 func DecodeAll(b []byte) ([]Record, error) {

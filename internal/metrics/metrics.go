@@ -68,10 +68,11 @@ type Collector struct {
 	links    []*netsim.Link
 	progress func() (o, a float64)
 
-	mu      sync.Mutex
-	samples []Sample
-	stop    chan struct{}
-	done    chan struct{}
+	mu       sync.Mutex
+	samples  []Sample
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 }
 
 // Config configures a Collector. Nil fields are simply not sampled.
@@ -174,13 +175,10 @@ func (c *Collector) record(t time.Duration, prev, cur snap) {
 	c.mu.Unlock()
 }
 
-// Stop ends sampling and returns the collected series.
+// Stop ends sampling and returns the collected series. It is safe to call
+// from multiple goroutines; every call returns the full series.
 func (c *Collector) Stop() []Sample {
-	select {
-	case <-c.stop:
-	default:
-		close(c.stop)
-	}
+	c.stopOnce.Do(func() { close(c.stop) })
 	<-c.done
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -206,13 +204,21 @@ func (p *PhaseProgress) FinishO() { p.oDone.Add(1) }
 // FinishA marks one A task complete.
 func (p *PhaseProgress) FinishA() { p.aDone.Add(1) }
 
-// Percent returns the completion percentages of both phases.
+// Percent returns the completion percentages of both phases, clamped to
+// [0, 100] — tasks finished before SetTotals (or beyond the declared
+// totals) must not report over-unity progress.
 func (p *PhaseProgress) Percent() (o, a float64) {
 	if t := p.oTotal.Load(); t > 0 {
 		o = 100 * float64(p.oDone.Load()) / float64(t)
 	}
 	if t := p.aTotal.Load(); t > 0 {
 		a = 100 * float64(p.aDone.Load()) / float64(t)
+	}
+	if o > 100 {
+		o = 100
+	}
+	if a > 100 {
+		a = 100
 	}
 	return o, a
 }

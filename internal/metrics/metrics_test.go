@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -109,5 +110,80 @@ func TestCollectorStopIdempotentSafe(t *testing.T) {
 	s1 := c.Stop()
 	if len(s1) == 0 {
 		t.Error("no samples collected")
+	}
+}
+
+// Concurrent Stop calls used to race on close(c.stop): both goroutines
+// could take the not-yet-closed branch and the second close panicked.
+func TestCollectorConcurrentStop(t *testing.T) {
+	c := NewCollector(Config{Interval: 2 * time.Millisecond})
+	c.Start()
+	time.Sleep(6 * time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s := c.Stop(); s == nil {
+				t.Error("Stop returned nil series")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCollectorStartStopRace(t *testing.T) {
+	// Stop racing the very first tick must neither panic nor deadlock.
+	for i := 0; i < 50; i++ {
+		c := NewCollector(Config{Interval: time.Millisecond})
+		c.Start()
+		go c.Stop()
+		c.Stop()
+	}
+}
+
+func TestBusyTrackerConcurrentTrack(t *testing.T) {
+	var b BusyTracker
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				end := b.Track()
+				b.Add(time.Microsecond)
+				end()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Total(); got < workers*100*time.Microsecond {
+		t.Errorf("busy = %v, want >= %v", got, workers*100*time.Microsecond)
+	}
+}
+
+func TestPhaseProgressTotalsBeforeFinish(t *testing.T) {
+	var p PhaseProgress
+	// Tasks finishing before totals are declared must not report progress…
+	p.FinishO()
+	p.FinishA()
+	if o, a := p.Percent(); o != 0 || a != 0 {
+		t.Errorf("before totals: %v %v, want 0 0", o, a)
+	}
+	// …and once totals arrive, progress is clamped to 100 even if more
+	// tasks finished than were declared.
+	p.SetTotals(1, 1)
+	p.FinishO()
+	p.FinishA()
+	o, a := p.Percent()
+	if o != 100 || a != 100 {
+		t.Errorf("over-finished: %v %v, want 100 100", o, a)
+	}
+	// Raising totals mid-flight lowers the percentage again.
+	p.SetTotals(4, 8)
+	o, a = p.Percent()
+	if o != 50 || a != 25 {
+		t.Errorf("after retotal: %v %v, want 50 25", o, a)
 	}
 }

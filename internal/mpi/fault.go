@@ -177,6 +177,10 @@ func (t *faultTransport) recv(r int) (frame, bool) {
 	return t.inner.recv(r)
 }
 
+func (t *faultTransport) stats() Stats {
+	return t.inner.stats()
+}
+
 func (t *faultTransport) close() {
 	t.once.Do(func() {
 		t.mu.Lock()

@@ -88,6 +88,7 @@ type config struct {
 	link        *netsim.Link
 	inj         *fault.Injector
 	sendTimeout time.Duration
+	onRetry     func(src, dst, attempt int)
 }
 
 // Option configures NewWorld.
@@ -111,6 +112,15 @@ func WithFaults(inj *fault.Injector) Option { return func(c *config) { c.inj = i
 // behaviour.
 func WithSendTimeout(d time.Duration) Option { return func(c *config) { c.sendTimeout = d } }
 
+// WithRetryHook registers fn to be called from the TCP transport's send
+// path each time a frame is about to be rewritten after a failed attempt
+// (attempt >= 1). src and dst are world ranks. fn runs on the sending
+// goroutine and must be fast and non-blocking; the in-memory transport
+// never retries, so fn is never called there.
+func WithRetryHook(fn func(src, dst, attempt int)) Option {
+	return func(c *config) { c.onRetry = fn }
+}
+
 // NewWorld creates a world of n ranks.
 func NewWorld(n int, opts ...Option) (*World, error) {
 	if n <= 0 {
@@ -127,7 +137,7 @@ func NewWorld(n int, opts ...Option) (*World, error) {
 	}
 	var err error
 	if cfg.tcp {
-		w.tr, err = newTCPTransport(n, cfg.link, cfg.sendTimeout)
+		w.tr, err = newTCPTransport(n, cfg.link, cfg.sendTimeout, cfg.onRetry)
 	} else {
 		w.tr, err = newMemTransport(n, cfg.link, cfg.sendTimeout)
 	}
@@ -162,6 +172,11 @@ func identityRanks(n int) []int {
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
+
+// Stats returns the world's cumulative transport counters (frames/bytes
+// on the wire, TCP retransmits and dials). Safe to call concurrently with
+// traffic and after Close.
+func (w *World) Stats() Stats { return w.tr.stats() }
 
 // Comm returns world rank i's handle on the world communicator.
 func (w *World) Comm(i int) *Comm {

@@ -1,0 +1,241 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Parity tests for the collectives2 operations: each result is checked
+// against a naive reference built only from point-to-point Send/Recv
+// through rank 0 (the "relay" implementation a first port would write),
+// over random payload sizes and byte patterns on every transport of the
+// parity matrix.
+
+const (
+	tagRefGather = 50
+	tagRefBcast  = 51
+	tagRefReduce = 52
+)
+
+// randPayload builds rank r's deterministic pseudo-random payload. kind
+// selects the byte pattern: random bytes, all-zero, or ASCII text.
+func randPayload(seed int64, r, kind int) []byte {
+	rng := rand.New(rand.NewSource(seed + int64(r)*7919))
+	n := rng.Intn(1 << 12)
+	b := make([]byte, n)
+	switch kind % 3 {
+	case 0:
+		rng.Read(b)
+	case 1: // zeros
+	case 2:
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+	}
+	return b
+}
+
+// refAllgather is the relay reference: every rank ships its buffer to
+// rank 0, which rebroadcasts the full indexed set.
+func refAllgather(c *Comm, data []byte) ([][]byte, error) {
+	n := c.Size()
+	if c.Rank() == 0 {
+		out := make([][]byte, n)
+		out[0] = append([]byte(nil), data...)
+		for i := 1; i < n; i++ {
+			d, st, err := c.Recv(AnySource, tagRefGather)
+			if err != nil {
+				return nil, err
+			}
+			out[st.Source] = d
+		}
+		for i := 1; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if err := c.Send(i, tagRefBcast, out[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	if err := c.Send(0, tagRefGather, data); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, n)
+	for j := 0; j < n; j++ {
+		d, _, err := c.Recv(0, tagRefBcast)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = d
+	}
+	return out, nil
+}
+
+func TestAllgatherMatchesRelayReference(t *testing.T) {
+	for _, seed := range []int64{1, 0xBEEF, 424242} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runBoth(t, 4, func(t *testing.T, w *World) {
+				spawn(t, w, func(c *Comm) error {
+					data := randPayload(seed, c.Rank(), c.Rank())
+					got, err := c.Allgather(data)
+					if err != nil {
+						return err
+					}
+					want, err := refAllgather(c, data)
+					if err != nil {
+						return err
+					}
+					for i := range want {
+						if !bytes.Equal(got[i], want[i]) {
+							return fmt.Errorf("rank %d: allgather[%d]: %d bytes != reference %d bytes",
+								c.Rank(), i, len(got[i]), len(want[i]))
+						}
+					}
+					return nil
+				})
+			})
+		})
+	}
+}
+
+// xorFold is an associative, commutative reduction over raw buffers:
+// elementwise XOR, extending to the longer operand.
+func xorFold(acc, x []byte) []byte {
+	if len(x) > len(acc) {
+		acc = append(acc, make([]byte, len(x)-len(acc))...)
+	}
+	for i := range x {
+		acc[i] ^= x[i]
+	}
+	return acc
+}
+
+func TestReduceBytesMatchesRelayReference(t *testing.T) {
+	for _, cfg := range []struct {
+		seed int64
+		root int
+	}{{7, 0}, {99, 2}, {0xFACE, 3}} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("seed=%d/root=%d", cfg.seed, cfg.root), func(t *testing.T) {
+			runBoth(t, 4, func(t *testing.T, w *World) {
+				spawn(t, w, func(c *Comm) error {
+					data := randPayload(cfg.seed, c.Rank(), c.Rank()+1)
+					got, err := c.ReduceBytes(data, xorFold, cfg.root)
+					if err != nil {
+						return err
+					}
+					// Relay reference: everyone ships raw data to rank 0,
+					// which folds in rank order and forwards the result to
+					// the root for comparison.
+					var want []byte
+					switch c.Rank() {
+					case 0:
+						want = append([]byte(nil), data...)
+						for i := 1; i < c.Size(); i++ {
+							d, _, err := c.Recv(i, tagRefReduce)
+							if err != nil {
+								return err
+							}
+							want = xorFold(want, d)
+						}
+						if err := c.Send(cfg.root, tagRefBcast, want); err != nil {
+							return err
+						}
+					default:
+						if err := c.Send(0, tagRefReduce, data); err != nil {
+							return err
+						}
+					}
+					if c.Rank() == cfg.root {
+						want, _, err = c.Recv(0, tagRefBcast)
+						if err != nil {
+							return err
+						}
+						if !bytes.Equal(got, want) {
+							return fmt.Errorf("root %d: reduce %d bytes != reference %d bytes",
+								cfg.root, len(got), len(want))
+						}
+					} else if got != nil {
+						return fmt.Errorf("rank %d: non-root got non-nil reduce result", c.Rank())
+					}
+					return nil
+				})
+			})
+		})
+	}
+}
+
+func TestSendrecvRingMatchesOracle(t *testing.T) {
+	for _, seed := range []int64{3, 0xD00D} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runBoth(t, 5, func(t *testing.T, w *World) {
+				spawn(t, w, func(c *Comm) error {
+					n := c.Size()
+					data := randPayload(seed, c.Rank(), c.Rank())
+					dst := (c.Rank() + 1) % n
+					src := (c.Rank() + n - 1) % n
+					got, err := c.Sendrecv(dst, data, src)
+					if err != nil {
+						return err
+					}
+					// The payloads are deterministic functions of (seed,
+					// rank), so the receiver can rebuild the sender's buffer.
+					want := randPayload(seed, src, src)
+					if !bytes.Equal(got, want) {
+						return fmt.Errorf("rank %d: sendrecv from %d: %d bytes != oracle %d bytes",
+							c.Rank(), src, len(got), len(want))
+					}
+					return nil
+				})
+			})
+		})
+	}
+}
+
+func TestSplitMatchesMembershipOracle(t *testing.T) {
+	runBoth(t, 6, func(t *testing.T, w *World) {
+		spawn(t, w, func(c *Comm) error {
+			// color = rank parity; key = -rank reverses the order within
+			// each color, which Split must honor.
+			color := c.Rank() % 2
+			sub, err := c.Split(color, -c.Rank())
+			if err != nil {
+				return err
+			}
+			if sub == nil {
+				return fmt.Errorf("rank %d: nil subcomm for color %d", c.Rank(), color)
+			}
+			// Oracle: members of this color in descending old rank.
+			var want []int
+			for r := c.Size() - 1; r >= 0; r-- {
+				if r%2 == color {
+					want = append(want, r)
+				}
+			}
+			if sub.Size() != len(want) {
+				return fmt.Errorf("rank %d: subcomm size %d, want %d", c.Rank(), sub.Size(), len(want))
+			}
+			if want[sub.Rank()] != c.Rank() {
+				return fmt.Errorf("rank %d: subcomm rank %d, oracle says rank %d should sit there",
+					c.Rank(), sub.Rank(), want[sub.Rank()])
+			}
+			// Cross-check with an allgather of old ranks over the subcomm.
+			got, err := sub.Allgather([]byte{byte(c.Rank())})
+			if err != nil {
+				return err
+			}
+			for i, b := range got {
+				if len(b) != 1 || int(b[0]) != want[i] {
+					return fmt.Errorf("rank %d: subcomm slot %d holds old rank %v, want %d",
+						c.Rank(), i, b, want[i])
+				}
+			}
+			return nil
+		})
+	})
+}

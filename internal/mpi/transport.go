@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datampi/internal/netsim"
@@ -20,7 +21,51 @@ type transport interface {
 	// recv blocks for the next frame addressed to world rank r; ok=false
 	// means the transport has been closed.
 	recv(r int) (frame, bool)
+	// stats returns the transport's cumulative counters.
+	stats() Stats
 	close()
+}
+
+// Stats are cumulative transport-level counters for one World, exposed
+// through World.Stats so the DataMPI runtime can fold link behaviour
+// (retransmits, reconnects, wire volume) into its job counters.
+type Stats struct {
+	// FramesSent/BytesSent count payloads handed to the wire (after any
+	// fault-injection drops); retried TCP writes count once per attempt.
+	FramesSent, BytesSent int64
+	// FramesRecv/BytesRecv count payloads delivered to receivers.
+	FramesRecv, BytesRecv int64
+	// SendRetries counts TCP frame rewrites after a failed attempt; the
+	// in-memory transport never retries.
+	SendRetries int64
+	// Dials counts TCP connection establishments (first connects and
+	// post-reset redials).
+	Dials int64
+}
+
+// transportStats is the shared atomic implementation behind Stats.
+type transportStats struct {
+	framesSent, bytesSent atomic.Int64
+	framesRecv, bytesRecv atomic.Int64
+	sendRetries, dials    atomic.Int64
+}
+
+func (s *transportStats) countSend(n int) {
+	s.framesSent.Add(1)
+	s.bytesSent.Add(int64(n))
+}
+
+func (s *transportStats) countRecv(n int) {
+	s.framesRecv.Add(1)
+	s.bytesRecv.Add(int64(n))
+}
+
+func (s *transportStats) stats() Stats {
+	return Stats{
+		FramesSent: s.framesSent.Load(), BytesSent: s.bytesSent.Load(),
+		FramesRecv: s.framesRecv.Load(), BytesRecv: s.bytesRecv.Load(),
+		SendRetries: s.sendRetries.Load(), Dials: s.dials.Load(),
+	}
 }
 
 // frameOverhead is the per-message protocol overhead we charge to the
@@ -50,6 +95,7 @@ const tcpDialTimeout = 2 * time.Second
 // In-memory transport
 
 type memTransport struct {
+	transportStats
 	inboxes     []chan frame
 	link        *netsim.Link
 	sendTimeout time.Duration
@@ -76,6 +122,7 @@ func (t *memTransport) send(src, dst int, f frame) error {
 	}
 	select {
 	case t.inboxes[dst] <- f:
+		t.countSend(len(f.data))
 		return nil
 	case <-t.done:
 		return ErrClosed
@@ -87,6 +134,7 @@ func (t *memTransport) send(src, dst int, f frame) error {
 	if t.sendTimeout <= 0 {
 		select {
 		case t.inboxes[dst] <- f:
+			t.countSend(len(f.data))
 			return nil
 		case <-t.done:
 			return ErrClosed
@@ -96,6 +144,7 @@ func (t *memTransport) send(src, dst int, f frame) error {
 	defer tm.Stop()
 	select {
 	case t.inboxes[dst] <- f:
+		t.countSend(len(f.data))
 		return nil
 	case <-t.done:
 		return ErrClosed
@@ -108,11 +157,13 @@ func (t *memTransport) recv(r int) (frame, bool) {
 	// Prefer pending frames over shutdown so queued messages drain.
 	select {
 	case f := <-t.inboxes[r]:
+		t.countRecv(len(f.data))
 		return f, true
 	default:
 	}
 	select {
 	case f := <-t.inboxes[r]:
+		t.countRecv(len(f.data))
 		return f, true
 	case <-t.done:
 		return frame{}, false
@@ -127,9 +178,11 @@ func (t *memTransport) close() {
 // TCP loopback transport
 
 type tcpTransport struct {
+	transportStats
 	n           int
 	link        *netsim.Link
 	sendTimeout time.Duration
+	onRetry     func(src, dst, attempt int)
 	listeners   []net.Listener
 	addrs       []string
 	inboxes     []chan frame
@@ -162,11 +215,12 @@ type tcpConn struct {
 	w  *bufio.Writer
 }
 
-func newTCPTransport(n int, link *netsim.Link, sendTimeout time.Duration) (*tcpTransport, error) {
+func newTCPTransport(n int, link *netsim.Link, sendTimeout time.Duration, onRetry func(src, dst, attempt int)) (*tcpTransport, error) {
 	t := &tcpTransport{
 		n:           n,
 		link:        link,
 		sendTimeout: sendTimeout,
+		onRetry:     onRetry,
 		listeners:   make([]net.Listener, n),
 		addrs:       make([]string, n),
 		inboxes:     make([]chan frame, n),
@@ -330,6 +384,10 @@ func (t *tcpTransport) send(src, dst int, f frame) error {
 	var lastErr error
 	for attempt := 0; attempt <= tcpSendRetries; attempt++ {
 		if attempt > 0 {
+			t.sendRetries.Add(1)
+			if t.onRetry != nil {
+				t.onRetry(src, dst, attempt)
+			}
 			// Exponential backoff: 1, 2, 4, 8 ms.
 			backoff := time.Duration(1<<uint(attempt-1)) * time.Millisecond
 			select {
@@ -353,6 +411,7 @@ func (t *tcpTransport) send(src, dst int, f frame) error {
 		err = writeFrame(tc.w, f)
 		tc.mu.Unlock()
 		if err == nil {
+			t.countSend(len(f.data))
 			return nil
 		}
 		lastErr = err
@@ -383,6 +442,7 @@ func (t *tcpTransport) conn(key [3]int, dst int) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mpi: dial rank %d: %w", dst, err)
 	}
+	t.dials.Add(1)
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -428,11 +488,13 @@ func (t *tcpTransport) resetPair(comm uint32, srcRank int32, dst int) {
 func (t *tcpTransport) recv(r int) (frame, bool) {
 	select {
 	case f := <-t.inboxes[r]:
+		t.countRecv(len(f.data))
 		return f, true
 	default:
 	}
 	select {
 	case f := <-t.inboxes[r]:
+		t.countRecv(len(f.data))
 		return f, true
 	case <-t.done:
 		return frame{}, false

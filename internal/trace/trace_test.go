@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil tracer must be a total no-op: every method usable without panics
+// or allocations on the caller's hot path.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	b := tr.Rank(3)
+	if b != nil {
+		t.Fatalf("nil tracer returned non-nil buf")
+	}
+	if got := b.Start(); !got.IsZero() {
+		t.Errorf("nil buf Start = %v, want zero time", got)
+	}
+	b.Span(1, "x", "c", time.Now(), nil)
+	b.Instant(1, "x", "c", nil)
+	tr.SetProcessName(0, "p")
+	tr.SetThreadName(0, 1, "t")
+	if evs := tr.Events(); evs != nil {
+		t.Errorf("nil tracer has %d events", len(evs))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsOrderAndShape(t *testing.T) {
+	tr := New()
+	tr.SetProcessName(0, "worker 0")
+	tr.SetThreadName(0, 1, "send")
+	b := tr.Rank(0)
+	s := b.Start()
+	time.Sleep(2 * time.Millisecond) // separate the two timestamps
+	b.Instant(2, "late", "cat", map[string]any{"k": 1})
+	b.Span(1, "early", "cat", s, nil)
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	// Metadata first, then body sorted by timestamp.
+	if evs[0].Ph != "M" || evs[1].Ph != "M" {
+		t.Errorf("metadata not first: %+v %+v", evs[0], evs[1])
+	}
+	if evs[2].Name != "early" || evs[2].Ph != "X" {
+		t.Errorf("first body event = %+v, want span 'early'", evs[2])
+	}
+	if evs[3].Name != "late" || evs[3].Ph != "i" || evs[3].Scope != "t" {
+		t.Errorf("second body event = %+v, want instant 'late'", evs[3])
+	}
+	if evs[2].TS > evs[3].TS {
+		t.Errorf("events not time-ordered: %d > %d", evs[2].TS, evs[3].TS)
+	}
+}
+
+// The emitted document must parse back as the Chrome trace_event JSON
+// object form, spans keeping an explicit dur field even when zero.
+func TestWriteFileValidTraceEventJSON(t *testing.T) {
+	tr := New()
+	tr.SetProcessName(1, "worker 1")
+	b := tr.Rank(1)
+	b.Span(10, "O0", "task", b.Start(), map[string]any{"round": 0})
+	b.Instant(1, "spl.seal", "buffer", nil)
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d traceEvents, want 3", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		for _, k := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Errorf("event %v missing %q", ev, k)
+			}
+		}
+		if ev["ph"] == "X" {
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("span %v missing dur", ev)
+			}
+		}
+	}
+}
+
+func TestEmptyTracerWritesEmptyArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceEvents == nil {
+		t.Error("traceEvents is null, want []")
+	}
+}
+
+// Many ranks and goroutines appending concurrently while Events snapshots:
+// exercised under -race by CI.
+func TestConcurrentAppendAndSnapshot(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			b := tr.Rank(r)
+			for i := 0; i < 200; i++ {
+				b.Instant(i%3, "e", "cat", nil)
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			tr.Events()
+			tr.SetThreadName(i%4, 0, "control")
+		}
+	}()
+	wg.Wait()
+	evs := tr.Events()
+	body := 0
+	for _, e := range evs {
+		if e.Ph != "M" {
+			body++
+		}
+	}
+	if body != 4*200 {
+		t.Errorf("got %d body events, want %d", body, 4*200)
+	}
+}
