@@ -15,6 +15,7 @@
 //
 //	benchsuite -regress [-quick] [-bench-out BENCH_shuffle.json]
 //	           [-against BENCH_shuffle.json] [-trace out.json]
+//	           [-prepare-workers N]
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 	against := flag.String("against", "", "compare the regression run against this baseline snapshot (informational)")
 	tracePath := flag.String("trace", "", "with -regress: write a Chrome trace_event JSON of one traced run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	prepWorkers := flag.Int("prepare-workers", 0, "with -regress: shuffle prepare-pool width (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -55,6 +57,7 @@ func main() {
 		o = bench.Quick()
 	}
 	if *regress {
+		o.PrepareWorkers = *prepWorkers
 		runRegress(o, *quick, *benchOut, *against, *tracePath)
 		return
 	}

@@ -21,6 +21,10 @@ type Opts struct {
 	Rounds      int // iteration rounds (paper: 7)
 	Events      int // Top-K events
 	EventRate   int // Top-K events/second
+
+	// PrepareWorkers overrides the shuffle prepare-pool width for the
+	// regression harness (0 = the runtime default, GOMAXPROCS).
+	PrepareWorkers int
 }
 
 // Quick returns the small test-suite sizing.

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"datampi/internal/kv"
 )
@@ -16,6 +17,9 @@ import (
 // past the memory-cache threshold, runs are merged and spilled to disk.
 
 // sendItem is one sealed SPL buffer travelling to the communication thread.
+// data is always a framed buffer: frameHeaderLen reserved header bytes
+// followed by the record bytes, so transmit needs only an in-place header
+// write — no copy.
 type sendItem struct {
 	task      int
 	partition int
@@ -30,6 +34,71 @@ type sendItem struct {
 	// partition buffer, so everything appended to its chunk so far is an
 	// emission-order prefix and can be committed (§IV-E, Fig. 7).
 	cpSeal bool
+}
+
+// Wire format of a data message, laid out so the SPL can reserve the whole
+// header up front and transmit writes it in place:
+//
+//	u32 round | u32 partition | u8 flags | framed records
+//
+// The payload fed to checkpoints and decodePayload is everything from
+// framePartOff on, byte-identical to the previous two-piece encoding.
+const (
+	frameRoundOff  = 0
+	framePartOff   = 4
+	frameFlagsOff  = 8
+	frameHeaderLen = 9
+)
+
+const (
+	flagReverse = 1 << 0
+)
+
+// maxPooledFrame bounds the buffers the frame pool keeps, so one outsized
+// record does not pin a huge allocation forever.
+const maxPooledFrame = 1 << 20
+
+// framePool recycles framed send buffers around the whole O-side path:
+// SPL seal -> prepare re-encode -> transmit, returned once comm.Send comes
+// back (the mpi ownership contract guarantees the transport no longer
+// aliases the buffer at that point).
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, frameHeaderLen, 4<<10)
+	return &b
+}}
+
+// getFrame returns an empty framed buffer: header space reserved, zero
+// record bytes.
+func getFrame() []byte {
+	bp := framePool.Get().(*[]byte)
+	return (*bp)[:frameHeaderLen]
+}
+
+// putFrame recycles a framed buffer. Safe only once nothing aliases it.
+func putFrame(b []byte) {
+	if cap(b) < frameHeaderLen || cap(b) > maxPooledFrame {
+		return
+	}
+	b = b[:frameHeaderLen]
+	framePool.Put(&b)
+}
+
+// frameWithRecords builds a framed buffer around pre-encoded record bytes
+// (checkpoint reloads, end markers).
+func frameWithRecords(records []byte) []byte {
+	f := getFrame()
+	return append(f, records...)
+}
+
+// writeFrameHeader fills the reserved header bytes in place.
+func writeFrameHeader(frame []byte, round, partition int, reverse bool) {
+	binary.BigEndian.PutUint32(frame[frameRoundOff:], uint32(round))
+	binary.BigEndian.PutUint32(frame[framePartOff:], uint32(partition))
+	var flags byte
+	if reverse {
+		flags = flagReverse
+	}
+	frame[frameFlagsOff] = flags
 }
 
 // spl is one task's Send Partition List.
@@ -48,12 +117,16 @@ func newSPL(numPartitions, maxSize int) *spl {
 }
 
 // add appends a record to partition p; it returns a sealed buffer when the
-// partition buffer crossed the threshold, else nil.
+// partition buffer crossed the threshold, else nil. Buffers come from the
+// frame pool with header space already reserved.
 func (s *spl) add(p int, rec kv.Record) *partBuf {
 	b := &s.parts[p]
+	if b.data == nil {
+		b.data = getFrame()
+	}
 	b.data = kv.AppendRecord(b.data, rec)
 	b.records++
-	if len(b.data) >= s.maxSize {
+	if len(b.data)-frameHeaderLen >= s.maxSize {
 		sealed := *b
 		*b = partBuf{}
 		return &sealed
@@ -78,21 +151,8 @@ type sealedPart struct {
 	buf       partBuf
 }
 
-// Wire format of a data message: u32 partition | u8 flags | records.
-const (
-	flagReverse = 1 << 0
-)
-
-func encodePayload(partition int, reverse bool, records []byte) []byte {
-	out := make([]byte, 5+len(records))
-	binary.BigEndian.PutUint32(out, uint32(partition))
-	if reverse {
-		out[4] = flagReverse
-	}
-	copy(out[5:], records)
-	return out
-}
-
+// decodePayload parses the message payload (everything after the round
+// word): u32 partition | u8 flags | records.
 func decodePayload(b []byte) (partition int, reverse bool, records []byte, err error) {
 	if len(b) < 5 {
 		return 0, false, nil, fmt.Errorf("core: data payload %d bytes", len(b))
@@ -100,30 +160,33 @@ func decodePayload(b []byte) (partition int, reverse bool, records []byte, err e
 	return int(binary.BigEndian.Uint32(b)), b[4]&flagReverse != 0, b[5:], nil
 }
 
-// prepareRecords sorts and combines a sealed buffer's raw records according
-// to the config. It returns the (possibly re-encoded) record bytes and the
-// resulting record count.
-func prepareRecords(cfg *Config, raw []byte, nrec int64) ([]byte, int64, error) {
+// prepareFrame sorts and combines a framed buffer's records according to
+// the config, re-encoding into a fresh pooled frame (the decoded records
+// alias the input, so the reorder cannot be done in place); the input
+// frame is recycled. scratch carries the record-header slice across calls
+// so steady state allocates nothing. When the config needs neither sort
+// nor combine the input frame is returned as is.
+func prepareFrame(cfg *Config, frame []byte, nrec int64, scratch *[]kv.Record) ([]byte, int64, error) {
 	if !cfg.sorted() && cfg.Combine == nil {
-		return raw, nrec, nil
+		return frame, nrec, nil
 	}
-	recs, err := kv.DecodeAll(raw)
+	recs, err := kv.DecodeAllInto((*scratch)[:0], frame[frameHeaderLen:])
 	if err != nil {
 		return nil, 0, err
 	}
+	*scratch = recs
 	cmp := cfg.Compare
 	if cmp == nil {
 		cmp = kv.DefaultCompare
 	}
-	if cfg.sorted() || cfg.Combine != nil {
-		kv.SortRecords(recs, cmp)
-	}
+	kv.SortRecords(recs, cmp)
 	if cfg.Combine != nil {
 		recs = kv.ApplyCombine(recs, cmp, cfg.Combine)
 	}
-	out := make([]byte, 0, len(raw))
+	out := getFrame()
 	for _, r := range recs {
 		out = kv.AppendRecord(out, r)
 	}
+	putFrame(frame)
 	return out, int64(len(recs)), nil
 }

@@ -49,15 +49,18 @@ func TestRankDeathMidShuffleRecovery(t *testing.T) {
 			}
 
 			// Attempt 1: worker process 1 (world rank 1) dies after its
-			// 60th transport send — far enough in that checkpoint chunks
-			// exist, early enough that the job cannot have finished.
+			// 25th transport send. The threshold must hold for any task
+			// placement: slot scheduling guarantees rank 1 only one O task
+			// (~40+ frame sends), and its first checkpoint chunk commits
+			// after ~6 sends — so by send 25 chunks exist and the job
+			// cannot have finished.
 			var out1 collector
 			job1 := wordCountJob(docs, 3, 2, &out1)
 			job1.Conf.FaultTolerance = true
 			job1.Conf.CheckpointDir = dir
 			job1.Conf.SPLBytes = 256
 			job1.Conf.CheckpointRecords = 50
-			job1.Conf.FaultPlan = fault.KillRank(1, 1, 60)
+			job1.Conf.FaultPlan = fault.KillRank(1, 1, 25)
 			_, err := runWithDeadline(t, job1, opts...)
 			if !errors.Is(err, ErrRankDead) {
 				t.Fatalf("job with killed worker: got %v, want ErrRankDead", err)

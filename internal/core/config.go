@@ -11,6 +11,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"datampi/internal/fault"
@@ -107,6 +108,13 @@ type Config struct {
 	// data remotely.
 	DataCentricOff bool
 
+	// PrepareWorkers sizes the prepare pool of the O-side pipeline: how
+	// many communication-thread workers sort/combine/re-encode sealed
+	// buffers concurrently (§IV-C). <= 0 selects GOMAXPROCS. 1 keeps a
+	// single (still asynchronous) prepare worker; OSidePipelineOff bypasses
+	// the pipeline entirely.
+	PrepareWorkers int
+
 	// OSidePipelineOff disables the O-side shuffle pipeline ablation
 	// (§IV-C): sealed buffers are sent synchronously by the task instead
 	// of overlapping with computation via the communication thread.
@@ -182,6 +190,9 @@ func (c *Config) Normalize(mode Mode) error {
 	}
 	if c.CheckpointRecords <= 0 {
 		c.CheckpointRecords = 4096
+	}
+	if c.PrepareWorkers <= 0 {
+		c.PrepareWorkers = runtime.GOMAXPROCS(0)
 	}
 	if (c.FaultPlan != nil || c.FaultInjector != nil) && c.IOTimeout <= 0 {
 		c.IOTimeout = 2 * time.Second

@@ -49,6 +49,9 @@ type Context struct {
 	grouper  *kv.Grouper
 	streamCh <-chan kv.Record
 
+	// kbuf/vbuf are Send's codec scratch buffers, reused across calls.
+	kbuf, vbuf []byte
+
 	// counters holds AddCounter deltas not yet reported to mpidrun.
 	counters map[string]int64
 
@@ -129,15 +132,21 @@ func (c *Context) numDest() int {
 // given — the library partitions and routes the pair itself (the Dynamic
 // feature of §II-A). O tasks send toward COMM_BIPARTITE_A; in Iteration
 // mode, A tasks send feedback toward COMM_BIPARTITE_O.
+//
+// The codecs encode into per-context scratch buffers: SendRecord copies
+// the bytes into the SPL before returning, so the scratch can be reused
+// on the next call without a fresh allocation per pair.
 func (c *Context) Send(key, value any) error {
-	kb, err := c.job.Conf.KeyCodec.Encode(nil, key)
+	kb, err := c.job.Conf.KeyCodec.Encode(c.kbuf[:0], key)
 	if err != nil {
 		return fmt.Errorf("core: encoding key: %w", err)
 	}
-	vb, err := c.job.Conf.ValueCodec.Encode(nil, value)
+	c.kbuf = kb
+	vb, err := c.job.Conf.ValueCodec.Encode(c.vbuf[:0], value)
 	if err != nil {
 		return fmt.Errorf("core: encoding value: %w", err)
 	}
+	c.vbuf = vb
 	return c.SendRecord(kv.Record{Key: kb, Value: vb})
 }
 

@@ -95,7 +95,19 @@ const (
 	tidControl = 0
 	tidSend    = 1
 	tidRecv    = 2
+	// tidPrepare is the first prepare-pool row; workers beyond
+	// maxPrepareRows share the last row so task rows (>= 10) stay clear.
+	tidPrepare     = 3
+	maxPrepareRows = 7
 )
+
+// prepTID maps a prepare worker to its trace row.
+func prepTID(w int) int {
+	if w >= maxPrepareRows {
+		w = maxPrepareRows - 1
+	}
+	return tidPrepare + w
+}
 
 // taskTID maps a task to its trace row: O task t at 10+2t, A task t at
 // 11+2t, so the two sides interleave predictably in the viewer.

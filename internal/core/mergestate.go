@@ -48,11 +48,14 @@ func (ms *mergeState) part(partition int) *partRuns {
 }
 
 // addRun appends one received run to a partition and spills if the memory
-// cache threshold is exceeded.
+// cache threshold is exceeded. The disk write happens outside ms.mu —
+// spilling while holding the lock would stall every iterator waiter (and,
+// transitively, the data receiver) for the duration of the I/O — so each
+// spill detaches the victim's runs under the lock, merges and writes them
+// unlocked, then reattaches the result as a disk run.
 func (ms *mergeState) addRun(partition int, records []byte) error {
 	cfg := &ms.p.rt.job.Conf
 	ms.mu.Lock()
-	defer ms.mu.Unlock()
 	pr := ms.part(partition)
 	pr.memRuns = append(pr.memRuns, records)
 	pr.memBytes += int64(len(records))
@@ -60,41 +63,61 @@ func (ms *mergeState) addRun(partition int, records []byte) error {
 	if ms.p.rt.job.Mem != nil {
 		ms.p.rt.job.Mem.Add(int64(len(records)))
 	}
-	if cfg.MemCacheBytes > 0 && ms.p.rt.job.SpillDisks != nil {
-		for ms.memBytes > cfg.MemCacheBytes {
-			if err := ms.spillLargestLocked(); err != nil {
-				return err
-			}
+	spillable := cfg.MemCacheBytes > 0 && ms.p.rt.job.SpillDisks != nil
+	for spillable && ms.memBytes > cfg.MemCacheBytes {
+		victim, runs, bytes := ms.detachLargestLocked()
+		if runs == nil {
+			break // nothing spillable; allow overshoot
 		}
+		rel := fmt.Sprintf("dmpi-spill/run%d/r%d_rev%v_p%d_%d",
+			ms.p.rt.id, ms.key.round, ms.key.reverse, victim, ms.spillSeq)
+		ms.spillSeq++
+		ms.mu.Unlock()
+		err := ms.writeRun(rel, runs, victim, bytes)
+		ms.mu.Lock()
+		if err != nil {
+			ms.mu.Unlock()
+			return err
+		}
+		ms.commitSpillLocked(victim, rel, bytes)
 	}
+	ms.mu.Unlock()
 	return nil
 }
 
-// spillLargestLocked merges the largest partition's in-memory runs into one
-// sorted disk run. Caller holds ms.mu.
-func (ms *mergeState) spillLargestLocked() error {
-	var victim int
-	var vb int64 = 0
+// detachLargestLocked removes the largest partition's in-memory runs,
+// returning them for an unlocked spill write. ms.memBytes is left charged
+// until commitSpillLocked so the spill loop's threshold check stays
+// consistent. Caller holds ms.mu.
+func (ms *mergeState) detachLargestLocked() (victim int, runs [][]byte, bytes int64) {
 	for p, pr := range ms.parts {
-		if pr.memBytes > vb {
-			victim, vb = p, pr.memBytes
+		if pr.memBytes > bytes {
+			victim, bytes = p, pr.memBytes
 		}
 	}
-	if vb == 0 {
-		return nil // nothing spillable; allow overshoot
+	if bytes == 0 {
+		return 0, nil, 0
 	}
-	start := ms.p.tb.Start()
 	pr := ms.parts[victim]
+	runs = pr.memRuns
+	pr.memRuns = nil
+	pr.memBytes = 0
+	return victim, runs, bytes
+}
+
+// writeRun merges detached runs into one sorted disk run. Called without
+// ms.mu held; addRun is single-caller (the data receiver goroutine), and
+// iterators cannot observe the partition before finalization, so the
+// detached runs are exclusively owned here.
+func (ms *mergeState) writeRun(rel string, runs [][]byte, victim int, bytes int64) error {
+	start := ms.p.tb.Start()
 	disk := ms.p.rt.job.SpillDisks[ms.p.idx]
-	rel := fmt.Sprintf("dmpi-spill/run%d/r%d_rev%v_p%d_%d",
-		ms.p.rt.id, ms.key.round, ms.key.reverse, victim, ms.spillSeq)
-	ms.spillSeq++
 	f, err := disk.Create(rel)
 	if err != nil {
 		return err
 	}
 	w := kv.NewWriter(f)
-	it, err := ms.p.rt.iteratorOverRuns(pr.memRuns, nil)
+	it, err := ms.p.rt.iteratorOverRuns(runs, nil)
 	if err != nil {
 		f.Close()
 		return err
@@ -116,9 +139,17 @@ func (ms *mergeState) spillLargestLocked() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	freed := pr.memBytes
-	pr.memRuns = nil
-	pr.memBytes = 0
+	if tb := ms.p.tb; tb != nil {
+		tb.Span(tidRecv, "spill.write", "spill", start,
+			map[string]any{"partition": victim, "bytes": bytes})
+	}
+	return nil
+}
+
+// commitSpillLocked attaches a written disk run and releases the spilled
+// bytes from the memory accounting. Caller holds ms.mu.
+func (ms *mergeState) commitSpillLocked(victim int, rel string, freed int64) {
+	pr := ms.part(victim)
 	pr.diskRuns = append(pr.diskRuns, rel)
 	ms.memBytes -= freed
 	if ms.p.rt.job.Mem != nil {
@@ -127,11 +158,6 @@ func (ms *mergeState) spillLargestLocked() error {
 	ms.p.rt.spilledBytes.Add(freed)
 	ms.p.rt.ctrs.spillBytes.Add(freed)
 	ms.p.rt.ctrs.spillFiles.Add(1)
-	if tb := ms.p.tb; tb != nil {
-		tb.Span(tidRecv, "spill.write", "spill", start,
-			map[string]any{"partition": victim, "bytes": freed})
-	}
-	return nil
 }
 
 // end records one process's end marker; it returns true when the state

@@ -27,9 +27,14 @@ const endPartition = 0xFFFFFFF
 
 // process is one DataMPI worker process: it hosts scheduled tasks and runs
 // the O-side shuffle pipeline of §IV-C — the task goroutines compute and
-// hand sealed buffers to the communication thread (sender), which sorts,
-// combines, checkpoints and transmits them, while the receive side merges
-// incoming runs and spills past the memory-cache threshold.
+// hand sealed buffers to the communication threads, which sort, combine,
+// checkpoint and transmit them, while the receive side merges incoming
+// runs and spills past the memory-cache threshold. The send side is a
+// three-stage pipeline: a dispatcher (senderLoop) fans sealed buffers out
+// to a prepare worker pool that sorts/combines/re-encodes them
+// concurrently, and an ordered transmit stage consumes the buffers in
+// strict submission order — so per-(task, destination) order, and with it
+// the end-markers-trail-all-data invariant, survives the parallelism.
 type process struct {
 	rt   *Runtime
 	idx  int
@@ -37,12 +42,19 @@ type process struct {
 	tb   *trace.Buf // nil when tracing is disabled
 
 	sendQ chan qItem
+	prepQ chan *pendingSend // dispatcher -> prepare pool
+	xmitQ chan *pendingSend // dispatcher -> transmit stage, submission order
 
-	// sendMu serializes processItem (the communication-thread work); it is
-	// uncontended when the pipeline is on (single sender goroutine) and
-	// protects the inline path when OSidePipelineOff.
+	// sendMu serializes the inline prepare+transmit path used when
+	// OSidePipelineOff; the pipeline stages never take it (they have their
+	// own single-goroutine owners).
 	sendMu sync.Mutex
-	cpws   map[int]*cpWriter
+	// prepScratch amortizes prepare decoding on the serial path (guarded
+	// by sendMu).
+	prepScratch []kv.Record
+	// cpws is touched only by the transmit stage (pipeline on) or under
+	// sendMu (pipeline off); quiesce reads it after wg.Wait.
+	cpws map[int]*cpWriter
 
 	mu     sync.Mutex
 	merges map[mergeKey]*mergeState
@@ -50,6 +62,8 @@ type process struct {
 
 	streamMu sync.Mutex
 	streams  map[int]chan kv.Record
+	// streamScratch amortizes stream decoding (dataReceiver only).
+	streamScratch []kv.Record
 
 	shutdownOnce sync.Once
 	wg           sync.WaitGroup
@@ -59,6 +73,21 @@ type qItem struct {
 	item  sendItem
 	round int
 	flush chan struct{} // flush marker: closed when the queue reaches it
+}
+
+// pendingSend is one item travelling the send pipeline. The dispatcher
+// hands it to the prepare pool (when sorting/combining applies) and to the
+// transmit stage in submission order; ready is closed once the prepare
+// worker has filled in the prepared frame (or err).
+type pendingSend struct {
+	item  sendItem
+	round int
+	flush chan struct{}
+	ready chan struct{} // nil when no prepare stage is needed
+	err   error
+	// rawBytes is the sealed record-byte size before prepare, which is
+	// what SendRecord charged to the memory gauge.
+	rawBytes int
 }
 
 type mergeKey struct {
@@ -78,14 +107,25 @@ func newProcess(rt *Runtime, idx int, comm *mpi.Comm) *process {
 		comm:    comm,
 		tb:      rt.job.Trace.Rank(idx),
 		sendQ:   make(chan qItem, 256),
+		prepQ:   make(chan *pendingSend, 256),
+		xmitQ:   make(chan *pendingSend, 256),
 		cpws:    make(map[int]*cpWriter),
 		merges:  make(map[mergeKey]*mergeState),
 		ctxs:    make(map[ctxKey]*Context),
 		streams: make(map[int]chan kv.Record),
 	}
-	p.wg.Add(2)
+	p.wg.Add(3)
 	go p.senderLoop()
+	go p.transmitLoop()
 	go p.dataReceiver()
+	workers := rt.job.Conf.PrepareWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.prepareWorker(w)
+	}
 	if rt.job.Conf.DataCentricOff {
 		p.wg.Add(1)
 		go p.fetchServer()
@@ -129,8 +169,22 @@ func (p *process) flushQueue() error {
 	}
 }
 
+// needsPrepare reports whether an item must pass through the prepare
+// stage (sort/combine/re-encode) before transmission.
+func (p *process) needsPrepare(item *sendItem) bool {
+	cfg := &p.rt.job.Conf
+	return !item.cpSeal && !item.prepared && (cfg.sorted() || cfg.Combine != nil)
+}
+
+// senderLoop is the pipeline dispatcher: it pulls submissions off sendQ,
+// fans prepare work out to the worker pool, and enqueues every item —
+// including flush markers — onto xmitQ in submission order. Only the
+// dispatcher writes to prepQ/xmitQ, so closing them here lets the
+// downstream stages drain and exit.
 func (p *process) senderLoop() {
 	defer p.wg.Done()
+	defer close(p.prepQ)
+	defer close(p.xmitQ)
 	for {
 		var qi qItem
 		var ok bool
@@ -142,22 +196,127 @@ func (p *process) senderLoop() {
 		case <-p.rt.aborted:
 			return
 		}
-		if qi.flush != nil {
-			close(qi.flush)
-			continue
+		ps := &pendingSend{item: qi.item, round: qi.round, flush: qi.flush}
+		if qi.flush == nil {
+			// Snapshot the sealed size before a prepare worker can mutate
+			// the item concurrently.
+			if n := len(ps.item.data) - frameHeaderLen; n > 0 {
+				ps.rawBytes = n
+			}
+			if p.needsPrepare(&ps.item) {
+				ps.ready = make(chan struct{})
+				select {
+				case p.prepQ <- ps:
+				case <-p.rt.aborted:
+					return
+				}
+			}
 		}
-		if err := p.processItem(qi.item, qi.round); err != nil {
-			p.rt.fail(err)
+		select {
+		case p.xmitQ <- ps:
+		case <-p.rt.aborted:
 			return
 		}
 	}
 }
 
-// processItem sorts/combines a sealed buffer, checkpoints it if fault
-// tolerance is on, and transmits it to the partition's owner process.
+// prepareWorker is one worker of the prepare pool: it sorts, combines and
+// re-encodes sealed buffers concurrently with its siblings, publishing the
+// result through ps.ready. Items complete out of order here; the transmit
+// stage restores submission order.
+func (p *process) prepareWorker(w int) {
+	defer p.wg.Done()
+	var scratch []kv.Record
+	cfg := &p.rt.job.Conf
+	for ps := range p.prepQ {
+		start := p.tb.Start()
+		var done func()
+		if p.rt.job.Busy != nil {
+			done = p.rt.job.Busy.Track()
+		}
+		frame, nrec, err := prepareFrame(cfg, ps.item.data, ps.item.records, &scratch)
+		if done != nil {
+			done()
+		}
+		if err != nil {
+			ps.err = err
+		} else {
+			p.rt.ctrs.combineIn.Add(ps.item.records)
+			p.rt.ctrs.combineOut.Add(nrec)
+			if p.tb != nil {
+				p.tb.Span(prepTID(w), "prepare", "shuffle", start, map[string]any{
+					"task": ps.item.task, "partition": ps.item.partition,
+					"in": ps.item.records, "out": nrec,
+				})
+			}
+			ps.item.data, ps.item.records, ps.item.prepared = frame, nrec, true
+		}
+		close(ps.ready)
+	}
+}
+
+// transmitLoop is the ordered transmit stage: it consumes xmitQ in
+// submission order, waiting for each item's prepare to finish before
+// sending, so a task's buffers reach the wire — and the per-(source, tag)
+// FIFO — in exactly the order the task sealed them, and a flush marker
+// completes only after everything submitted before it was transmitted.
+func (p *process) transmitLoop() {
+	defer p.wg.Done()
+	for ps := range p.xmitQ {
+		if ps.flush != nil {
+			close(ps.flush)
+			continue
+		}
+		if ps.ready != nil {
+			select {
+			case <-ps.ready:
+			case <-p.rt.aborted:
+				return
+			}
+		}
+		if ps.err == nil {
+			ps.err = p.transmit(&ps.item, ps.round, ps.rawBytes)
+		}
+		if ps.err != nil {
+			p.rt.fail(ps.err)
+			return
+		}
+	}
+}
+
+// processItem is the serial ablation path (OSidePipelineOff): prepare and
+// transmit inline on the submitting goroutine, serialized by sendMu.
 func (p *process) processItem(item sendItem, round int) error {
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
+	rawBytes := 0
+	if n := len(item.data) - frameHeaderLen; n > 0 {
+		rawBytes = n
+	}
+	if p.needsPrepare(&item) {
+		var done func()
+		if p.rt.job.Busy != nil {
+			done = p.rt.job.Busy.Track()
+		}
+		data, nrec, err := prepareFrame(&p.rt.job.Conf, item.data, item.records, &p.prepScratch)
+		if done != nil {
+			done()
+		}
+		if err != nil {
+			return err
+		}
+		p.rt.ctrs.combineIn.Add(item.records)
+		p.rt.ctrs.combineOut.Add(nrec)
+		item.data, item.records, item.prepared = data, nrec, true
+	}
+	return p.transmit(&item, round, rawBytes)
+}
+
+// transmit checkpoints (if fault tolerance is on) and sends one prepared
+// framed buffer, writing the wire header in place — no copy — and
+// recycling the frame once the transport no longer references it. Called
+// from the transmit stage (pipeline on) or under sendMu (pipeline off).
+func (p *process) transmit(item *sendItem, round int, rawBytes int) error {
 	start := p.tb.Start()
 	cfg := &p.rt.job.Conf
 	if item.cpSeal {
@@ -184,24 +343,8 @@ func (p *process) processItem(item sendItem, round int) error {
 		}
 		return nil
 	}
-	data, nrec := item.data, item.records
-	if !item.prepared {
-		var err error
-		var done func()
-		if p.rt.job.Busy != nil {
-			done = p.rt.job.Busy.Track()
-		}
-		data, nrec, err = prepareRecords(cfg, data, nrec)
-		if done != nil {
-			done()
-		}
-		if err != nil {
-			return err
-		}
-		p.rt.ctrs.combineIn.Add(item.records)
-		p.rt.ctrs.combineOut.Add(nrec)
-	}
-	payload := encodePayload(item.partition, item.reverse, data)
+	frame, nrec := item.data, item.records
+	writeFrameHeader(frame, round, item.partition, item.reverse)
 	if cfg.FaultTolerance && !item.noCheckpoint && !item.reverse {
 		w := p.cpws[item.task]
 		if w == nil {
@@ -209,7 +352,9 @@ func (p *process) processItem(item sendItem, round int) error {
 			w.seq = p.rt.cpStartSeq(item.task)
 			p.cpws[item.task] = w
 		}
-		if err := w.append(payload, nrec); err != nil {
+		// The chunk payload is the frame minus the round word —
+		// byte-identical to the pre-pipeline checkpoint format.
+		if err := w.append(frame[framePartOff:], nrec); err != nil {
 			return err
 		}
 		p.rt.ctrs.cpRecords.Add(nrec)
@@ -220,21 +365,21 @@ func (p *process) processItem(item sendItem, round int) error {
 	} else {
 		dst = p.rt.ownerProc(item.partition)
 	}
-	wire := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(wire, uint32(round))
-	copy(wire[4:], payload)
-	if err := p.comm.Send(dst, tagData, wire); err != nil {
+	recBytes := int64(len(frame) - frameHeaderLen)
+	if err := p.comm.Send(dst, tagData, frame); err != nil {
 		return err
 	}
+	putFrame(frame)
+	item.data = nil
 	if p.rt.job.Mem != nil {
-		p.rt.job.Mem.Add(-int64(len(item.data)))
+		p.rt.job.Mem.Add(-int64(rawBytes))
 	}
-	p.rt.bytesShuffled.Add(int64(len(data)))
-	p.rt.ctrs.addPairSent(p.idx, dst, int64(len(data)), nrec)
+	p.rt.bytesShuffled.Add(recBytes)
+	p.rt.ctrs.addPairSent(p.idx, dst, recBytes, nrec)
 	if p.tb != nil {
 		p.tb.Span(tidSend, "xmit", "shuffle", start, map[string]any{
 			"task": item.task, "partition": item.partition, "dst": dst,
-			"bytes": len(data), "records": nrec, "reverse": item.reverse,
+			"bytes": recBytes, "records": nrec, "reverse": item.reverse,
 		})
 	}
 	return nil
@@ -322,9 +467,9 @@ func (p *process) dropMerge(k mergeKey, partition int) {
 // data for (round, reverse). Markers ride tagData after all data messages,
 // so FIFO ordering makes them trailing by construction.
 func (p *process) sendEndMarkers(round int, reverse bool) error {
-	wire := make([]byte, 4)
-	binary.BigEndian.PutUint32(wire, uint32(round))
-	wire = append(wire, encodePayload(endPartition, reverse, nil)...)
+	wire := getFrame()
+	defer putFrame(wire)
+	writeFrameHeader(wire, round, endPartition, reverse)
 	for dst := 0; dst < p.comm.Size(); dst++ {
 		if err := p.comm.Send(dst, tagData, wire); err != nil {
 			return err
@@ -349,16 +494,17 @@ func (p *process) streamChan(partition int) chan kv.Record {
 
 func (p *process) streamDeliver(partition int, records []byte) error {
 	ch := p.streamChan(partition)
-	recs, err := kv.DecodeAll(records)
+	// records aliases the received wire buffer, which the transport handed
+	// over for good (mpi's recv ownership contract) — so the delivered
+	// Records can alias it too: one backing buffer per message instead of
+	// two allocations per record. The scratch header slice is reused per
+	// message; the Record values are copied into the channel.
+	recs, err := kv.DecodeAllInto(p.streamScratch[:0], records)
 	if err != nil {
 		return err
 	}
-	for _, r := range recs {
-		// Copy out of the message buffer: consumers outlive it.
-		rec := kv.Record{
-			Key:   append([]byte(nil), r.Key...),
-			Value: append([]byte(nil), r.Value...),
-		}
+	p.streamScratch = recs
+	for _, rec := range recs {
 		select {
 		case ch <- rec:
 		case <-p.rt.aborted:

@@ -224,6 +224,13 @@ func (rt *Runtime) setup() error {
 			tr.SetThreadName(i, tidControl, "control")
 			tr.SetThreadName(i, tidSend, "send")
 			tr.SetThreadName(i, tidRecv, "recv/merge")
+			pw := j.Conf.PrepareWorkers
+			if pw > maxPrepareRows {
+				pw = maxPrepareRows
+			}
+			for w := 0; w < pw; w++ {
+				tr.SetThreadName(i, prepTID(w), fmt.Sprintf("prepare-%d", w))
+			}
 		}
 	}
 	world, err := mpi.NewWorld(j.Procs+1, wopts...)

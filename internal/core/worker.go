@@ -213,10 +213,12 @@ func (rt *Runtime) reloadChunks(p *process, cmd ctrlMsg) {
 				return err
 			}
 			return p.submit(sendItem{
-				task:         -1,
-				partition:    partition,
-				reverse:      reverse,
-				data:         records,
+				task:      -1,
+				partition: partition,
+				reverse:   reverse,
+				// Chunk payloads are headerless record bytes; wrap them
+				// into a framed buffer for the zero-copy transmit path.
+				data:         frameWithRecords(records),
 				prepared:     true,
 				noCheckpoint: true,
 			}, cmd.Round)

@@ -42,6 +42,26 @@ func BenchmarkDecodeAll(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeAllInto measures the prepare stage's decode path: one
+// scratch slice reused across frames, so steady-state decoding allocates
+// nothing.
+func BenchmarkDecodeAllInto(b *testing.B) {
+	var buf []byte
+	for _, r := range benchRecords(1000) {
+		buf = AppendRecord(buf, r)
+	}
+	b.SetBytes(int64(len(buf)))
+	var scratch []Record
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := DecodeAllInto(scratch[:0], buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch = recs
+	}
+}
+
 func BenchmarkSortRecords(b *testing.B) {
 	base := benchRecords(10000)
 	b.ResetTimer()

@@ -105,12 +105,18 @@ func (int64Codec) Encode(buf []byte, v any) ([]byte, error) {
 	default:
 		return nil, typeErr("int64", v)
 	}
-	// Big-endian with the sign bit flipped so that unsigned byte order
-	// matches numeric order; this keeps the default raw comparator
-	// correct for int64 keys.
+	return AppendInt64(buf, n), nil
+}
+
+// AppendInt64 appends Int64's wire form of v to buf: big-endian with the
+// sign bit flipped so that unsigned byte order matches numeric order
+// (keeping the default raw comparator correct for int64 keys). It is the
+// non-boxing fast path behind Int64.Encode for callers that hold a
+// concrete int64.
+func AppendInt64(buf []byte, v int64) []byte {
 	var tmp [8]byte
-	binary.BigEndian.PutUint64(tmp[:], uint64(n)^(1<<63))
-	return append(buf, tmp[:]...), nil
+	binary.BigEndian.PutUint64(tmp[:], uint64(v)^(1<<63))
+	return append(buf, tmp[:]...)
 }
 
 func (int64Codec) Decode(b []byte) (any, error) {

@@ -174,7 +174,13 @@ func CountRecords(b []byte) (int64, error) {
 // DecodeAll parses every record in b (a fully framed buffer). Returned
 // records alias b.
 func DecodeAll(b []byte) ([]Record, error) {
-	var recs []Record
+	return DecodeAllInto(nil, b)
+}
+
+// DecodeAllInto is DecodeAll appending into recs, so a caller on a hot
+// path can hand back the same slice (recs[:0]) and amortize the header
+// array across messages. Returned records alias b.
+func DecodeAllInto(recs []Record, b []byte) ([]Record, error) {
 	for len(b) > 0 {
 		rec, n, err := ReadRecord(b)
 		if err != nil {

@@ -70,6 +70,13 @@ func (t *faultTransport) send(src, dst int, f frame) error {
 	if err != nil {
 		return err
 	}
+	// The pair queue retains the frame past this call (delivery is
+	// asynchronous), so take the ownership copy here per transport.send's
+	// contract — the inner transport sees the copy, never the caller's
+	// buffer.
+	if f.data != nil {
+		f.data = append([]byte(nil), f.data...)
+	}
 	qf := queuedFrame{f: f, latency: act.Latency, reorder: act.Reorder, reset: act.Reset}
 	n := 1
 	if act.Duplicate {

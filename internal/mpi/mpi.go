@@ -362,7 +362,11 @@ func (c *Comm) WorldRank(r int) int { return c.ranks[r] }
 
 // Send sends data to comm rank dst with the given tag. Blocking semantics
 // follow MPI's standard mode: the call may return once the message is
-// buffered; data may be reused afterwards. User tags must be >= 0.
+// buffered; data may be reused (or recycled into a pool) as soon as Send
+// returns — the transports uphold that contract themselves, copying the
+// payload only when they actually retain it past the send call (see
+// transport.send), so synchronous transports like TCP pay no copy at all.
+// User tags must be >= 0.
 func (c *Comm) Send(dst, tag int, data []byte) error {
 	if tag < 0 {
 		return fmt.Errorf("mpi: user tag %d must be >= 0", tag)
@@ -374,9 +378,7 @@ func (c *Comm) send(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= len(c.ranks) {
 		return fmt.Errorf("mpi: send to rank %d of %d", dst, len(c.ranks))
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	f := frame{comm: c.id, srcRank: int32(c.myRank), tag: int32(tag), data: buf}
+	f := frame{comm: c.id, srcRank: int32(c.myRank), tag: int32(tag), data: data}
 	return c.world.tr.send(c.ranks[c.myRank], c.ranks[dst], f)
 }
 

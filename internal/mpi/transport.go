@@ -17,6 +17,13 @@ import (
 // src lets a fault-injection wrapper attribute traffic to its true sender
 // even on sub-communicators, where frame.srcRank is a comm rank.
 type transport interface {
+	// send delivers f toward dst. Ownership contract: the caller may reuse
+	// f.data as soon as send returns, so an implementation that retains the
+	// payload past the call (a buffering inbox, an async delivery queue)
+	// must copy it first; a synchronous implementation (TCP writes the
+	// bytes before returning) must not. On the receive side the contract
+	// inverts: a frame handed out by recv is owned by the receiver and is
+	// never touched by the transport again.
 	send(src, dst int, f frame) error
 	// recv blocks for the next frame addressed to world rank r; ok=false
 	// means the transport has been closed.
@@ -119,6 +126,11 @@ func newMemTransport(n int, link *netsim.Link, sendTimeout time.Duration) (*memT
 func (t *memTransport) send(src, dst int, f frame) error {
 	if t.link != nil {
 		t.link.Transfer(int64(len(f.data)), frameOverhead, 0)
+	}
+	// The inbox retains the frame past this call, so take the ownership
+	// copy here (transport.send contract); the receiver then owns it.
+	if f.data != nil {
+		f.data = append([]byte(nil), f.data...)
 	}
 	select {
 	case t.inboxes[dst] <- f:
