@@ -1,0 +1,105 @@
+package datampi_test
+
+import (
+	"bytes"
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite api.txt from the current public surface")
+
+// TestAPISurface pins the package's exported surface to api.txt: adding,
+// removing or re-typing an exported symbol fails this test until the
+// golden file is deliberately regenerated with
+//
+//	go test -run TestAPISurface -update-api .
+//
+// so accidental API breaks are caught in CI, and intentional ones leave a
+// reviewable diff.
+func TestAPISurface(t *testing.T) {
+	got := renderAPISurface(t)
+	if *updateAPI {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("api.txt unreadable (regenerate with -update-api): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("public API surface drifted from api.txt — if intentional, regenerate with -update-api\n--- api.txt\n%s--- current\n%s", want, got)
+	}
+}
+
+// renderAPISurface parses the package in this directory and renders every
+// exported declaration, sorted, one blank-line-separated block each.
+func renderAPISurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := pkgs["datampi"]
+	if pkg == nil {
+		t.Fatal("package datampi not found in .")
+	}
+	var decls []string
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				d.Doc, d.Body = nil, nil
+				decls = append(decls, printNode(t, fset, d))
+			case *ast.GenDecl:
+				var specs []ast.Spec
+				for _, s := range d.Specs {
+					switch s := s.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							specs = append(specs, s)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() {
+								specs = append(specs, s)
+								break
+							}
+						}
+					}
+				}
+				if len(specs) == 0 {
+					continue
+				}
+				d.Doc, d.Specs = nil, specs
+				decls = append(decls, printNode(t, fset, d))
+			}
+		}
+	}
+	sort.Strings(decls)
+	return strings.Join(decls, "\n\n") + "\n"
+}
+
+func printNode(t *testing.T, fset *token.FileSet, node any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.TabIndent, Tabwidth: 8}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

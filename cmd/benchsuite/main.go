@@ -15,7 +15,7 @@
 //
 //	benchsuite -regress [-quick] [-bench-out BENCH_shuffle.json]
 //	           [-against BENCH_shuffle.json] [-trace out.json]
-//	           [-prepare-workers N]
+//	           [-prepare-workers N] [-merge-workers N]
 package main
 
 import (
@@ -41,6 +41,7 @@ func main() {
 	tracePath := flag.String("trace", "", "with -regress: write a Chrome trace_event JSON of one traced run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	prepWorkers := flag.Int("prepare-workers", 0, "with -regress: shuffle prepare-pool width (0 = GOMAXPROCS)")
+	mergeWorkers := flag.Int("merge-workers", 0, "with -regress: A-side merge-pool width (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -58,6 +59,7 @@ func main() {
 	}
 	if *regress {
 		o.PrepareWorkers = *prepWorkers
+		o.MergeWorkers = *mergeWorkers
 		runRegress(o, *quick, *benchOut, *against, *tracePath)
 		return
 	}

@@ -40,16 +40,42 @@
 //
 // The runtime implements the paper's §IV design: data-centric task
 // scheduling (A tasks run where their partition data already is), the
-// O-side shuffle pipeline, Partition-List buffer management with a
-// Partition Window, spill-over past a memory-cache threshold, four modes
-// (Common, MapReduce, Iteration, Streaming), and a key-value library-level
-// checkpoint for fault tolerance.
+// O-side shuffle and A-side merge pipelines, Partition-List buffer
+// management with a Partition Window, spill-over past a memory-cache
+// threshold with background compaction of spilled runs, four modes
+// (Common, MapReduce, Iteration, Streaming), and a key-value
+// library-level checkpoint for fault tolerance.
+//
+// # Options and cancellation
+//
+// Run is configured with RunOptions: WithTCPTransport / WithMemTransport
+// select the MPI data plane, WithPrepareWorkers and WithMergeWorkers size
+// the shuffle pipelines (§IV-C), WithTrace streams a Chrome trace_event
+// profile of the run, and WithCounters retains the built-in runtime
+// counters on Result.RuntimeCounters. RunContext is Run bound to a
+// context.Context: cancelling the context aborts the master sweep and
+// every in-flight send, merge and receive, and the error unwraps to
+// ctx.Err().
+//
+// # Errors
+//
+// Every failure from Run and RunContext wraps a *RunError locating the
+// failure — the phase it surfaced in and, when it originated on a worker
+// process, that worker's rank. The root cause stays reachable through
+// errors.Is/As: errors.Is(err, ErrRankDead) detects a died worker,
+// errors.Is(err, ErrTimeout) a transport deadline, errors.Is(err,
+// context.Canceled) a cancelled RunContext, and task errors are reachable
+// with errors.Is/As against the task's own error values.
 package datampi
 
 import (
+	"context"
+	"io"
+
 	"datampi/internal/core"
 	"datampi/internal/hdfs"
 	"datampi/internal/kv"
+	"datampi/internal/trace"
 )
 
 // Modes of the bipartite model (the -M flag of mpidrun).
@@ -74,14 +100,15 @@ type (
 	TaskFunc = core.TaskFunc
 	// Result reports what a run did.
 	Result = core.Result
-	// RunOption configures a run's transport.
-	RunOption = core.RunOption
 	// CommID names COMM_BIPARTITE_O or COMM_BIPARTITE_A.
 	CommID = core.CommID
 	// Record is a serialized key-value pair.
 	Record = kv.Record
 	// Group is one key with all values emitted for it.
 	Group = kv.Group
+	// RunError is the typed error every run-level failure wraps; see the
+	// package documentation's Errors section.
+	RunError = core.RunError
 )
 
 // The two built-in communicators.
@@ -90,8 +117,16 @@ const (
 	CommA = core.CommA
 )
 
-// ErrInjectedFailure is returned when configured fault injection fires.
-var ErrInjectedFailure = core.ErrInjectedFailure
+// Sentinel causes reachable through errors.Is on any run-level failure.
+var (
+	// ErrInjectedFailure is returned when configured fault injection fires.
+	ErrInjectedFailure = core.ErrInjectedFailure
+	// ErrRankDead marks a worker process that died mid-run; with
+	// Config.FaultTolerance enabled, a rerun recovers from checkpoints.
+	ErrRankDead = core.ErrRankDead
+	// ErrTimeout marks a transport operation that exceeded Config.IOTimeout.
+	ErrTimeout = core.ErrTimeout
+)
 
 // Built-in codecs for Config.KeyCodec / Config.ValueCodec (the KEY_CLASS /
 // VALUE_CLASS reserved configuration values).
@@ -104,14 +139,102 @@ var (
 	NullCodec         = kv.Null
 )
 
-// Run launches a job, as mpidrun does:
-//
-//	mpidrun -O n -A m -M mode -jar jarname classname params
-func Run(job *Job, opts ...RunOption) (*Result, error) { return core.Run(job, opts...) }
+// RunOption configures a run: transport, pipeline widths, observability.
+// Later options win over earlier ones.
+type RunOption func(*runConfig)
+
+// runConfig collects the option state RunContext applies around the core
+// runtime.
+type runConfig struct {
+	tcp            bool
+	traceOut       io.Writer
+	counters       bool
+	prepareWorkers int
+	mergeWorkers   int
+}
+
+// WithMemTransport runs the MPI data plane over in-memory channels — the
+// default, made explicit so callers can spell out (or override) the
+// transport choice.
+func WithMemTransport() RunOption { return func(c *runConfig) { c.tcp = false } }
 
 // WithTCPTransport runs the MPI data plane over real TCP loopback sockets
 // instead of in-memory channels.
-func WithTCPTransport() RunOption { return core.WithTCPTransport() }
+func WithTCPTransport() RunOption { return func(c *runConfig) { c.tcp = true } }
+
+// WithTrace streams a Chrome trace_event JSON profile of the run to w
+// (open it at chrome://tracing or https://ui.perfetto.dev): task spans,
+// shuffle xmit/recv/merge spans per pipeline worker row, spill and
+// checkpoint I/O. The profile is written when the run finishes — also on
+// failure, covering everything up to the abort. Ignored if Job.Trace is
+// already set (the caller owns the tracer then).
+func WithTrace(w io.Writer) RunOption { return func(c *runConfig) { c.traceOut = w } }
+
+// WithCounters retains the library's built-in counters on
+// Result.RuntimeCounters: shuffle bytes/records per process pair, combine
+// and spill traffic, checkpoint volume, and the MPI transport's wire
+// stats. Without this option the map is nil (the counters are cheap
+// atomics either way; the option only controls reporting).
+func WithCounters() RunOption { return func(c *runConfig) { c.counters = true } }
+
+// WithPrepareWorkers sizes the O-side prepare pool (§IV-C): how many
+// workers sort/combine/re-encode sealed buffers concurrently. n <= 0
+// leaves Config.PrepareWorkers as set (default GOMAXPROCS).
+func WithPrepareWorkers(n int) RunOption { return func(c *runConfig) { c.prepareWorkers = n } }
+
+// WithMergeWorkers sizes the A-side merge pool (§IV-C): how many workers
+// merge received runs into the Receive Partition List concurrently. n <=
+// 0 leaves Config.MergeWorkers as set (default GOMAXPROCS).
+func WithMergeWorkers(n int) RunOption { return func(c *runConfig) { c.mergeWorkers = n } }
+
+// Run launches a job, as mpidrun does:
+//
+//	mpidrun -O n -A m -M mode -jar jarname classname params
+//
+// It is RunContext with a background context.
+func Run(job *Job, opts ...RunOption) (*Result, error) {
+	return RunContext(context.Background(), job, opts...)
+}
+
+// RunContext launches a job under a context: when ctx is cancelled, the
+// run aborts — the master's scheduling sweep and every in-flight send,
+// merge and Recv unblock — and RunContext returns, once the worker
+// processes have quiesced, a *RunError wrapping ctx.Err().
+func RunContext(ctx context.Context, job *Job, opts ...RunOption) (*Result, error) {
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	if rc.prepareWorkers > 0 {
+		job.Conf.PrepareWorkers = rc.prepareWorkers
+	}
+	if rc.mergeWorkers > 0 {
+		job.Conf.MergeWorkers = rc.mergeWorkers
+	}
+	var tr *trace.Tracer
+	if rc.traceOut != nil && job.Trace == nil {
+		tr = trace.New()
+		job.Trace = tr
+	}
+	var copts []core.RunOption
+	if rc.tcp {
+		copts = append(copts, core.WithTCPTransport())
+	}
+	res, err := core.RunContext(ctx, job, copts...)
+	if tr != nil {
+		job.Trace = nil
+		if werr := tr.WriteJSON(rc.traceOut); werr != nil && err == nil {
+			err = &RunError{Phase: "trace", Rank: -1, Err: werr}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !rc.counters {
+		res.RuntimeCounters = nil
+	}
+	return res, nil
+}
 
 // SplitsForTask is the utility function of §IV-B: it returns the HDFS
 // splits an O task should load, derived from the task's rank and the size

@@ -1,6 +1,11 @@
 package datampi_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -99,5 +104,154 @@ func TestPublicAPICommonSort(t *testing.T) {
 	}
 	if len(got) != len(in) || !sort.StringsAreSorted(got) {
 		t.Errorf("got %v", got)
+	}
+}
+
+// drainGroups is the no-op A task used by the API tests.
+func drainGroups(ctx *datampi.Context) error {
+	for {
+		if _, ok, err := ctx.NextGroup(); err != nil {
+			return err
+		} else if !ok {
+			return nil
+		}
+	}
+}
+
+// TestRunContextCancel cancels a run mid-shuffle: the error must unwrap
+// to context.Canceled through the RunError wrapper, and the blocked O
+// tasks must unblock (the test would hang, not fail, if they didn't).
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &datampi.Job{
+		Mode: datampi.MapReduce,
+		NumO: 2, NumA: 1, Procs: 2,
+		OTask: func(c *datampi.Context) error {
+			// Send until cancellation surfaces through the send path.
+			for i := 0; ; i++ {
+				if err := c.Send(fmt.Sprintf("k%03d", i%57), "v"); err != nil {
+					return err
+				}
+				if i == 500 {
+					cancel()
+				}
+			}
+		},
+		ATask: drainGroups,
+	}
+	_, err := datampi.RunContext(ctx, job)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	var re *datampi.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error does not wrap *datampi.RunError: %v", err)
+	}
+	if re.Rank != -1 {
+		t.Errorf("cancellation attributed to worker %d, want -1", re.Rank)
+	}
+}
+
+// TestRunErrorTyping checks the typed-error contract: task failures come
+// back as *RunError with the failing worker's rank and the "run" phase,
+// invalid jobs fail in "validate", and the cause text survives.
+func TestRunErrorTyping(t *testing.T) {
+	boom := errors.New("boom")
+	job := &datampi.Job{
+		Mode: datampi.MapReduce,
+		NumO: 2, NumA: 2, Procs: 2,
+		OTask: func(c *datampi.Context) error {
+			if c.Rank() == 1 {
+				return boom
+			}
+			return c.Send("k", "v")
+		},
+		ATask: drainGroups,
+	}
+	_, err := datampi.Run(job)
+	var re *datampi.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("task failure does not wrap *RunError: %v", err)
+	}
+	if re.Phase != "run" {
+		t.Errorf("phase %q, want \"run\"", re.Phase)
+	}
+	if re.Rank < 0 || re.Rank >= 2 {
+		t.Errorf("rank %d, want a worker in [0,2)", re.Rank)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("errors.Is(err, boom) = false for %v", err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error text lost the cause: %v", err)
+	}
+
+	_, err = datampi.Run(&datampi.Job{Mode: datampi.MapReduce})
+	if !errors.As(err, &re) || re.Phase != "validate" {
+		t.Errorf("invalid job: got %v, want *RunError in \"validate\"", err)
+	}
+}
+
+// TestRunOptionsObservability drives WithCounters, WithTrace and the
+// pipeline-width options through the facade: counters are withheld by
+// default, reported on request, and WithTrace emits a valid Chrome
+// trace_event document.
+func TestRunOptionsObservability(t *testing.T) {
+	mkJob := func() *datampi.Job {
+		return &datampi.Job{
+			Mode: datampi.MapReduce,
+			Conf: datampi.Config{ValueCodec: datampi.Int64Codec},
+			NumO: 2, NumA: 2, Procs: 2,
+			OTask: func(c *datampi.Context) error {
+				for i := 0; i < 100; i++ {
+					if err := c.Send(fmt.Sprintf("w%02d", i%17), int64(1)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			ATask: drainGroups,
+		}
+	}
+	res, err := datampi.Run(mkJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuntimeCounters != nil {
+		t.Error("RuntimeCounters reported without WithCounters")
+	}
+	var buf bytes.Buffer
+	res, err = datampi.Run(mkJob(),
+		datampi.WithMemTransport(),
+		datampi.WithCounters(),
+		datampi.WithTrace(&buf),
+		datampi.WithPrepareWorkers(2),
+		datampi.WithMergeWorkers(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.RuntimeCounters["shuffle.records.sent"]; got != 200 {
+		t.Errorf("shuffle.records.sent = %d, want 200", got)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WithTrace output is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"xmit", "recv", "merge"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span", want)
+		}
 	}
 }

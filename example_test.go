@@ -1,9 +1,13 @@
 package datampi_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"datampi"
 )
@@ -62,6 +66,90 @@ func ExampleRun() {
 	// datampi 1
 	// hello 2
 	// world 2
+}
+
+// ExampleRunContext bounds a job with a context: when the deadline (or a
+// cancel) fires, the run aborts cleanly and the returned error unwraps to
+// the context's error through the *datampi.RunError wrapper.
+func ExampleRunContext() {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	job := &datampi.Job{
+		Mode: datampi.MapReduce,
+		NumO: 2,
+		NumA: 1,
+		OTask: func(c *datampi.Context) error {
+			for i := 0; ; i++ { // emits forever: only the deadline stops it
+				if err := c.Send(fmt.Sprintf("key-%d", i%10), "v"); err != nil {
+					return err
+				}
+			}
+		},
+		ATask: func(c *datampi.Context) error {
+			for {
+				if _, ok, err := c.NextGroup(); err != nil {
+					return err
+				} else if !ok {
+					return nil
+				}
+			}
+		},
+	}
+	_, err := datampi.RunContext(ctx, job)
+	fmt.Println("deadline exceeded:", errors.Is(err, context.DeadlineExceeded))
+
+	var re *datampi.RunError
+	if errors.As(err, &re) {
+		fmt.Println("failed phase:", re.Phase)
+	}
+	// Output:
+	// deadline exceeded: true
+	// failed phase: run
+}
+
+// ExampleWithCounters opts in to the built-in runtime counters — shuffle
+// volume, combine and spill traffic — and sizes the shuffle pipelines
+// explicitly with the worker-pool options.
+func ExampleWithCounters() {
+	job := &datampi.Job{
+		Mode: datampi.MapReduce,
+		Conf: datampi.Config{ValueCodec: datampi.Int64Codec},
+		NumO: 2,
+		NumA: 1,
+		OTask: func(c *datampi.Context) error {
+			for i := 0; i < 50; i++ {
+				if err := c.Send(fmt.Sprintf("key-%d", i%7), int64(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(c *datampi.Context) error {
+			for {
+				if _, ok, err := c.NextGroup(); err != nil {
+					return err
+				} else if !ok {
+					return nil
+				}
+			}
+		},
+	}
+	res, err := datampi.Run(job,
+		datampi.WithMemTransport(),
+		datampi.WithCounters(),
+		datampi.WithPrepareWorkers(2),
+		datampi.WithMergeWorkers(2),
+		datampi.WithTrace(io.Discard),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("records sent:", res.RuntimeCounters["shuffle.records.sent"])
+	fmt.Println("records received:", res.RuntimeCounters["shuffle.records.received"])
+	// Output:
+	// records sent: 100
+	// records received: 100
 }
 
 func splitWords(s string) []string {

@@ -25,6 +25,9 @@ type Opts struct {
 	// PrepareWorkers overrides the shuffle prepare-pool width for the
 	// regression harness (0 = the runtime default, GOMAXPROCS).
 	PrepareWorkers int
+	// MergeWorkers overrides the A-side merge-pool width for the
+	// regression harness (0 = the runtime default, GOMAXPROCS).
+	MergeWorkers int
 }
 
 // Quick returns the small test-suite sizing.

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
 	"datampi/internal/core"
+	"datampi/internal/diskio"
 	"datampi/internal/kv"
 	"datampi/internal/trace"
 )
@@ -47,7 +49,7 @@ type RegressReport struct {
 // the timed loop exercises SendRecord (the hot-path API), not fmt or
 // interface boxing, while emitting byte-identical records to the historic
 // Send-based job so the counter baselines stay comparable.
-func shuffleJob(records, prepWorkers int, tcp bool, res **core.Result) func() error {
+func shuffleJob(records, prepWorkers, mergeWorkers int, tcp bool, res **core.Result) func() error {
 	keys := make([][]byte, 257)
 	for i := range keys {
 		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
@@ -56,7 +58,11 @@ func shuffleJob(records, prepWorkers int, tcp bool, res **core.Result) func() er
 		job := &core.Job{
 			Name: "shuffle",
 			Mode: core.MapReduce,
-			Conf: core.Config{ValueCodec: kv.Int64, PrepareWorkers: prepWorkers},
+			Conf: core.Config{
+				ValueCodec:     kv.Int64,
+				PrepareWorkers: prepWorkers,
+				MergeWorkers:   mergeWorkers,
+			},
 			NumO: 4, NumA: 2, Procs: 2, Slots: 2,
 			OTask: func(ctx *core.Context) error {
 				// SendRecord copies into the SPL before returning, so one
@@ -87,6 +93,69 @@ func shuffleJob(records, prepWorkers int, tcp bool, res **core.Result) func() er
 			opts = append(opts, core.WithTCPTransport())
 		}
 		r, err := core.Run(job, opts...)
+		if err != nil {
+			return err
+		}
+		*res = r
+		return nil
+	}
+}
+
+// aheavyJob builds a merge-heavy run that stresses the A-side receive
+// path: a wide key space defeats the combiner, small (64-byte) values keep
+// the cost per byte record-bound, and a small memory cache forces the
+// Receive Partition List to spill and the background compactor to fold
+// on-disk runs. The O
+// side is deliberately cheap — pre-encoded keys, one shared value buffer
+// — so the serial-vs-pipeline delta isolates the merge pool (the
+// ASidePipelineOff ablation entry is the denominator).
+func aheavyJob(records, mergeWorkers int, serial bool, disks []*diskio.Disk, res **core.Result) func() error {
+	keys := make([][]byte, 2048)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%05d", i))
+	}
+	val := make([]byte, 64)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	return func() error {
+		job := &core.Job{
+			Name: "shuffle-aheavy",
+			Mode: core.MapReduce,
+			Conf: core.Config{
+				ValueCodec:       kv.Bytes,
+				MergeWorkers:     mergeWorkers,
+				ASidePipelineOff: serial,
+				// Fig. 12's near-zero-cache regime: almost every received
+				// frame spills, so the receive path is merge/spill-bound.
+				MemCacheBytes: 16 << 10,
+				SPLBytes:      32 << 10,
+			},
+			// Several partitions per process: concurrent spills pick
+			// different victims, so the merge pool can overlap them.
+			NumO: 4, NumA: 8, Procs: 2, Slots: 4,
+			SpillDisks: disks,
+			OTask: func(ctx *core.Context) error {
+				for i := 0; i < records; i++ {
+					if err := ctx.SendRecord(kv.Record{Key: keys[i%2048], Value: val}); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			ATask: func(ctx *core.Context) error {
+				for {
+					_, ok, err := ctx.NextGroup()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+				}
+			},
+		}
+		r, err := core.Run(job)
 		if err != nil {
 			return err
 		}
@@ -140,11 +209,42 @@ func Regress(o Opts, quick bool, tr *trace.Tracer) (*RegressReport, error) {
 		shuffleRecords = 4000
 	}
 	var sres *core.Result
-	if err := add("shuffle/mem", &sres, shuffleJob(shuffleRecords, o.PrepareWorkers, false, &sres)); err != nil {
+	if err := add("shuffle/mem", &sres, shuffleJob(shuffleRecords, o.PrepareWorkers, o.MergeWorkers, false, &sres)); err != nil {
 		return nil, err
 	}
 	var tres *core.Result
-	if err := add("shuffle/tcp", &tres, shuffleJob(shuffleRecords, o.PrepareWorkers, true, &tres)); err != nil {
+	if err := add("shuffle/tcp", &tres, shuffleJob(shuffleRecords, o.PrepareWorkers, o.MergeWorkers, true, &tres)); err != nil {
+		return nil, err
+	}
+
+	// The A-heavy pair: the same spill-bound merge workload with the merge
+	// pool on (the configured width) and under the serial ablation, so the
+	// snapshot records the pipeline's win directly.
+	spillRoot, err := os.MkdirTemp("", "dmpi-bench-spill-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spillRoot)
+	disks := make([]*diskio.Disk, 2)
+	for i := range disks {
+		d, err := diskio.New(filepath.Join(spillRoot, fmt.Sprintf("d%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		disks[i] = d
+	}
+	aheavyRecords := 12000
+	if quick {
+		aheavyRecords = 3000
+	}
+	var ares *core.Result
+	if err := add("shuffle-aheavy/mem", &ares,
+		aheavyJob(aheavyRecords, o.MergeWorkers, false, disks, &ares)); err != nil {
+		return nil, err
+	}
+	var aser *core.Result
+	if err := add("shuffle-aheavy/serial", &aser,
+		aheavyJob(aheavyRecords, o.MergeWorkers, true, disks, &aser)); err != nil {
 		return nil, err
 	}
 

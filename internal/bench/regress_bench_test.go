@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+
+	"datampi/internal/core"
+	"datampi/internal/diskio"
+)
+
+// go test -bench AHeavy ./internal/bench compares the A-side merge
+// pipeline against its serial ablation on the same workload the regress
+// harness snapshots; the same numbers land in BENCH_shuffle.json as
+// shuffle-aheavy/{mem,serial}.
+
+func benchAHeavy(b *testing.B, serial bool) {
+	disks := make([]*diskio.Disk, 2)
+	for i := range disks {
+		d, err := diskio.New(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		disks[i] = d
+	}
+	var res *core.Result
+	fn := aheavyJob(3000, 0, serial, disks, &res)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAHeavyPipeline(b *testing.B) { benchAHeavy(b, false) }
+func BenchmarkAHeavySerial(b *testing.B)   { benchAHeavy(b, true) }

@@ -120,6 +120,27 @@ type Config struct {
 	// of overlapping with computation via the communication thread.
 	OSidePipelineOff bool
 
+	// MergeWorkers sizes the merge pool of the A-side pipeline: how many
+	// merge-thread workers decode, count and merge received runs into the
+	// Receive Partition List concurrently (§IV-C's merge thread kind).
+	// <= 0 selects GOMAXPROCS. 1 keeps a single (still asynchronous)
+	// merge worker; ASidePipelineOff bypasses the pipeline entirely.
+	MergeWorkers int
+
+	// ASidePipelineOff restores the pre-pipeline serial A-side path
+	// (ablation, §IV-C): received runs are merged inline on the receive
+	// goroutine (so reception cannot overlap with merging or spilling),
+	// run merges materialize every in-memory run into a []Record up
+	// front, and spill writes go to disk one record per syscall. The A/B
+	// against the default quantifies the whole merge-pipeline overhaul.
+	ASidePipelineOff bool
+
+	// SpillCompactFanIn is how many on-disk spill runs a partition may
+	// accumulate before a background compaction k-way merges them into a
+	// single sorted run, bounding the fan-in (and open file handles) of
+	// the final NextGroup merge. 0 selects 8; 1 disables compaction.
+	SpillCompactFanIn int
+
 	// InjectFailAfterRecords, when > 0, aborts the whole job with
 	// ErrInjectedFailure once that many records have been sent in total —
 	// the paper's "kill the job intentionally" fault-tolerance experiment.
@@ -193,6 +214,15 @@ func (c *Config) Normalize(mode Mode) error {
 	}
 	if c.PrepareWorkers <= 0 {
 		c.PrepareWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MergeWorkers <= 0 {
+		c.MergeWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.SpillCompactFanIn == 0 {
+		c.SpillCompactFanIn = 8
+	}
+	if c.SpillCompactFanIn < 0 {
+		c.SpillCompactFanIn = 1
 	}
 	if (c.FaultPlan != nil || c.FaultInjector != nil) && c.IOTimeout <= 0 {
 		c.IOTimeout = 2 * time.Second

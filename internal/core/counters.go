@@ -29,6 +29,10 @@ type runtimeCounters struct {
 	spillFiles     atomic.Int64 // spill runs created
 	spillReadBytes atomic.Int64 // record bytes read back from spill runs
 
+	spillCompactions  atomic.Int64 // background compactions completed
+	spillCompactRuns  atomic.Int64 // spill runs merged away by compaction
+	spillCompactBytes atomic.Int64 // record bytes written by compactions
+
 	cpRecords atomic.Int64 // records appended to checkpoint chunks
 	cpChunks  atomic.Int64 // checkpoint chunks sealed
 
@@ -76,6 +80,9 @@ func (rc *runtimeCounters) snapshot(ws mpi.Stats) map[string]int64 {
 	out["spill.bytes.written"] = rc.spillBytes.Load()
 	out["spill.files"] = rc.spillFiles.Load()
 	out["spill.bytes.read"] = rc.spillReadBytes.Load()
+	out["spill.compactions"] = rc.spillCompactions.Load()
+	out["spill.compact.runs"] = rc.spillCompactRuns.Load()
+	out["spill.compact.bytes"] = rc.spillCompactBytes.Load()
 	out["checkpoint.records"] = rc.cpRecords.Load()
 	out["checkpoint.chunks"] = rc.cpChunks.Load()
 	out["fetch.bytes.served"] = rc.fetchBytesServed.Load()
@@ -96,9 +103,15 @@ const (
 	tidSend    = 1
 	tidRecv    = 2
 	// tidPrepare is the first prepare-pool row; workers beyond
-	// maxPrepareRows share the last row so task rows (>= 10) stay clear.
+	// maxPrepareRows share the last row. The merge pool and the spill
+	// compactor follow, so task rows (>= 10) stay clear.
 	tidPrepare     = 3
-	maxPrepareRows = 7
+	maxPrepareRows = 3
+	// tidMerge is the first merge-pool row (the A-side merge thread kind).
+	tidMerge     = 6
+	maxMergeRows = 3
+	// tidCompact hosts background spill-compaction spans.
+	tidCompact = 9
 )
 
 // prepTID maps a prepare worker to its trace row.
@@ -107,6 +120,14 @@ func prepTID(w int) int {
 		w = maxPrepareRows - 1
 	}
 	return tidPrepare + w
+}
+
+// mergeTID maps a merge worker to its trace row.
+func mergeTID(w int) int {
+	if w >= maxMergeRows {
+		w = maxMergeRows - 1
+	}
+	return tidMerge + w
 }
 
 // taskTID maps a task to its trace row: O task t at 10+2t, A task t at

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"datampi/internal/mpi"
+)
+
+// ErrRankDead re-exports the MPI failure-detector verdict: a worker
+// process died (or was killed by an injected fault) and the job was
+// aborted instead of hanging. With FaultTolerance enabled, a rerun
+// recovers from the surviving checkpoints.
+var ErrRankDead = mpi.ErrRankDead
+
+// ErrTimeout re-exports the MPI transport's deadline verdict: a blocking
+// transport operation exceeded Config.IOTimeout.
+var ErrTimeout = mpi.ErrTimeout
+
+// RunError is the typed error every run-level failure wraps: Run and
+// RunContext never return a bare cause. It locates the failure (which
+// phase, which worker) while keeping the root cause reachable through
+// errors.Is/As — errors.Is(err, ErrRankDead), errors.Is(err,
+// context.Canceled) and friends see through it.
+type RunError struct {
+	// Phase names where the run failed: "validate", "setup", "reload",
+	// "run" or "shutdown" (the public package adds "trace" for a failed
+	// WithTrace write).
+	Phase string
+	// Rank is the worker process the failure was first observed on, or -1
+	// when it did not originate on a worker (validation, master-side
+	// scheduling, context cancellation).
+	Rank int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *RunError) Error() string {
+	if e.Rank >= 0 {
+		return fmt.Sprintf("datampi: %s failed on worker %d: %v", e.Phase, e.Rank, e.Err)
+	}
+	return fmt.Sprintf("datampi: %s failed: %v", e.Phase, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }

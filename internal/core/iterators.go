@@ -49,16 +49,44 @@ func (c *closingIterator) Next() (kv.Record, error) {
 	return rec, err
 }
 
+// runIterator streams records out of one framed run buffer, decoding
+// lazily: the k-way merge behind NextGroup holds one cursor per run
+// instead of a materialized []Record per run, so consuming a partition
+// allocates nothing beyond the merge heap. Records alias the run buffer
+// (the mpi recv ownership contract hands it over for good).
+type runIterator struct {
+	rest []byte
+}
+
+func (r *runIterator) Next() (kv.Record, error) {
+	if len(r.rest) == 0 {
+		return kv.Record{}, io.EOF
+	}
+	rec, n, err := kv.ReadRecord(r.rest)
+	if err != nil {
+		return kv.Record{}, err
+	}
+	r.rest = r.rest[n:]
+	return rec, nil
+}
+
 // iteratorOverRuns builds an iterator over in-memory runs: a k-way merge in
-// sorted modes, plain concatenation otherwise.
+// sorted modes, plain concatenation otherwise. The pipeline path holds one
+// lazy cursor per run; the ASidePipelineOff ablation keeps the legacy
+// behavior of materializing every run into a []Record up front, so the
+// A/B quantifies what streaming buys.
 func (rt *Runtime) iteratorOverRuns(memRuns [][]byte, extra []kv.Iterator) (kv.Iterator, error) {
 	its := make([]kv.Iterator, 0, len(memRuns)+len(extra))
 	for _, run := range memRuns {
-		recs, err := kv.DecodeAll(run)
-		if err != nil {
-			return nil, err
+		if rt.job.Conf.ASidePipelineOff {
+			recs, err := kv.DecodeAll(run)
+			if err != nil {
+				return nil, err
+			}
+			its = append(its, kv.NewSliceIterator(recs))
+			continue
 		}
-		its = append(its, kv.NewSliceIterator(recs))
+		its = append(its, &runIterator{rest: run})
 	}
 	its = append(its, extra...)
 	if rt.job.Conf.sorted() {
@@ -77,6 +105,18 @@ type countingReader struct {
 func (c countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n.Add(int64(n))
+	return n, err
+}
+
+// countingWriter tallies bytes written (spill-compaction accounting).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
 	return n, err
 }
 

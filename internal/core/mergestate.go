@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -9,10 +10,21 @@ import (
 	"datampi/internal/kv"
 )
 
+// spillWriteBuf sizes the bufio layer under spill and compaction writers:
+// without it every record costs one write syscall, and the syscall wall —
+// not the k-way merge — dominates the spill path.
+const spillWriteBuf = 64 << 10
+
 // mergeState is one (round, direction)'s Receive Partition List: the sorted
 // runs received for each partition this process owns, in memory up to the
 // configured cache size and on disk beyond it (§IV-D). It becomes
-// "finalized" once an end marker has arrived from every process.
+// "finalized" once an end marker has arrived from every process and every
+// pending reference has drained. End markers trail all data per-(source,
+// tag) on the wire, but with the A-side merge pipeline the last frames may
+// still be inside the worker pool when the last marker is processed — the
+// receiver takes a pending reference per dispatched frame (and each
+// background compaction takes one too), so finalization fires only when
+// the markers are all in AND nothing is still merging.
 type mergeState struct {
 	p   *process
 	key mergeKey
@@ -22,6 +34,7 @@ type mergeState struct {
 	parts     map[int]*partRuns
 	memBytes  int64
 	ends      int
+	pending   int // in-flight pipeline frames + background compactions
 	finalized bool
 	spillSeq  int
 }
@@ -30,6 +43,9 @@ type partRuns struct {
 	memRuns  [][]byte
 	memBytes int64
 	diskRuns []string
+	// compacting marks a background merge of this partition's disk runs;
+	// at most one compaction per partition runs at a time.
+	compacting bool
 }
 
 func newMergeState(p *process, key mergeKey) *mergeState {
@@ -48,12 +64,13 @@ func (ms *mergeState) part(partition int) *partRuns {
 }
 
 // addRun appends one received run to a partition and spills if the memory
-// cache threshold is exceeded. The disk write happens outside ms.mu —
-// spilling while holding the lock would stall every iterator waiter (and,
-// transitively, the data receiver) for the duration of the I/O — so each
-// spill detaches the victim's runs under the lock, merges and writes them
-// unlocked, then reattaches the result as a disk run.
-func (ms *mergeState) addRun(partition int, records []byte) error {
+// cache threshold is exceeded. Merge workers call this concurrently: each
+// spill detaches the victim's runs under the lock — taking exclusive
+// ownership of them — and merges and writes them unlocked, so two workers
+// can spill different victims in parallel and disk I/O never stalls
+// iterator waiters or sibling workers holding ms.mu. tid is the caller's
+// trace row for the spill-write span.
+func (ms *mergeState) addRun(partition int, records []byte, tid int) error {
 	cfg := &ms.p.rt.job.Conf
 	ms.mu.Lock()
 	pr := ms.part(partition)
@@ -73,7 +90,7 @@ func (ms *mergeState) addRun(partition int, records []byte) error {
 			ms.p.rt.id, ms.key.round, ms.key.reverse, victim, ms.spillSeq)
 		ms.spillSeq++
 		ms.mu.Unlock()
-		err := ms.writeRun(rel, runs, victim, bytes)
+		err := ms.writeRun(rel, runs, victim, bytes, tid)
 		ms.mu.Lock()
 		if err != nil {
 			ms.mu.Unlock()
@@ -88,7 +105,7 @@ func (ms *mergeState) addRun(partition int, records []byte) error {
 // detachLargestLocked removes the largest partition's in-memory runs,
 // returning them for an unlocked spill write. ms.memBytes is left charged
 // until commitSpillLocked so the spill loop's threshold check stays
-// consistent. Caller holds ms.mu.
+// consistent across concurrent spillers. Caller holds ms.mu.
 func (ms *mergeState) detachLargestLocked() (victim int, runs [][]byte, bytes int64) {
 	for p, pr := range ms.parts {
 		if pr.memBytes > bytes {
@@ -106,17 +123,24 @@ func (ms *mergeState) detachLargestLocked() (victim int, runs [][]byte, bytes in
 }
 
 // writeRun merges detached runs into one sorted disk run. Called without
-// ms.mu held; addRun is single-caller (the data receiver goroutine), and
-// iterators cannot observe the partition before finalization, so the
-// detached runs are exclusively owned here.
-func (ms *mergeState) writeRun(rel string, runs [][]byte, victim int, bytes int64) error {
+// ms.mu held; the detached runs are exclusively owned here, and iterators
+// cannot observe the partition before finalization.
+func (ms *mergeState) writeRun(rel string, runs [][]byte, victim int, bytes int64, tid int) error {
 	start := ms.p.tb.Start()
 	disk := ms.p.rt.job.SpillDisks[ms.p.idx]
 	f, err := disk.Create(rel)
 	if err != nil {
 		return err
 	}
-	w := kv.NewWriter(f)
+	// The ablation keeps the legacy one-syscall-per-record spill write;
+	// the pipeline path batches through the bufio layer.
+	var out io.Writer = f
+	var bw *bufio.Writer
+	if !ms.p.rt.job.Conf.ASidePipelineOff {
+		bw = bufio.NewWriterSize(f, spillWriteBuf)
+		out = bw
+	}
+	w := kv.NewWriter(out)
 	it, err := ms.p.rt.iteratorOverRuns(runs, nil)
 	if err != nil {
 		f.Close()
@@ -136,18 +160,25 @@ func (ms *mergeState) writeRun(rel string, runs [][]byte, victim int, bytes int6
 			return err
 		}
 	}
+	if bw != nil {
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
 	if tb := ms.p.tb; tb != nil {
-		tb.Span(tidRecv, "spill.write", "spill", start,
+		tb.Span(tid, "spill.write", "spill", start,
 			map[string]any{"partition": victim, "bytes": bytes})
 	}
 	return nil
 }
 
-// commitSpillLocked attaches a written disk run and releases the spilled
-// bytes from the memory accounting. Caller holds ms.mu.
+// commitSpillLocked attaches a written disk run, releases the spilled
+// bytes from the memory accounting, and schedules a background compaction
+// if the partition's disk-run backlog got deep. Caller holds ms.mu.
 func (ms *mergeState) commitSpillLocked(victim int, rel string, freed int64) {
 	pr := ms.part(victim)
 	pr.diskRuns = append(pr.diskRuns, rel)
@@ -158,15 +189,146 @@ func (ms *mergeState) commitSpillLocked(victim int, rel string, freed int64) {
 	ms.p.rt.spilledBytes.Add(freed)
 	ms.p.rt.ctrs.spillBytes.Add(freed)
 	ms.p.rt.ctrs.spillFiles.Add(1)
+	ms.maybeCompactLocked(victim)
+}
+
+// maybeCompactLocked starts a background compaction once a partition has
+// accumulated SpillCompactFanIn disk runs: the oldest runs are detached
+// and k-way merged into a single sorted run off the lock, bounding the
+// fan-in (and open file handles) of the final NextGroup merge. The
+// compaction holds a pending reference, so the state cannot finalize —
+// and the runs being rewritten cannot be read or released — while it is
+// in flight. Caller holds ms.mu.
+func (ms *mergeState) maybeCompactLocked(partition int) {
+	fan := ms.p.rt.job.Conf.SpillCompactFanIn
+	pr := ms.parts[partition]
+	if fan <= 1 || pr == nil || pr.compacting || ms.finalized || len(pr.diskRuns) < fan {
+		return
+	}
+	rels := append([]string(nil), pr.diskRuns[:fan]...)
+	pr.diskRuns = append(pr.diskRuns[:0:0], pr.diskRuns[fan:]...)
+	pr.compacting = true
+	ms.pending++
+	out := fmt.Sprintf("dmpi-spill/run%d/compact_r%d_rev%v_p%d_%d",
+		ms.p.rt.id, ms.key.round, ms.key.reverse, partition, ms.spillSeq)
+	ms.spillSeq++
+	ms.p.wg.Add(1)
+	go func() {
+		defer ms.p.wg.Done()
+		ms.compactRuns(partition, rels, out)
+	}()
+}
+
+// compactRuns merges the detached spill runs into one and swaps it in.
+func (ms *mergeState) compactRuns(partition int, rels []string, out string) {
+	written, err := ms.writeCompacted(rels, out, partition)
+	ms.mu.Lock()
+	pr := ms.part(partition)
+	pr.compacting = false
+	if err == nil {
+		// The compacted run replaces the oldest runs at the front, so the
+		// partition's run order is preserved for the unsorted chain.
+		pr.diskRuns = append([]string{out}, pr.diskRuns...)
+	}
+	ms.donePendingLocked()
+	ms.mu.Unlock()
+	if err != nil {
+		ms.p.fail(err)
+		return
+	}
+	disk := ms.p.rt.job.SpillDisks[ms.p.idx]
+	for _, rel := range rels {
+		_ = disk.Remove(rel)
+	}
+	ms.p.rt.ctrs.spillCompactions.Add(1)
+	ms.p.rt.ctrs.spillCompactRuns.Add(int64(len(rels)))
+	ms.p.rt.ctrs.spillCompactBytes.Add(written)
+	// The backlog may still be deep (spills kept landing while we merged):
+	// chain the next compaction.
+	ms.mu.Lock()
+	ms.maybeCompactLocked(partition)
+	ms.mu.Unlock()
+}
+
+// writeCompacted k-way merges spilled runs into one new run file,
+// returning the record bytes written. Runs without ms.mu held; the
+// detached runs are exclusively owned by this compaction.
+func (ms *mergeState) writeCompacted(rels []string, out string, partition int) (int64, error) {
+	start := ms.p.tb.Start()
+	disk := ms.p.rt.job.SpillDisks[ms.p.idx]
+	f, err := disk.Create(out)
+	if err != nil {
+		return 0, err
+	}
+	it, err := ms.p.rt.iteratorOverRunsDisk(nil, rels, ms.p.idx)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(f, spillWriteBuf)
+	cw := &countingWriter{w: bw}
+	w := kv.NewWriter(cw)
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return 0, err
+		}
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return 0, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if tb := ms.p.tb; tb != nil {
+		tb.Span(tidCompact, "spill.compact", "spill", start,
+			map[string]any{"partition": partition, "runs": len(rels), "bytes": cw.n})
+	}
+	return cw.n, nil
+}
+
+// addPending takes one pending reference — an in-flight pipeline frame or
+// background compaction — that finalization must wait for.
+func (ms *mergeState) addPending() {
+	ms.mu.Lock()
+	ms.pending++
+	ms.mu.Unlock()
+}
+
+// donePending drops one pending reference, finalizing if it was the last
+// thing finalization was waiting on.
+func (ms *mergeState) donePending() {
+	ms.mu.Lock()
+	ms.donePendingLocked()
+	ms.mu.Unlock()
+}
+
+func (ms *mergeState) donePendingLocked() {
+	ms.pending--
+	ms.tryFinalizeLocked()
 }
 
 // end records one process's end marker; it returns true when the state
-// just became finalized.
-func (ms *mergeState) end(total int) bool {
+// just became finalized. With the merge pipeline on, finalization may
+// instead fire from the last in-flight frame's donePending.
+func (ms *mergeState) end() bool {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	ms.ends++
-	if ms.ends == total && !ms.finalized {
+	return ms.tryFinalizeLocked()
+}
+
+func (ms *mergeState) tryFinalizeLocked() bool {
+	if !ms.finalized && ms.ends == ms.p.comm.Size() && ms.pending == 0 {
 		ms.finalized = true
 		ms.cond.Broadcast()
 		return true
@@ -174,8 +336,8 @@ func (ms *mergeState) end(total int) bool {
 	return false
 }
 
-// waitFinalized blocks until every process's end marker arrived (or the
-// job aborted).
+// waitFinalized blocks until every process's end marker arrived and every
+// pending frame was merged (or the job aborted).
 func (ms *mergeState) waitFinalized() error {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
@@ -255,7 +417,10 @@ func (ms *mergeState) serializeRuns(partition int) ([]byte, error) {
 	return blob, nil
 }
 
-// release frees a consumed partition's memory and spill files.
+// release frees a consumed partition's memory and spill files. Safe
+// against in-flight compactions: release happens only after the consumer
+// drained an iterator, which requires finalization, which requires the
+// pending count (and with it every compaction) to have drained.
 func (ms *mergeState) release(partition int) {
 	ms.mu.Lock()
 	pr := ms.parts[partition]

@@ -6,21 +6,24 @@ import (
 	"testing"
 	"time"
 
+	"datampi/internal/diskio"
 	"datampi/internal/fault"
 	"datampi/internal/kv"
 )
 
 // Pipeline ordering tests: the O-side prepare pool processes sealed
-// buffers out of order, so these runs — every mode, both transports,
-// serial and parallel prepare — prove the transmit stage's ordering
-// guarantee the hard way. If an end-of-phase marker ever overtook data on
-// a per-(source, tag) FIFO, the receiver would finalize its merge state
-// early, drop the late records, and the oracle comparison plus the
-// counter-balance check below would both fail.
+// buffers out of order, and the A-side merge pool ingests received runs
+// out of order, so these runs — every mode, both transports, serial and
+// parallel on both sides — prove the ordering guarantees the hard way.
+// If an end-of-phase marker ever overtook data on a per-(source, tag)
+// FIFO, or the receiver finalized a merge state while frames were still
+// pending in the merge pool, late records would be dropped and the
+// oracle comparison plus the counter-balance check below would both fail.
 
-// pipelineConfigs is the prepare-stage matrix every scenario runs under:
-// the serial ablation path, a single async worker, and a pool wider than
-// GOMAXPROCS on small machines (out-of-order completion either way).
+// pipelineConfigs is the pipeline matrix every scenario runs under: on
+// each side, the serial ablation path, a single async worker, and a pool
+// wider than GOMAXPROCS on small machines (out-of-order completion
+// either way).
 func pipelineConfigs(t *testing.T, fn func(t *testing.T, tune func(*Config))) {
 	cases := []struct {
 		name string
@@ -29,6 +32,9 @@ func pipelineConfigs(t *testing.T, fn func(t *testing.T, tune func(*Config))) {
 		{"serial", func(c *Config) { c.OSidePipelineOff = true }},
 		{"workers=1", func(c *Config) { c.PrepareWorkers = 1 }},
 		{"workers=4", func(c *Config) { c.PrepareWorkers = 4 }},
+		{"merge-serial", func(c *Config) { c.ASidePipelineOff = true }},
+		{"merge-workers=1", func(c *Config) { c.MergeWorkers = 1 }},
+		{"merge-workers=4", func(c *Config) { c.MergeWorkers = 4 }},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -241,6 +247,78 @@ func TestPipelineOracleIterationMode(t *testing.T) {
 			assertBalancedCounters(t, res.RuntimeCounters)
 		})
 	})
+}
+
+// TestPipelineOracleSpillCompaction forces heavy spilling with a tiny
+// memory cache and a compaction fan-in of 2, so the background compactor
+// k-way merges on-disk runs while frames are still arriving. The oracle
+// comparison proves compacted runs lose nothing; the counters prove
+// compaction actually fired and each pass merged at least fan-in runs.
+func TestPipelineOracleSpillCompaction(t *testing.T) {
+	pipelineConfigs(t, func(t *testing.T, tune func(*Config)) {
+		recs := genWorkload(53, 3, 200, 12)
+		out := newSumCollector(2)
+		job := groupedSumJob(MapReduce, recs, 2, 2, nil, out)
+		job.Conf.SPLBytes = 128
+		job.Conf.MemCacheBytes = 256 // nearly every received run spills
+		job.Conf.SpillCompactFanIn = 2
+		disks := make([]*diskio.Disk, job.Procs)
+		for p := range disks {
+			d, err := diskio.New(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			disks[p] = d
+		}
+		job.SpillDisks = disks
+		tune(&job.Conf)
+		res, err := Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.check(t, oracleSums(recs, 2), true)
+		assertBalancedCounters(t, res.RuntimeCounters)
+		rc := res.RuntimeCounters
+		if rc["spill.compactions"] == 0 {
+			t.Error("no background compaction fired despite a 256-byte cache")
+		}
+		if rc["spill.compact.runs"] < 2*rc["spill.compactions"] {
+			t.Errorf("compaction merged too few runs: %d passes, %d runs",
+				rc["spill.compactions"], rc["spill.compact.runs"])
+		}
+	})
+}
+
+// TestASidePipelineCountersMatchSerial runs the same job under the
+// serial-merge ablation and the widest merge pool and asserts the
+// deterministic counter subset is identical: parallel ingestion may
+// reorder spills, but it must not change what crossed the wire or what
+// the combiner folded.
+func TestASidePipelineCountersMatchSerial(t *testing.T) {
+	run := func(tune func(*Config)) map[string]int64 {
+		recs := genWorkload(59, 3, 150, 10)
+		out := newSumCollector(2)
+		job := groupedSumJob(MapReduce, recs, 2, 2, sumCombine, out)
+		job.Conf.SPLBytes = 128
+		tune(&job.Conf)
+		res, err := Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.check(t, oracleSums(recs, 2), true)
+		return res.RuntimeCounters
+	}
+	serial := run(func(c *Config) { c.ASidePipelineOff = true })
+	pool := run(func(c *Config) { c.MergeWorkers = 4 })
+	for _, k := range []string{
+		"shuffle.bytes.sent", "shuffle.bytes.received",
+		"shuffle.records.sent", "shuffle.records.received",
+		"combine.records.in", "combine.records.out",
+	} {
+		if serial[k] != pool[k] {
+			t.Errorf("%s: serial %d, merge pool %d", k, serial[k], pool[k])
+		}
+	}
 }
 
 // TestPipelineOrderingUnderLinkChaos combines the parallel prepare pool

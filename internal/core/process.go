@@ -26,7 +26,7 @@ const (
 const endPartition = 0xFFFFFFF
 
 // process is one DataMPI worker process: it hosts scheduled tasks and runs
-// the O-side shuffle pipeline of §IV-C — the task goroutines compute and
+// the shuffle pipelines of §IV-C — the task goroutines compute and
 // hand sealed buffers to the communication threads, which sort, combine,
 // checkpoint and transmit them, while the receive side merges incoming
 // runs and spills past the memory-cache threshold. The send side is a
@@ -35,15 +35,25 @@ const endPartition = 0xFFFFFFF
 // concurrently, and an ordered transmit stage consumes the buffers in
 // strict submission order — so per-(task, destination) order, and with it
 // the end-markers-trail-all-data invariant, survives the parallelism.
+// The receive side mirrors it: dataReceiver stays the single transport
+// reader but only dispatches, fanning data frames out to a MergeWorkers-
+// wide merge pool (the paper's merge thread kind) that counts, merges and
+// spills concurrently with further reception; per-frame pending
+// references on the mergeState keep the end-marker invariant intact.
 type process struct {
 	rt   *Runtime
 	idx  int
 	comm *mpi.Comm
 	tb   *trace.Buf // nil when tracing is disabled
 
-	sendQ chan qItem
-	prepQ chan *pendingSend // dispatcher -> prepare pool
-	xmitQ chan *pendingSend // dispatcher -> transmit stage, submission order
+	sendQ  chan qItem
+	prepQ  chan *pendingSend // dispatcher -> prepare pool
+	xmitQ  chan *pendingSend // dispatcher -> transmit stage, submission order
+	mergeQ chan mergeFrame   // receiver -> merge pool
+
+	// aSideOff caches Conf.ASidePipelineOff: frames merge inline on the
+	// receiver instead of travelling mergeQ.
+	aSideOff bool
 
 	// sendMu serializes the inline prepare+transmit path used when
 	// OSidePipelineOff; the pipeline stages never take it (they have their
@@ -90,6 +100,17 @@ type pendingSend struct {
 	rawBytes int
 }
 
+// mergeFrame is one received data frame travelling the A-side pipeline
+// from the receiver to the merge pool. The frame's pending reference on
+// ms was taken by the receiver before dispatch and is dropped by the
+// worker once the run is merged.
+type mergeFrame struct {
+	ms        *mergeState
+	partition int
+	src       int
+	records   []byte
+}
+
 type mergeKey struct {
 	round   int
 	reverse bool
@@ -102,17 +123,19 @@ type ctxKey struct {
 
 func newProcess(rt *Runtime, idx int, comm *mpi.Comm) *process {
 	p := &process{
-		rt:      rt,
-		idx:     idx,
-		comm:    comm,
-		tb:      rt.job.Trace.Rank(idx),
-		sendQ:   make(chan qItem, 256),
-		prepQ:   make(chan *pendingSend, 256),
-		xmitQ:   make(chan *pendingSend, 256),
-		cpws:    make(map[int]*cpWriter),
-		merges:  make(map[mergeKey]*mergeState),
-		ctxs:    make(map[ctxKey]*Context),
-		streams: make(map[int]chan kv.Record),
+		rt:       rt,
+		idx:      idx,
+		comm:     comm,
+		tb:       rt.job.Trace.Rank(idx),
+		sendQ:    make(chan qItem, 256),
+		prepQ:    make(chan *pendingSend, 256),
+		xmitQ:    make(chan *pendingSend, 256),
+		mergeQ:   make(chan mergeFrame, 256),
+		aSideOff: rt.job.Conf.ASidePipelineOff,
+		cpws:     make(map[int]*cpWriter),
+		merges:   make(map[mergeKey]*mergeState),
+		ctxs:     make(map[ctxKey]*Context),
+		streams:  make(map[int]chan kv.Record),
 	}
 	p.wg.Add(3)
 	go p.senderLoop()
@@ -125,6 +148,16 @@ func newProcess(rt *Runtime, idx int, comm *mpi.Comm) *process {
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go p.prepareWorker(w)
+	}
+	if !p.aSideOff {
+		mergers := rt.job.Conf.MergeWorkers
+		if mergers < 1 {
+			mergers = 1
+		}
+		for w := 0; w < mergers; w++ {
+			p.wg.Add(1)
+			go p.mergeWorker(w)
+		}
 	}
 	if rt.job.Conf.DataCentricOff {
 		p.wg.Add(1)
@@ -278,7 +311,7 @@ func (p *process) transmitLoop() {
 			ps.err = p.transmit(&ps.item, ps.round, ps.rawBytes)
 		}
 		if ps.err != nil {
-			p.rt.fail(ps.err)
+			p.fail(ps.err)
 			return
 		}
 	}
@@ -386,10 +419,20 @@ func (p *process) transmit(item *sendItem, round int, rawBytes int) error {
 }
 
 // ---------------------------------------------------------------------------
-// Receive path (merge thread)
+// Receive path (merge threads)
 
+// dataReceiver is the single transport reader and the A-side pipeline's
+// dispatcher: end markers and Streaming-mode deliveries are handled
+// inline (they depend on the per-(source, tag) arrival order), while data
+// frames are handed to the merge pool so decoding, merging and spilling
+// overlap with further reception. Each dispatched frame takes a pending
+// reference on its mergeState first — the receiver also processes the end
+// markers, so by the time the last marker arrives every earlier frame's
+// reference is already taken, and finalization waits for the pool to
+// drain them.
 func (p *process) dataReceiver() {
 	defer p.wg.Done()
+	defer close(p.mergeQ) // sole writer; lets the merge pool drain and exit
 	streaming := p.rt.job.Mode == Streaming
 	for {
 		wire, st, err := p.comm.Recv(mpi.AnySource, tagData)
@@ -398,48 +441,106 @@ func (p *process) dataReceiver() {
 		}
 		start := p.tb.Start()
 		if len(wire) < 4 {
-			p.rt.fail(fmt.Errorf("core: short data message (%d bytes)", len(wire)))
+			p.fail(fmt.Errorf("core: short data message (%d bytes)", len(wire)))
 			return
 		}
 		round := int(binary.BigEndian.Uint32(wire))
 		partition, reverse, records, err := decodePayload(wire[4:])
 		if err != nil {
-			p.rt.fail(err)
+			p.fail(err)
 			return
 		}
 		if partition == endPartition {
 			ms := p.merge(mergeKey{round: round, reverse: reverse})
-			if ms.end(p.comm.Size()) && p.rt.job.Mode == Streaming && !reverse {
+			if ms.end() && p.rt.job.Mode == Streaming && !reverse {
 				p.closeStreams()
 			}
 			continue
 		}
-		nrec, err := kv.CountRecords(records)
-		if err != nil {
-			p.rt.fail(err)
-			return
-		}
-		p.rt.ctrs.addPairRecv(st.Source, p.idx, int64(len(records)), nrec)
 		if streaming && !reverse {
+			nrec, err := kv.CountRecords(records)
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			p.rt.ctrs.addPairRecv(st.Source, p.idx, int64(len(records)), nrec)
 			if err := p.streamDeliver(partition, records); err != nil {
-				p.rt.fail(err)
+				p.fail(err)
+				return
+			}
+			if p.tb != nil {
+				p.tb.Span(tidRecv, "recv", "shuffle", start, map[string]any{
+					"src": st.Source, "partition": partition,
+					"bytes": len(records), "records": nrec, "reverse": reverse,
+				})
+			}
+			continue
+		}
+		ms := p.merge(mergeKey{round: round, reverse: reverse})
+		if p.aSideOff {
+			if err := p.ingestRun(tidRecv, ms, partition, st.Source, records); err != nil {
+				p.fail(err)
 				return
 			}
 		} else {
-			ms := p.merge(mergeKey{round: round, reverse: reverse})
-			if err := ms.addRun(partition, records); err != nil {
-				p.rt.fail(err)
+			ms.addPending()
+			select {
+			case p.mergeQ <- mergeFrame{ms: ms, partition: partition, src: st.Source, records: records}:
+			case <-p.rt.aborted:
 				return
 			}
 		}
 		if p.tb != nil {
 			p.tb.Span(tidRecv, "recv", "shuffle", start, map[string]any{
 				"src": st.Source, "partition": partition,
-				"bytes": len(records), "records": nrec, "reverse": reverse,
+				"bytes": len(records), "reverse": reverse,
 			})
 		}
 	}
 }
+
+// ingestRun counts, accounts and merges one received run into its RPL —
+// the body of one merge-pipeline stage. It runs on a merge worker with
+// the pipeline on, or inline on the receiver when ASidePipelineOff.
+func (p *process) ingestRun(tid int, ms *mergeState, partition, src int, records []byte) error {
+	start := p.tb.Start()
+	nrec, err := kv.CountRecords(records)
+	if err != nil {
+		return err
+	}
+	p.rt.ctrs.addPairRecv(src, p.idx, int64(len(records)), nrec)
+	if err := ms.addRun(partition, records, tid); err != nil {
+		return err
+	}
+	if p.tb != nil {
+		p.tb.Span(tid, "merge", "shuffle", start, map[string]any{
+			"src": src, "partition": partition,
+			"bytes": len(records), "records": nrec,
+		})
+	}
+	return nil
+}
+
+// mergeWorker is one worker of the A-side merge pool (§IV-C's merge
+// thread kind): it counts, merges and — past the memory-cache threshold —
+// spills received runs concurrently with its siblings and with further
+// reception, then drops the frame's pending reference so finalization can
+// fire once every marker arrived and every in-flight frame was merged.
+func (p *process) mergeWorker(w int) {
+	defer p.wg.Done()
+	for mf := range p.mergeQ {
+		err := p.ingestRun(mergeTID(w), mf.ms, mf.partition, mf.src, mf.records)
+		mf.ms.donePending()
+		if err != nil {
+			p.fail(err)
+			return
+		}
+	}
+}
+
+// fail records a process-level failure with this worker's rank attached
+// (surfaced as RunError.Rank).
+func (p *process) fail(err error) { p.rt.failAt(p.idx, err) }
 
 // merge returns (creating if needed) the merge state for a key.
 func (p *process) merge(k mergeKey) *mergeState {
@@ -534,7 +635,7 @@ func (p *process) fetchServer() {
 			return
 		}
 		if len(req) < 9 {
-			p.rt.fail(errors.New("core: short fetch request"))
+			p.fail(errors.New("core: short fetch request"))
 			return
 		}
 		round := int(binary.BigEndian.Uint32(req))
@@ -549,7 +650,7 @@ func (p *process) fetchServer() {
 			}
 			blob, err := ms.serializeRuns(partition)
 			if err != nil {
-				p.rt.fail(err)
+				p.fail(err)
 				return
 			}
 			p.rt.ctrs.fetchBytesServed.Add(int64(len(blob)))
@@ -558,7 +659,7 @@ func (p *process) fetchServer() {
 					map[string]any{"partition": partition, "dst": src, "bytes": len(blob)})
 			}
 			if err := p.comm.Send(src, tagFetchResp+partition, blob); err != nil {
-				p.rt.fail(err)
+				p.fail(err)
 			}
 		}(st.Source)
 	}

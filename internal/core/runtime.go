@@ -16,12 +16,6 @@ import (
 	"datampi/internal/netsim"
 )
 
-// ErrRankDead re-exports the MPI failure-detector verdict: a worker
-// process died (or was killed by an injected fault) and the job was
-// aborted instead of hanging. With FaultTolerance enabled, a rerun
-// recovers from the surviving checkpoints.
-var ErrRankDead = mpi.ErrRankDead
-
 // Runtime is one job's mpidrun instance: it spawns the DataMPI worker
 // processes, connects to them with an intercommunicator, and schedules O
 // and A tasks onto them — supporting all 4D features of the bipartite
@@ -47,6 +41,7 @@ type Runtime struct {
 	failOnce    sync.Once
 	failMu      sync.Mutex
 	failErr     error
+	failRank    int // worker the failure was observed on; -1 otherwise
 
 	sent          atomic.Int64
 	cpDurable     atomic.Int64
@@ -127,23 +122,37 @@ func WithLink(l *netsim.Link) RunOption { return func(c *runCfg) { c.link = l } 
 // Run executes a job to completion: the library analogue of
 //
 //	mpidrun -O n -A m -M mode -jar job
+//
+// Every failure is returned wrapped in a *RunError naming the phase (and,
+// when known, the worker) it came from.
 func Run(job *Job, opts ...RunOption) (*Result, error) {
+	return RunContext(context.Background(), job, opts...)
+}
+
+// RunContext is Run bound to a context: cancelling ctx aborts the run —
+// the master's event sweep wakes, blocked sends, merges and in-flight
+// Recvs unblock — and RunContext returns, once the workers have quiesced,
+// a *RunError wrapping ctx.Err().
+func RunContext(ctx context.Context, job *Job, opts ...RunOption) (*Result, error) {
 	if err := job.validate(); err != nil {
-		return nil, err
+		return nil, &RunError{Phase: "validate", Rank: -1, Err: err}
 	}
 	if job.Mode == Streaming {
 		if job.NumA > job.Procs*job.Slots {
-			return nil, fmt.Errorf("core: Streaming needs NumA (%d) <= Procs*Slots (%d)",
-				job.NumA, job.Procs*job.Slots)
+			return nil, &RunError{Phase: "validate", Rank: -1,
+				Err: fmt.Errorf("core: Streaming needs NumA (%d) <= Procs*Slots (%d)",
+					job.NumA, job.Procs*job.Slots)}
 		}
 		if job.Conf.DataCentricOff {
-			return nil, errors.New("core: Streaming requires data-centric scheduling")
+			return nil, &RunError{Phase: "validate", Rank: -1,
+				Err: errors.New("core: Streaming requires data-centric scheduling")}
 		}
 	}
 	rt := &Runtime{
 		job:        job,
 		id:         runtimeIDs.Add(1),
 		aborted:    make(chan struct{}),
+		failRank:   -1,
 		cpSeq:      map[int]int{},
 		skipByTask: map[int]int64{},
 	}
@@ -152,9 +161,20 @@ func Run(job *Job, opts ...RunOption) (*Result, error) {
 	for _, o := range opts {
 		o(&rt.rcfg)
 	}
+	if ctx != nil && ctx.Done() != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				rt.fail(ctx.Err())
+			case <-watchDone:
+			}
+		}()
+	}
 	start := time.Now()
 	if err := rt.setup(); err != nil {
-		return nil, err
+		return nil, rt.runError("setup", err)
 	}
 	defer rt.teardown()
 	rt.res.SetupTime = time.Since(start)
@@ -164,13 +184,13 @@ func Run(job *Job, opts ...RunOption) (*Result, error) {
 
 	if job.Conf.FaultTolerance {
 		if err := rt.reload(); err != nil {
-			return nil, rt.firstErr(err)
+			return nil, rt.runError("reload", err)
 		}
 	}
 	for r := 0; r < job.Rounds; r++ {
 		t0 := time.Now()
 		if err := rt.runRound(r); err != nil {
-			return nil, rt.firstErr(err)
+			return nil, rt.runError("run", err)
 		}
 		rt.res.RoundTimes = append(rt.res.RoundTimes, time.Since(t0))
 		if job.KeepGoing != nil && r < job.Rounds-1 && !job.KeepGoing(r) {
@@ -178,7 +198,7 @@ func Run(job *Job, opts ...RunOption) (*Result, error) {
 		}
 	}
 	if err := rt.shutdownWorkers(); err != nil {
-		return nil, rt.firstErr(err)
+		return nil, rt.runError("shutdown", err)
 	}
 	rt.res.Elapsed = time.Since(start)
 	rt.res.RecordsSent = rt.sent.Load()
@@ -223,7 +243,19 @@ func (rt *Runtime) setup() error {
 			tr.SetProcessName(i, fmt.Sprintf("worker %d", i))
 			tr.SetThreadName(i, tidControl, "control")
 			tr.SetThreadName(i, tidSend, "send")
-			tr.SetThreadName(i, tidRecv, "recv/merge")
+			if j.Conf.ASidePipelineOff {
+				tr.SetThreadName(i, tidRecv, "recv/merge")
+			} else {
+				tr.SetThreadName(i, tidRecv, "recv")
+				mw := j.Conf.MergeWorkers
+				if mw > maxMergeRows {
+					mw = maxMergeRows
+				}
+				for w := 0; w < mw; w++ {
+					tr.SetThreadName(i, mergeTID(w), fmt.Sprintf("merge-%d", w))
+				}
+			}
+			tr.SetThreadName(i, tidCompact, "spill-compact")
 			pw := j.Conf.PrepareWorkers
 			if pw > maxPrepareRows {
 				pw = maxPrepareRows
@@ -326,10 +358,15 @@ func (rt *Runtime) teardown() {
 }
 
 // fail records the first error and wakes every blocked waiter.
-func (rt *Runtime) fail(err error) {
+func (rt *Runtime) fail(err error) { rt.failAt(-1, err) }
+
+// failAt is fail with the worker rank the failure was observed on
+// attached (surfaced as RunError.Rank); -1 means master-side or unknown.
+func (rt *Runtime) failAt(rank int, err error) {
 	rt.failOnce.Do(func() {
 		rt.failMu.Lock()
 		rt.failErr = err
+		rt.failRank = rank
 		rt.failMu.Unlock()
 		close(rt.aborted)
 		if rt.abortCancel != nil {
@@ -362,6 +399,24 @@ func (rt *Runtime) firstErr(err error) error {
 		return e
 	}
 	return err
+}
+
+// runError wraps a failure into the phase-attributed *RunError callers
+// match with errors.As. The recorded root cause (and its rank) wins over
+// a secondary error, and an already-wrapped error passes through.
+func (rt *Runtime) runError(phase string, err error) error {
+	rank := -1
+	rt.failMu.Lock()
+	if rt.failErr != nil {
+		err = rt.failErr
+		rank = rt.failRank
+	}
+	rt.failMu.Unlock()
+	var re *RunError
+	if errors.As(err, &re) {
+		return err
+	}
+	return &RunError{Phase: phase, Rank: rank, Err: err}
 }
 
 // recvMasterEvent waits for the next worker event without ever hanging on

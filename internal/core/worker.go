@@ -198,7 +198,7 @@ func (rt *Runtime) runUser(fn TaskFunc, ctx *Context) (err error) {
 
 // taskFailed reports a task error to mpidrun (and fails fast locally).
 func (rt *Runtime) taskFailed(p *process, err error) {
-	rt.fail(err)
+	rt.failAt(p.idx, err)
 	rt.reportEvent(p, eventMsg{Type: "error", Err: err.Error()})
 }
 
