@@ -20,6 +20,13 @@
 //	                  chrome://tracing or https://ui.perfetto.dev)
 //	-counters         print the runtime shuffle/spill/checkpoint counters
 //	-pprof addr       serve net/http/pprof on addr for the run's duration
+//
+// -launch selects how workers are hosted: "goroutine" (default) runs
+// every worker inside this process; "proc" spawns -n real worker OS
+// processes (re-executions of this binary) that rendezvous over TCP and
+// run the job cross-process (§IV-B). Process launch supports terasort and
+// wordcount; with -ft, a worker process dying mid-run is relaunched and
+// the job completes from its checkpoints.
 package main
 
 import (
@@ -34,37 +41,59 @@ import (
 
 	"datampi/internal/bench"
 	"datampi/internal/core"
+	"datampi/internal/launch"
 	"datampi/internal/trace"
 )
 
 func main() {
+	// Spawned worker copies of this binary must enter the worker loop
+	// before flag parsing: their command line is the launcher's, not ours.
+	if launch.IsSpawnedWorker() {
+		if err := launch.RunSpawnedWorker(); err != nil {
+			fmt.Fprintln(os.Stderr, "mpidrun worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	numO := flag.Int("O", 4, "number of tasks in COMM_BIPARTITE_O")
 	numA := flag.Int("A", 2, "number of tasks in COMM_BIPARTITE_A")
 	mode := flag.String("M", "MapReduce", "mode: Common|MapReduce|Iteration|Streaming")
 	procs := flag.Int("n", 2, "worker processes to spawn")
+	launchMode := flag.String("launch", "goroutine", "worker hosting: goroutine (in-process) | proc (spawn real worker processes)")
 	ft := flag.Bool("ft", false, "enable the key-value library-level checkpoint (fault tolerance)")
-	hostfile := flag.String("f", "", "hostfile (accepted for mpidrun compatibility; one host per line overrides -n)")
+	hostfile := flag.String("f", "", "hostfile: one host per line (localhost only), overrides -n")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
 	counters := flag.Bool("counters", false, "print the runtime counters after the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if *hostfile != "" {
-		if data, err := os.ReadFile(*hostfile); err == nil {
-			n := 0
-			for _, line := range strings.Split(string(data), "\n") {
-				if strings.TrimSpace(line) != "" {
-					n++
-				}
-			}
-			if n > 0 {
-				*procs = n
-			}
-		} else {
+		data, err := os.ReadFile(*hostfile)
+		if err != nil {
 			fatal(err)
+		}
+		hosts, err := launch.ParseHostfile(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		n, err := launch.CheckLocalHosts(hosts)
+		if err != nil {
+			fatal(err)
+		}
+		if n > 0 {
+			*procs = n
 		}
 	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: mpidrun -O n -A m -M mode <terasort|wordcount|pagerank|kmeans|topk> [params]")
+		os.Exit(2)
+	}
+	switch *launchMode {
+	case "goroutine":
+	case "proc":
+		runProc(*numO, *numA, *mode, *procs, *ft, *tracePath, *counters, flag.Args())
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "mpidrun: unknown -launch mode %q (want goroutine or proc)\n", *launchMode)
 		os.Exit(2)
 	}
 	if *pprofAddr != "" {
@@ -183,6 +212,143 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "mpidrun: trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
 	}
+}
+
+// runProc is the -launch=proc path: build a self-contained job spec from
+// the flags, spawn the worker fleet, and run the job across it.
+func runProc(numO, numA int, mode string, procs int, ft bool, tracePath string, counters bool, args []string) {
+	if mode != "MapReduce" {
+		fatal(fmt.Errorf("-launch=proc supports MapReduce mode only (got -M %s)", mode))
+	}
+	app := args[0]
+	argN := func(i, def int) int {
+		if len(args) > i {
+			if v, err := strconv.Atoi(args[i]); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	outDir, err := os.MkdirTemp("", "mpidrun-out-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(outDir)
+	spec := &launch.JobSpec{
+		App: app, NumO: numO, NumA: numA, Procs: procs,
+		Seed: 1, OutDir: outDir,
+	}
+	var records int
+	switch app {
+	case "wordcount":
+		lines := argN(1, 20000)
+		spec.Lines = (lines + numO - 1) / numO // spec lines are per O task
+	case "terasort":
+		records = argN(1, 100000)
+		spec.Records = records
+	}
+	if ft {
+		cpDir, err := os.MkdirTemp("", "mpidrun-cp-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(cpDir)
+		spec.FT = true
+		spec.CheckpointDir = cpDir
+		if records > 0 {
+			spec.CheckpointRecords = int64(records / 50)
+		}
+	}
+	opt := launch.Options{Output: os.Stderr}
+	if tracePath != "" {
+		opt.Trace = trace.New()
+	}
+	res, err := launch.Launch(spec, opt)
+	if err != nil {
+		fatal(err)
+	}
+	switch app {
+	case "wordcount":
+		distinct, total, err := summarizeWordCount(outDir, numA)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wordcount (proc launch, %d workers, ft=%v): %d words, %d distinct in %v\n",
+			procs, ft, total, distinct, res.Elapsed)
+	case "terasort":
+		n, err := verifySortedParts(outDir, numA)
+		if err != nil {
+			fatal(err)
+		}
+		if n != spec.Records {
+			fatal(fmt.Errorf("terasort produced %d records, want %d", n, spec.Records))
+		}
+		fmt.Printf("terasort (proc launch, %d workers, ft=%v): %d records sorted in %v\n",
+			procs, ft, n, res.Elapsed)
+	}
+	if counters {
+		printCounters(res)
+	}
+	if opt.Trace != nil {
+		if err := opt.Trace.WriteFile(tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mpidrun: merged cross-process trace written to %s\n", tracePath)
+	}
+}
+
+// summarizeWordCount folds the A tasks' part files into (distinct, total).
+func summarizeWordCount(dir string, numA int) (int, int64, error) {
+	distinct := 0
+	var total int64
+	for a := 0; a < numA; a++ {
+		data, err := os.ReadFile(launch.PartPath(dir, a))
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, line := range splitLines(data) {
+			var word string
+			var n int64
+			if _, err := fmt.Sscanf(line, "%s\t%d", &word, &n); err != nil {
+				return 0, 0, fmt.Errorf("bad wordcount output line %q", line)
+			}
+			distinct++
+			total += n
+		}
+	}
+	return distinct, total, nil
+}
+
+// verifySortedParts checks the terasort output is one global key order
+// across the concatenated part files and returns the record count.
+func verifySortedParts(dir string, numA int) (int, error) {
+	var prev string
+	n := 0
+	for a := 0; a < numA; a++ {
+		data, err := os.ReadFile(launch.PartPath(dir, a))
+		if err != nil {
+			return 0, err
+		}
+		for _, line := range splitLines(data) {
+			key, _, _ := strings.Cut(line, "\t")
+			if key < prev {
+				return 0, fmt.Errorf("terasort output out of order in part %d: %q after %q", a, key, prev)
+			}
+			prev = key
+			n++
+		}
+	}
+	return n, nil
+}
+
+func splitLines(data []byte) []string {
+	var out []string
+	for _, l := range strings.Split(string(data), "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
 // printCounters renders the runtime counters (and any user counters) as a

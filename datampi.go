@@ -49,13 +49,15 @@
 // # Options and cancellation
 //
 // Run is configured with RunOptions: WithTCPTransport / WithMemTransport
-// select the MPI data plane, WithPrepareWorkers and WithMergeWorkers size
-// the shuffle pipelines (§IV-C), WithTrace streams a Chrome trace_event
-// profile of the run, and WithCounters retains the built-in runtime
-// counters on Result.RuntimeCounters. RunContext is Run bound to a
-// context.Context: cancelling the context aborts the master sweep and
-// every in-flight send, merge and receive, and the error unwraps to
-// ctx.Err().
+// select the MPI data plane, WithProcessLaunch spawns real worker OS
+// processes and runs the data plane across them (pair it with
+// RunWorkerIfSpawned at the top of main), WithPrepareWorkers and
+// WithMergeWorkers size the shuffle pipelines (§IV-C), WithTrace streams
+// a Chrome trace_event profile of the run, and WithCounters retains the
+// built-in runtime counters on Result.RuntimeCounters. RunContext is Run
+// bound to a context.Context: cancelling the context aborts the master
+// sweep and every in-flight send, merge and receive, and the error
+// unwraps to ctx.Err().
 //
 // # Errors
 //
@@ -71,10 +73,12 @@ package datampi
 import (
 	"context"
 	"io"
+	"time"
 
 	"datampi/internal/core"
 	"datampi/internal/hdfs"
 	"datampi/internal/kv"
+	"datampi/internal/launch"
 	"datampi/internal/trace"
 )
 
@@ -147,6 +151,8 @@ type RunOption func(*runConfig)
 // runtime.
 type runConfig struct {
 	tcp            bool
+	proc           bool
+	procOutput     io.Writer
 	traceOut       io.Writer
 	counters       bool
 	prepareWorkers int
@@ -161,6 +167,31 @@ func WithMemTransport() RunOption { return func(c *runConfig) { c.tcp = false } 
 // WithTCPTransport runs the MPI data plane over real TCP loopback sockets
 // instead of in-memory channels.
 func WithTCPTransport() RunOption { return func(c *runConfig) { c.tcp = true } }
+
+// WithProcessLaunch makes Run a true launcher (§IV-B): it spawns
+// Job.Procs worker OS processes (re-executions of this binary), completes
+// a TCP rendezvous with them, and runs the job's data plane across those
+// processes instead of in-process goroutines. The calling process acts as
+// the master only: it schedules tasks, streams back exit status and
+// counters, and merges every worker's trace spans into WithTrace's output
+// with one trace pid per process.
+//
+// The binary must route spawned copies of itself into the worker loop
+// before doing anything else — call RunWorkerIfSpawned at the top of
+// main. Worker stdout/stderr is relayed to w (each line prefixed with
+// "[w<rank>] "); a nil w relays to os.Stderr.
+//
+// Config.IOTimeout defaults to 10s under process launch so that a worker
+// process dying is detected rather than hung on; the failure then
+// reaches the caller as ErrRankDead. Fault injection (Config.FaultPlan /
+// FaultInjector) is in-process only and is rejected — kill the worker
+// processes instead. WithProcessLaunch overrides the transport options.
+func WithProcessLaunch(w io.Writer) RunOption {
+	return func(c *runConfig) {
+		c.proc = true
+		c.procOutput = w
+	}
+}
 
 // WithTrace streams a Chrome trace_event JSON profile of the run to w
 // (open it at chrome://tracing or https://ui.perfetto.dev): task spans,
@@ -217,10 +248,28 @@ func RunContext(ctx context.Context, job *Job, opts ...RunOption) (*Result, erro
 		job.Trace = tr
 	}
 	var copts []core.RunOption
-	if rc.tcp {
+	var cluster *launch.Cluster
+	if rc.proc {
+		if job.Conf.IOTimeout <= 0 {
+			job.Conf.IOTimeout = 10 * time.Second
+		}
+		cl, cerr := launch.StartCluster(launch.ClusterConfig{
+			Procs:     job.Procs,
+			IOTimeout: job.Conf.IOTimeout,
+			Output:    rc.procOutput,
+		})
+		if cerr != nil {
+			return nil, &RunError{Phase: "launch", Rank: -1, Err: cerr}
+		}
+		cluster = cl
+		copts = append(copts, core.WithWorld(cl.World()))
+	} else if rc.tcp {
 		copts = append(copts, core.WithTCPTransport())
 	}
 	res, err := core.RunContext(ctx, job, copts...)
+	if cluster != nil {
+		cluster.Shutdown()
+	}
 	if tr != nil {
 		job.Trace = nil
 		if werr := tr.WriteJSON(rc.traceOut); werr != nil && err == nil {
@@ -234,6 +283,38 @@ func RunContext(ctx context.Context, job *Job, opts ...RunOption) (*Result, erro
 		res.RuntimeCounters = nil
 	}
 	return res, nil
+}
+
+// RunWorkerIfSpawned is the worker-process half of WithProcessLaunch.
+// Call it first thing in main: when this process is a spawned worker copy
+// (the launcher marks its children through the environment), it joins the
+// launcher's world, runs makeJob()'s share of the tasks until the master
+// shuts the run down, and returns (true, error); the caller should exit
+// then — with a non-zero status if the error is non-nil — instead of
+// continuing into its own Run call. In the launcher process (and in plain
+// in-process runs) it returns (false, nil) immediately.
+//
+// makeJob must build the same Job the launcher passes to Run — same
+// geometry, mode, codecs, and task functions — because every process
+// derives the communicator layout from it independently.
+func RunWorkerIfSpawned(makeJob func() *Job) (bool, error) {
+	if !launch.IsSpawnedWorker() {
+		return false, nil
+	}
+	w, err := launch.JoinAsWorker()
+	if err != nil {
+		return true, err
+	}
+	job := makeJob()
+	if w.IOTimeout > 0 {
+		job.Conf.IOTimeout = w.IOTimeout
+	}
+	if job.Trace == nil {
+		// Workers always trace; the buffer rides back to the launcher on
+		// the final handshake and merges into its WithTrace output.
+		job.Trace = trace.New()
+	}
+	return true, core.RunWorker(job, w.World, w.Rank)
 }
 
 // SplitsForTask is the utility function of §IV-B: it returns the HDFS

@@ -1,0 +1,178 @@
+package core
+
+// Distributed (multi-OS-process) runs. A true mpidrun launch (§IV-B)
+// spawns one worker process per rank; each side joins the same
+// mpi.JoinWorld directory and then performs an identical communicator
+// construction sequence, so comm ids line up across processes without
+// any negotiation:
+//
+//	launcher process            worker process (rank r)
+//	JoinWorld(n+1, n, ...)      JoinWorld(n+1, r, ...)
+//	RunContext(WithWorld(w))    RunWorker(job, w, r)
+//
+// The master runs exactly the in-process scheduler; only setup differs
+// (no local worker loops). A worker runs exactly the in-process worker
+// loop; only what the control messages must carry differs (checkpoint
+// seq seeds, the O-task assignment table, and a fat final bye with the
+// worker's counters and trace buffer).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"datampi/internal/mpi"
+	"datampi/internal/trace"
+)
+
+// setupDist is setup() for a master scheduling over a caller-provided
+// distributed world: same communicator sequence, no local processes.
+func (rt *Runtime) setupDist() error {
+	j := rt.job
+	w := rt.rcfg.world
+	if w.Size() != j.Procs+1 {
+		return fmt.Errorf("core: distributed world has %d ranks, want Procs+1 = %d",
+			w.Size(), j.Procs+1)
+	}
+	if j.Conf.FaultInjector != nil || j.Conf.FaultPlan != nil {
+		return errors.New("core: fault injection is in-process only; kill worker processes instead")
+	}
+	rt.distMaster = true
+	rt.world = w
+	rt.ctrs = newRuntimeCounters(j.Procs)
+	if j.Trace.Enabled() {
+		rt.nameTraceRows()
+	}
+	workerRanks := seq(j.Procs)
+	if _, err := w.NewComm(workerRanks); err != nil {
+		return err
+	}
+	ics, err := mpi.NewIntercomm(w, []int{j.Procs}, workerRanks)
+	if err != nil {
+		return err
+	}
+	rt.masterIC = ics[j.Procs]
+	rt.workerICs = ics[:j.Procs]
+	rt.assignO = fillInt(j.NumO, -1)
+	rt.assignA = fillInt(j.NumA, -1)
+	rt.res.OTaskSent = make([]int64, j.NumO)
+	rt.res.ATaskReceived = make([]int64, j.NumA)
+	rt.computeLocalityPrefs()
+	return nil
+}
+
+// RunWorker runs one spawned worker process's half of a distributed job:
+// it hosts the single DataMPI process of world rank `rank`, executes the
+// master's commands until shutdown, and reports its counters and trace
+// on the final bye. The job must be constructed identically to the
+// master's (same geometry and mode; task functions live here).
+// It returns nil after a clean shutdown handshake.
+func RunWorker(job *Job, world *mpi.World, rank int) error {
+	if err := job.validate(); err != nil {
+		return &RunError{Phase: "validate", Rank: rank, Err: err}
+	}
+	if world == nil || world.Size() != job.Procs+1 {
+		return &RunError{Phase: "validate", Rank: rank,
+			Err: errors.New("core: worker world must have Procs+1 ranks")}
+	}
+	if rank < 0 || rank >= job.Procs {
+		return &RunError{Phase: "validate", Rank: rank,
+			Err: fmt.Errorf("core: worker rank %d out of range [0,%d)", rank, job.Procs)}
+	}
+	rt := &Runtime{
+		job:        job,
+		id:         runtimeIDs.Add(1),
+		aborted:    make(chan struct{}),
+		failRank:   -1,
+		cpSeq:      map[int]int{},
+		skipByTask: map[int]int64{},
+		distWorker: true,
+	}
+	rt.abortCtx, rt.abortCancel = context.WithCancel(context.Background())
+	defer rt.abortCancel()
+	rt.world = world
+	rt.ctrs = newRuntimeCounters(job.Procs)
+	workerRanks := seq(job.Procs)
+	comms, err := world.NewComm(workerRanks)
+	if err != nil {
+		return &RunError{Phase: "setup", Rank: rank, Err: err}
+	}
+	ics, err := mpi.NewIntercomm(world, []int{job.Procs}, workerRanks)
+	if err != nil {
+		return &RunError{Phase: "setup", Rank: rank, Err: err}
+	}
+	rt.workerICs = ics[:job.Procs]
+	rt.assignO = fillInt(job.NumO, -1)
+	rt.assignA = fillInt(job.NumA, -1)
+	p := newProcess(rt, rank, comms[rank])
+	rt.procs = []*process{p}
+	rt.workerLoop(p)
+	ferr := rt.err() // recorded failure, nil after a clean bye
+	world.Close()
+	rt.fail(errors.New("core: worker shut down")) // wake any stragglers
+	p.quiesce()
+	if job.SpillDisks != nil && rank < len(job.SpillDisks) {
+		_ = job.SpillDisks[rank].RemoveAll(fmt.Sprintf("dmpi-spill/run%d", rt.id))
+	}
+	if ferr != nil {
+		return &RunError{Phase: "run", Rank: rank, Err: ferr}
+	}
+	return nil
+}
+
+// setAssignO replaces the O-task→process table with the master's
+// snapshot (carried on a runA in distributed runs).
+func (rt *Runtime) setAssignO(assign []int) {
+	rt.assignMu.Lock()
+	defer rt.assignMu.Unlock()
+	copy(rt.assignO, assign)
+}
+
+// byeEvent builds a worker's final event. A distributed worker's bye
+// carries everything the master cannot observe in-process: the runtime
+// counters, data-volume tallies, and the serialized trace buffer.
+func (rt *Runtime) byeEvent(p *process) eventMsg {
+	ev := eventMsg{Type: "bye", Proc: p.idx}
+	if !rt.distWorker {
+		return ev
+	}
+	ev.RuntimeCounters = rt.ctrs.snapshot(rt.world.Stats())
+	ev.RecordsSent = rt.sent.Load()
+	ev.BytesShuffled = rt.bytesShuffled.Load()
+	ev.SpilledBytes = rt.spilledBytes.Load()
+	if tr := rt.job.Trace; tr.Enabled() {
+		if b, err := json.Marshal(tr.Events()); err == nil {
+			ev.Trace = b
+			ev.TraceStart = tr.StartUnixMicros()
+		}
+	}
+	return ev
+}
+
+// absorbBye folds a distributed worker's final report into the master's
+// result: counter maps add (exact for totals), volume tallies add, and
+// the worker's trace events merge onto the master's clock so one Chrome
+// trace shows every OS process.
+func (rt *Runtime) absorbBye(ev eventMsg) {
+	if !rt.distMaster {
+		return
+	}
+	rt.sent.Add(ev.RecordsSent)
+	rt.bytesShuffled.Add(ev.BytesShuffled)
+	rt.spilledBytes.Add(ev.SpilledBytes)
+	if len(ev.RuntimeCounters) > 0 {
+		if rt.distCtrs == nil {
+			rt.distCtrs = map[string]int64{}
+		}
+		for k, v := range ev.RuntimeCounters {
+			rt.distCtrs[k] += v
+		}
+	}
+	if tr := rt.job.Trace; tr.Enabled() && len(ev.Trace) > 0 {
+		var evs []trace.Event
+		if err := json.Unmarshal(ev.Trace, &evs); err == nil {
+			tr.Inject(evs, ev.TraceStart-tr.StartUnixMicros())
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"datampi/internal/mpi"
@@ -23,6 +24,14 @@ type ctrlMsg struct {
 	Round int      `json:"round"`
 	Skip  int64    `json:"skip,omitempty"`  // records covered by checkpoints
 	Paths []string `json:"paths,omitempty"` // checkpoint chunks to reload
+	// CPSeq seeds the task's checkpoint chunk numbering on a runO.
+	// In-process workers share the master's reload state, but a spawned
+	// worker process cannot see it, so the assignment carries it.
+	CPSeq int `json:"cpSeq,omitempty"`
+	// AssignO snapshots the O-task→process binding on a runA in
+	// distributed runs, so reverse (A→O) feedback routes without the
+	// shared assignment table an in-process run reads directly.
+	AssignO []int `json:"assignO,omitempty"`
 }
 
 // eventMsg is a report from a worker process to mpidrun.
@@ -33,9 +42,52 @@ type eventMsg struct {
 	Round   int    `json:"round"`
 	Records int64  `json:"records,omitempty"`
 	Err     string `json:"err,omitempty"`
+	// ErrCode tags error events with a matchable cause so typed errors
+	// survive the wire (errors.Is works on the reconstructed error).
+	ErrCode string `json:"errCode,omitempty"`
 	// Counters carries the task's user-counter deltas since its last
 	// report (Context.AddCounter).
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// The fields below ride only on the final bye of a distributed
+	// worker process: its runtime counters, data-volume tallies, and
+	// serialized trace buffer, which the master merges into the run's.
+	RuntimeCounters map[string]int64 `json:"runtimeCounters,omitempty"`
+	RecordsSent     int64            `json:"recordsSent,omitempty"`
+	BytesShuffled   int64            `json:"bytesShuffled,omitempty"`
+	SpilledBytes    int64            `json:"spilledBytes,omitempty"`
+	Trace           json.RawMessage  `json:"trace,omitempty"`
+	TraceStart      int64            `json:"traceStart,omitempty"` // unix µs
+}
+
+// Wire values for eventMsg.ErrCode.
+const (
+	errCodeRankDead = "rankDead"
+	errCodeTimeout  = "timeout"
+)
+
+// errCodeOf maps a worker-side error to its wire code ("" if untyped).
+func errCodeOf(err error) string {
+	switch {
+	case errors.Is(err, mpi.ErrRankDead):
+		return errCodeRankDead
+	case errors.Is(err, mpi.ErrTimeout):
+		return errCodeTimeout
+	}
+	return ""
+}
+
+// eventError reconstructs a worker-reported error, rejoining the typed
+// cause its ErrCode names so master-side errors.Is checks (fault
+// tolerance, retry policies) behave as they do in-process.
+func eventError(ev eventMsg) error {
+	err := errors.New(ev.Err)
+	switch ev.ErrCode {
+	case errCodeRankDead:
+		err = errors.Join(err, mpi.ErrRankDead)
+	case errCodeTimeout:
+		err = errors.Join(err, mpi.ErrTimeout)
+	}
+	return err
 }
 
 func sendCtrl(ic *mpi.Intercomm, dst int, m ctrlMsg) error {

@@ -54,8 +54,17 @@ type Runtime struct {
 	assignA  []int
 	prefProc []int
 
+	cpMu       sync.Mutex
 	cpSeq      map[int]int
 	skipByTask map[int]int64
+
+	// distMaster/distWorker mark a cross-process run (§IV-B mpidrun as a
+	// real launcher): the master schedules over a caller-provided
+	// distributed world and hosts no worker loops; a worker runtime hosts
+	// exactly one process and reports its counters/trace on its bye.
+	distMaster bool
+	distWorker bool
+	distCtrs   map[string]int64 // counters absorbed from worker byes
 
 	res Result
 }
@@ -106,8 +115,9 @@ type Result struct {
 }
 
 type runCfg struct {
-	tcp  bool
-	link *netsim.Link
+	tcp   bool
+	link  *netsim.Link
+	world *mpi.World
 }
 
 // RunOption configures transport choices for a run.
@@ -118,6 +128,13 @@ func WithTCPTransport() RunOption { return func(c *runCfg) { c.tcp = true } }
 
 // WithLink charges all MPI traffic to the given shaped network link.
 func WithLink(l *netsim.Link) RunOption { return func(c *runCfg) { c.link = l } }
+
+// WithWorld runs the master over a caller-provided distributed world
+// (mpi.JoinWorld) instead of creating an in-process one: world rank
+// Procs is this master, ranks 0..Procs-1 are worker OS processes that
+// must each call RunWorker with the same job. Transport options
+// (WithTCPTransport, WithLink) are ignored — the world is already wired.
+func WithWorld(w *mpi.World) RunOption { return func(c *runCfg) { c.world = w } }
 
 // Run executes a job to completion: the library analogue of
 //
@@ -205,12 +222,20 @@ func RunContext(ctx context.Context, job *Job, opts ...RunOption) (*Result, erro
 	rt.res.BytesShuffled = rt.bytesShuffled.Load()
 	rt.res.SpilledBytes = rt.spilledBytes.Load()
 	rt.res.RuntimeCounters = rt.ctrs.snapshot(rt.world.Stats())
+	// In a distributed run the shuffle happened inside the worker
+	// processes; fold the counters their byes carried into the result.
+	for k, v := range rt.distCtrs {
+		rt.res.RuntimeCounters[k] += v
+	}
 	res := rt.res
 	return &res, nil
 }
 
 func (rt *Runtime) setup() error {
 	j := rt.job
+	if rt.rcfg.world != nil {
+		return rt.setupDist()
+	}
 	var wopts []mpi.Option
 	if rt.rcfg.tcp {
 		wopts = append(wopts, mpi.WithTCP())
@@ -238,32 +263,7 @@ func (rt *Runtime) setup() error {
 			tr.Rank(src).Instant(tidSend, "mpi.retry", "fault",
 				map[string]any{"dst": dst, "attempt": attempt})
 		}))
-		tr.SetProcessName(j.Procs, "mpidrun (master)")
-		for i := 0; i < j.Procs; i++ {
-			tr.SetProcessName(i, fmt.Sprintf("worker %d", i))
-			tr.SetThreadName(i, tidControl, "control")
-			tr.SetThreadName(i, tidSend, "send")
-			if j.Conf.ASidePipelineOff {
-				tr.SetThreadName(i, tidRecv, "recv/merge")
-			} else {
-				tr.SetThreadName(i, tidRecv, "recv")
-				mw := j.Conf.MergeWorkers
-				if mw > maxMergeRows {
-					mw = maxMergeRows
-				}
-				for w := 0; w < mw; w++ {
-					tr.SetThreadName(i, mergeTID(w), fmt.Sprintf("merge-%d", w))
-				}
-			}
-			tr.SetThreadName(i, tidCompact, "spill-compact")
-			pw := j.Conf.PrepareWorkers
-			if pw > maxPrepareRows {
-				pw = maxPrepareRows
-			}
-			for w := 0; w < pw; w++ {
-				tr.SetThreadName(i, prepTID(w), fmt.Sprintf("prepare-%d", w))
-			}
-		}
+		rt.nameTraceRows()
 	}
 	world, err := mpi.NewWorld(j.Procs+1, wopts...)
 	if err != nil {
@@ -303,6 +303,40 @@ func (rt *Runtime) setup() error {
 	rt.res.ATaskReceived = make([]int64, j.NumA)
 	rt.computeLocalityPrefs()
 	return nil
+}
+
+// nameTraceRows labels the Chrome-trace process and thread rows: one
+// process row per worker rank plus one for the master, matching the
+// per-OS-process pid layout a distributed run merges into.
+func (rt *Runtime) nameTraceRows() {
+	j := rt.job
+	tr := j.Trace
+	tr.SetProcessName(j.Procs, "mpidrun (master)")
+	for i := 0; i < j.Procs; i++ {
+		tr.SetProcessName(i, fmt.Sprintf("worker %d", i))
+		tr.SetThreadName(i, tidControl, "control")
+		tr.SetThreadName(i, tidSend, "send")
+		if j.Conf.ASidePipelineOff {
+			tr.SetThreadName(i, tidRecv, "recv/merge")
+		} else {
+			tr.SetThreadName(i, tidRecv, "recv")
+			mw := j.Conf.MergeWorkers
+			if mw > maxMergeRows {
+				mw = maxMergeRows
+			}
+			for w := 0; w < mw; w++ {
+				tr.SetThreadName(i, mergeTID(w), fmt.Sprintf("merge-%d", w))
+			}
+		}
+		tr.SetThreadName(i, tidCompact, "spill-compact")
+		pw := j.Conf.PrepareWorkers
+		if pw > maxPrepareRows {
+			pw = maxPrepareRows
+		}
+		for w := 0; w < pw; w++ {
+			tr.SetThreadName(i, prepTID(w), fmt.Sprintf("prepare-%d", w))
+		}
+	}
 }
 
 func fillInt(n, v int) []int {
@@ -493,7 +527,23 @@ func (rt *Runtime) procOfOTask(task int) int {
 	return p
 }
 
-func (rt *Runtime) cpStartSeq(task int) int { return rt.cpSeq[task] }
+// cpStartSeq is the chunk number a task's next checkpoint should start
+// at (so respawned attempts never overwrite surviving chunks). Guarded
+// by cpMu: workers apply the master-assigned seed concurrently with the
+// scheduler reading it for the next assignment.
+func (rt *Runtime) cpStartSeq(task int) int {
+	rt.cpMu.Lock()
+	defer rt.cpMu.Unlock()
+	return rt.cpSeq[task]
+}
+
+// setCPSeq applies the checkpoint chunk seed carried on a task
+// assignment (a no-op rewrite of the same value for in-process runs).
+func (rt *Runtime) setCPSeq(task, seq int) {
+	rt.cpMu.Lock()
+	defer rt.cpMu.Unlock()
+	rt.cpSeq[task] = seq
+}
 
 // mergeCounters folds one task's counter deltas into the job result.
 func (rt *Runtime) mergeCounters(c map[string]int64) {
@@ -553,10 +603,12 @@ func (rt *Runtime) reload() error {
 		if err != nil {
 			continue // incomplete chunk: ignore, do not skip its records
 		}
+		rt.cpMu.Lock()
 		rt.skipByTask[ch.task] += n
 		if ch.seq >= rt.cpSeq[ch.task] {
 			rt.cpSeq[ch.task] = ch.seq + 1
 		}
+		rt.cpMu.Unlock()
 		perProc[i%rt.job.Procs] = append(perProc[i%rt.job.Procs], ch.path)
 		i++
 	}
@@ -580,7 +632,7 @@ func (rt *Runtime) reload() error {
 			rt.res.RecordsReloaded += ev.Records
 			done++
 		case "error":
-			return errors.New(ev.Err)
+			return eventError(ev)
 		default:
 			return fmt.Errorf("core: unexpected event %q during reload", ev.Type)
 		}
@@ -625,8 +677,11 @@ func (rt *Runtime) runRound(r int) error {
 		rt.assignMu.Lock()
 		rt.assignO[t] = p
 		rt.assignMu.Unlock()
+		rt.cpMu.Lock()
+		skip := rt.skipByTask[t]
+		rt.cpMu.Unlock()
 		return sendCtrl(rt.masterIC, p, ctrlMsg{
-			Type: "runO", Task: t, Round: r, Skip: rt.skipByTask[t],
+			Type: "runO", Task: t, Round: r, Skip: skip, CPSeq: rt.cpStartSeq(t),
 		})
 	}
 	dispatchO := func() error {
@@ -698,7 +753,13 @@ func (rt *Runtime) runRound(r int) error {
 			} else {
 				rt.res.RemoteATasks++
 			}
-			if err := sendCtrl(rt.masterIC, want, ctrlMsg{Type: "runA", Task: t, Round: r}); err != nil {
+			m := ctrlMsg{Type: "runA", Task: t, Round: r}
+			if rt.distMaster {
+				rt.assignMu.Lock()
+				m.AssignO = append([]int(nil), rt.assignO...)
+				rt.assignMu.Unlock()
+			}
+			if err := sendCtrl(rt.masterIC, want, m); err != nil {
 				return err
 			}
 		}
@@ -729,7 +790,7 @@ func (rt *Runtime) runRound(r int) error {
 		}
 		switch ev.Type {
 		case "error":
-			return errors.New(ev.Err)
+			return eventError(ev)
 		case "oDone":
 			oDone++
 			slotsO[ev.Proc]++
@@ -792,9 +853,10 @@ func (rt *Runtime) shutdownWorkers() error {
 		}
 		switch ev.Type {
 		case "bye":
+			rt.absorbBye(ev)
 			byes++
 		case "error":
-			return errors.New(ev.Err)
+			return eventError(ev)
 		}
 	}
 	return nil

@@ -16,9 +16,13 @@ func (rt *Runtime) workerLoop(p *process) {
 		}
 		switch cmd.Type {
 		case "runO":
+			rt.setCPSeq(cmd.Task, cmd.CPSeq)
 			p.wg.Add(1)
 			go func() { defer p.wg.Done(); rt.runOTask(p, cmd) }()
 		case "runA":
+			if cmd.AssignO != nil {
+				rt.setAssignO(cmd.AssignO)
+			}
 			p.wg.Add(1)
 			go func() { defer p.wg.Done(); rt.runATask(p, cmd) }()
 		case "endO":
@@ -32,7 +36,7 @@ func (rt *Runtime) workerLoop(p *process) {
 			go func() { defer p.wg.Done(); rt.reloadChunks(p, cmd) }()
 		case "shutdown":
 			p.shutdown()
-			rt.reportEvent(p, eventMsg{Type: "bye", Proc: p.idx})
+			rt.reportEvent(p, rt.byeEvent(p))
 			return
 		default:
 			rt.fail(fmt.Errorf("core: unknown control message %q", cmd.Type))
@@ -199,7 +203,7 @@ func (rt *Runtime) runUser(fn TaskFunc, ctx *Context) (err error) {
 // taskFailed reports a task error to mpidrun (and fails fast locally).
 func (rt *Runtime) taskFailed(p *process, err error) {
 	rt.failAt(p.idx, err)
-	rt.reportEvent(p, eventMsg{Type: "error", Err: err.Error()})
+	rt.reportEvent(p, eventMsg{Type: "error", Err: err.Error(), ErrCode: errCodeOf(err)})
 }
 
 // reloadChunks re-injects complete checkpoint chunks into the shuffle: the

@@ -1,0 +1,260 @@
+package launch
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"datampi/internal/mpi"
+)
+
+// bootstrapTimeout bounds the rendezvous handshake on both sides.
+const bootstrapTimeout = 30 * time.Second
+
+// termGrace is how long Shutdown waits for workers to exit after their
+// stdin closes before SIGKILLing them.
+const termGrace = 5 * time.Second
+
+// ClusterConfig describes one launch attempt's worker fleet.
+type ClusterConfig struct {
+	Procs int
+	// Exe is the worker binary; empty means re-execute this binary
+	// (os.Executable). Args are passed verbatim.
+	Exe  string
+	Args []string
+	// ExtraEnv entries ("KEY=value") ride on top of the spawn protocol
+	// variables; the spec-based entry points use it for DATAMPI_SPEC.
+	ExtraEnv []string
+	Attempt  int
+	// IOTimeout is forwarded to every world (send deadlines + the
+	// master's dead-worker sweep interval). <= 0 disables deadlines —
+	// strongly discouraged across processes.
+	IOTimeout time.Duration
+	// Output receives the workers' relayed stdout/stderr, each line
+	// prefixed "[w<rank>] ". Defaults to os.Stderr.
+	Output io.Writer
+}
+
+// WorkerExit records how one worker process ended.
+type WorkerExit struct {
+	Rank   int
+	Err    error // nil for exit status 0
+	Killed bool  // true if Shutdown had to SIGKILL it
+}
+
+// Cluster is a running worker fleet plus the launcher's joined world:
+// the launcher is world rank Procs, the workers ranks 0..Procs-1. The
+// launcher watches every child; a worker that dies is declared dead on
+// the world so the master's event sweep converts it into ErrRankDead
+// instead of hanging.
+type Cluster struct {
+	cfg   ClusterConfig
+	world *mpi.World
+
+	cmds    []*exec.Cmd
+	stdins  []io.WriteCloser
+	relayWG sync.WaitGroup
+	waitWG  sync.WaitGroup
+
+	closing atomic.Bool
+	mu      sync.Mutex
+	exits   []WorkerExit
+}
+
+// StartCluster spawns cfg.Procs worker processes, completes the
+// rendezvous, and joins the distributed world as the master rank.
+// On error, everything already spawned is torn down.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("launch: need Procs > 0, got %d", cfg.Procs)
+	}
+	exe := cfg.Exe
+	if exe == "" {
+		var err error
+		exe, err = os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("launch: cannot locate worker binary: %w", err)
+		}
+	}
+	if cfg.Output == nil {
+		cfg.Output = os.Stderr
+	}
+	rv, err := mpi.NewRendezvous(cfg.Procs, bootstrapTimeout)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := mpi.ListenEndpoint()
+	if err != nil {
+		rv.Close()
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg}
+	for r := 0; r < cfg.Procs; r++ {
+		cmd := exec.Command(exe, cfg.Args...)
+		cmd.Env = append(os.Environ(),
+			fmt.Sprintf("%s=%d", EnvWorkerRank, r),
+			fmt.Sprintf("%s=%d", EnvProcs, cfg.Procs),
+			fmt.Sprintf("%s=%s", EnvRendezvous, rv.Addr()),
+			fmt.Sprintf("%s=%d", EnvAttempt, cfg.Attempt),
+			fmt.Sprintf("%s=%d", EnvIOTimeout, cfg.IOTimeout.Milliseconds()),
+		)
+		cmd.Env = append(cmd.Env, cfg.ExtraEnv...)
+		stdin, err := cmd.StdinPipe()
+		if err == nil {
+			var stdout, stderrp io.ReadCloser
+			if stdout, err = cmd.StdoutPipe(); err == nil {
+				stderrp, err = cmd.StderrPipe()
+			}
+			if err == nil {
+				err = cmd.Start()
+			}
+			if err == nil {
+				c.cmds = append(c.cmds, cmd)
+				c.stdins = append(c.stdins, stdin)
+				c.relay(r, stdout)
+				c.relay(r, stderrp)
+			}
+		}
+		if err != nil {
+			c.killAll()
+			rv.Close()
+			ep.Close()
+			return nil, fmt.Errorf("launch: spawning worker %d: %w", r, err)
+		}
+	}
+	addrs, err := rv.Wait(ep.Addr())
+	rv.Close()
+	if err != nil {
+		c.killAll()
+		ep.Close()
+		return nil, err
+	}
+	var wopts []mpi.Option
+	if cfg.IOTimeout > 0 {
+		wopts = append(wopts, mpi.WithSendTimeout(cfg.IOTimeout))
+	}
+	world, err := mpi.JoinWorld(cfg.Procs+1, cfg.Procs, ep, addrs, wopts...)
+	if err != nil {
+		c.killAll()
+		ep.Close()
+		return nil, err
+	}
+	c.world = world
+	for r, cmd := range c.cmds {
+		c.waitWG.Add(1)
+		go c.watch(r, cmd)
+	}
+	return c, nil
+}
+
+// World is the launcher's joined world (rank Procs); pass it to
+// core.RunContext via core.WithWorld.
+func (c *Cluster) World() *mpi.World { return c.world }
+
+// relay copies one worker output stream to cfg.Output line-by-line with
+// a "[w<rank>] " prefix, so interleaved worker output stays attributable.
+func (c *Cluster) relay(rank int, r io.Reader) {
+	c.relayWG.Add(1)
+	go func() {
+		defer c.relayWG.Done()
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			fmt.Fprintf(c.cfg.Output, "[w%d] %s\n", rank, sc.Bytes())
+		}
+	}()
+}
+
+// watch reaps one child. An abnormal exit while the run is live is a
+// worker death: declare the rank dead so the master's IOTimeout sweep
+// turns the silence into a typed ErrRankDead.
+func (c *Cluster) watch(rank int, cmd *exec.Cmd) {
+	defer c.waitWG.Done()
+	err := cmd.Wait()
+	c.mu.Lock()
+	c.exits = append(c.exits, WorkerExit{Rank: rank, Err: err})
+	c.mu.Unlock()
+	if err != nil && !c.closing.Load() {
+		fmt.Fprintf(c.cfg.Output, "[launcher] worker %d exited: %v\n", rank, err)
+		c.world.DeclareDead(rank)
+	}
+}
+
+// killAll SIGKILLs every spawned child (bootstrap-failure path).
+func (c *Cluster) killAll() {
+	for _, cmd := range c.cmds {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+	for _, cmd := range c.cmds {
+		cmd.Wait()
+	}
+	c.relayWG.Wait()
+}
+
+// Shutdown ends the attempt: closes the world, closes every worker's
+// stdin (their orphan watchdog makes them exit), SIGKILLs any that
+// outlive the grace period, and returns how each worker ended.
+func (c *Cluster) Shutdown() []WorkerExit {
+	c.closing.Store(true)
+	c.world.Close()
+	for _, in := range c.stdins {
+		in.Close()
+	}
+	done := make(chan struct{})
+	go func() { c.waitWG.Wait(); close(done) }()
+	killed := map[int]bool{}
+	select {
+	case <-done:
+	case <-time.After(termGrace):
+		c.mu.Lock()
+		exited := make(map[int]bool, len(c.exits))
+		for _, e := range c.exits {
+			exited[e.Rank] = true
+		}
+		c.mu.Unlock()
+		for r, cmd := range c.cmds {
+			if !exited[r] && cmd.Process != nil {
+				cmd.Process.Kill()
+				killed[r] = true
+			}
+		}
+		<-done
+	}
+	c.relayWG.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]WorkerExit(nil), c.exits...)
+	for i := range out {
+		if killed[out[i].Rank] {
+			out[i].Killed = true
+		}
+	}
+	return out
+}
+
+// workerDied reports whether err should trigger a fault-tolerant
+// relaunch. A worker-process death reaches the master either as
+// ErrRankDead (the launcher declared the rank dead and the event sweep
+// noticed) or as a peer's send deadline expiring against the dead
+// process's sockets — whichever loses the race still means the same
+// thing. Deterministic failures (bad spec, task errors) carry neither
+// type and are not retried.
+func workerDied(err error) bool {
+	return errors.Is(err, mpi.ErrRankDead) || errors.Is(err, mpi.ErrTimeout)
+}
+
+// sigkillSelf is the chaos-test failpoint: die exactly as an OOM-killed
+// or crashed worker would, with no deferred cleanup.
+func sigkillSelf() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable; SIGKILL is not deliverable to ourselves twice
+}

@@ -1,0 +1,117 @@
+// Package launch makes mpidrun a real launcher (§IV-B): it spawns one
+// worker OS process per rank by re-executing the current binary, brings
+// the cluster up over a TCP rendezvous, and runs the job cross-process
+// over the existing MPI transport — the master scheduling exactly as it
+// does in-process, each worker hosting one DataMPI process.
+//
+// The spawn protocol is environment-based so any binary can serve as the
+// worker image: the launcher re-executes itself with DATAMPI_WORKER_RANK
+// set, and the program's entry point routes to the worker loop before
+// doing anything else (datampi.RunWorkerIfSpawned, or RunSpawnedWorker
+// for the built-in mpidrun applications).
+package launch
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"datampi/internal/mpi"
+)
+
+// Environment variables carrying the spawn protocol from launcher to
+// worker. DATAMPI_SPEC is only set by the spec-based entry points.
+const (
+	EnvWorkerRank = "DATAMPI_WORKER_RANK"
+	EnvProcs      = "DATAMPI_PROCS"
+	EnvRendezvous = "DATAMPI_RENDEZVOUS"
+	EnvAttempt    = "DATAMPI_ATTEMPT"
+	EnvIOTimeout  = "DATAMPI_IOTIMEOUT_MS"
+	EnvSpec       = "DATAMPI_SPEC"
+)
+
+// orphanExit is the exit code of a worker whose launcher disappeared
+// (stdin EOF watchdog).
+const orphanExit = 3
+
+// IsSpawnedWorker reports whether this process was spawned as a DataMPI
+// worker by a launcher. Programs must check it (via RunSpawnedWorker or
+// datampi.RunWorkerIfSpawned) before flag parsing or any other work.
+func IsSpawnedWorker() bool { return os.Getenv(EnvWorkerRank) != "" }
+
+// Worker is a spawned worker process's view of the cluster after the
+// rendezvous: its joined world plus the launch parameters.
+type Worker struct {
+	World     *mpi.World
+	Rank      int
+	Procs     int
+	Attempt   int
+	IOTimeout time.Duration
+}
+
+// JoinAsWorker completes a spawned worker's side of the bootstrap: it
+// starts the orphan watchdog, opens this process's transport endpoint,
+// registers with the launcher's rendezvous, and joins the distributed
+// world. Call only when IsSpawnedWorker() is true.
+func JoinAsWorker() (*Worker, error) {
+	rank, err := envInt(EnvWorkerRank, -1)
+	if err != nil {
+		return nil, err
+	}
+	procs, err := envInt(EnvProcs, -1)
+	if err != nil {
+		return nil, err
+	}
+	if rank < 0 || procs <= 0 || rank >= procs {
+		return nil, fmt.Errorf("launch: bad worker env rank=%d procs=%d", rank, procs)
+	}
+	rvAddr := os.Getenv(EnvRendezvous)
+	if rvAddr == "" {
+		return nil, fmt.Errorf("launch: %s not set", EnvRendezvous)
+	}
+	attempt, _ := envInt(EnvAttempt, 0)
+	ioms, _ := envInt(EnvIOTimeout, 0)
+	ioTimeout := time.Duration(ioms) * time.Millisecond
+
+	// If the launcher dies, its end of our stdin pipe closes; exit rather
+	// than linger as an orphan holding ports and checkpoint files.
+	go func() {
+		io.Copy(io.Discard, os.Stdin)
+		os.Exit(orphanExit)
+	}()
+
+	ep, err := mpi.ListenEndpoint()
+	if err != nil {
+		return nil, err
+	}
+	dir, err := mpi.JoinRendezvous(rvAddr, rank, ep.Addr(), bootstrapTimeout)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	var wopts []mpi.Option
+	if ioTimeout > 0 {
+		wopts = append(wopts, mpi.WithSendTimeout(ioTimeout))
+	}
+	world, err := mpi.JoinWorld(procs+1, rank, ep, dir, wopts...)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	return &Worker{World: world, Rank: rank, Procs: procs,
+		Attempt: attempt, IOTimeout: ioTimeout}, nil
+}
+
+func envInt(key string, def int) (int, error) {
+	s := os.Getenv(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return def, fmt.Errorf("launch: bad %s=%q: %w", key, s, err)
+	}
+	return v, nil
+}

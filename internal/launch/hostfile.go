@@ -1,0 +1,55 @@
+package launch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseHostfile parses an mpidrun -f hostfile: one host per line, with
+// blank lines and #-comments (full-line or trailing) ignored and CRLF
+// endings tolerated. A host may carry an optional "slots=N" suffix
+// (OpenMPI style), which is accepted and discarded — the launcher sizes
+// concurrency with -O/-A/Slots, not per-host slots.
+func ParseHostfile(data string) ([]string, error) {
+	var hosts []string
+	for i, line := range strings.Split(data, "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		host := fields[0]
+		for _, f := range fields[1:] {
+			if !strings.HasPrefix(f, "slots=") {
+				return nil, fmt.Errorf("launch: hostfile line %d: unexpected token %q", i+1, f)
+			}
+		}
+		hosts = append(hosts, host)
+	}
+	return hosts, nil
+}
+
+// IsLocalHost reports whether a hostfile entry names this machine.
+// Process launch is single-host for now: every entry must be local.
+func IsLocalHost(host string) bool {
+	switch strings.ToLower(host) {
+	case "localhost", "localhost.localdomain", "::1", "[::1]":
+		return true
+	}
+	return strings.HasPrefix(host, "127.")
+}
+
+// CheckLocalHosts validates a parsed hostfile for process launch: all
+// entries must be local, and the host count becomes the process count.
+func CheckLocalHosts(hosts []string) (int, error) {
+	for _, h := range hosts {
+		if !IsLocalHost(h) {
+			return 0, fmt.Errorf("launch: host %q is not this machine; "+
+				"-launch=proc supports single-host (localhost) hostfiles only", h)
+		}
+	}
+	return len(hosts), nil
+}

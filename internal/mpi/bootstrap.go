@@ -1,0 +1,336 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// This file is the bootstrap layer of the real mpidrun launcher (§IV-B):
+// worker processes dial the launcher's rendezvous port, register their
+// world rank and transport address with a hello frame, and receive the
+// full peer directory back, after which every process can JoinWorld the
+// same cross-process TCP world.
+
+// Typed bootstrap failures. Every handshake error — on the launcher and
+// the worker side — is reachable through errors.Is against ErrHandshake;
+// the more specific sentinels narrow the cause.
+var (
+	// ErrHandshake is the umbrella cause for any rendezvous failure.
+	ErrHandshake = errors.New("mpi: rendezvous handshake failed")
+	// ErrBadHello marks a malformed or stale hello frame (wrong magic,
+	// unsupported version, oversized or empty address, rank out of range).
+	ErrBadHello = errors.New("mpi: bad hello frame")
+	// ErrDuplicateRank marks two workers registering the same rank — a
+	// launcher configuration bug, fatal to the whole rendezvous.
+	ErrDuplicateRank = errors.New("mpi: duplicate rank registration")
+)
+
+// Hello / directory wire format. Fixed little frames with explicit length
+// caps so a port scanner or hostile peer cannot make the launcher block
+// or balloon memory.
+const (
+	bootVersion  = 1
+	maxBootAddr  = 256     // longest transport address accepted
+	maxBootWorld = 1 << 16 // largest directory accepted by a worker
+
+	helloHdrLen = 11 // magic(4) + version(1) + rank(4) + addrLen(2)
+
+	bootStatusOK        = 0
+	bootStatusBadHello  = 1
+	bootStatusBadRank   = 2
+	bootStatusDuplicate = 3
+)
+
+var (
+	helloMagic = [4]byte{'D', 'M', 'P', 'H'}
+	dirMagic   = [4]byte{'D', 'M', 'P', 'D'}
+)
+
+// handshakeErr builds a handshake failure that unwraps to ErrHandshake
+// and, when non-nil, the given underlying error — a narrower sentinel
+// like ErrBadHello, or a wrapped network error carrying ErrTimeout.
+func handshakeErr(under error, format string, args ...any) error {
+	cause := error(ErrHandshake)
+	if under != nil {
+		cause = errors.Join(ErrHandshake, under)
+	}
+	return fmt.Errorf(format+": %w", append(args, cause)...)
+}
+
+// wrapNetErr adds ErrTimeout to i/o failures that were deadline
+// expirations, so callers can distinguish "launcher gone" from "launcher
+// slow" with errors.Is.
+func wrapNetErr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return errors.Join(err, ErrTimeout)
+	}
+	return err
+}
+
+// writeHello emits one hello frame: magic, version, the registering
+// world rank, and the worker's transport listen address.
+func writeHello(w io.Writer, rank int, addr string) error {
+	if len(addr) == 0 || len(addr) > maxBootAddr {
+		return handshakeErr(ErrBadHello, "mpi: hello address %q", addr)
+	}
+	buf := make([]byte, 0, helloHdrLen+len(addr))
+	buf = append(buf, helloMagic[:]...)
+	buf = append(buf, bootVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rank))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(addr)))
+	buf = append(buf, addr...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readHello parses one hello frame. It never allocates more than
+// maxBootAddr bytes for the address, whatever the header claims, and
+// rejects wrong magic, unsupported versions, and empty addresses with
+// errors that unwrap to ErrBadHello. The rank is returned unvalidated —
+// range-checking against the world size is the rendezvous's job.
+func readHello(r io.Reader) (rank int, addr string, err error) {
+	var hdr [helloHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, "", fmt.Errorf("mpi: reading hello: %w", wrapNetErr(err))
+	}
+	if [4]byte(hdr[0:4]) != helloMagic {
+		return 0, "", handshakeErr(ErrBadHello, "mpi: hello magic %q", hdr[0:4])
+	}
+	if hdr[4] != bootVersion {
+		return 0, "", handshakeErr(ErrBadHello, "mpi: hello version %d (want %d)", hdr[4], bootVersion)
+	}
+	rank = int(int32(binary.BigEndian.Uint32(hdr[5:9])))
+	n := int(binary.BigEndian.Uint16(hdr[9:11]))
+	if n == 0 || n > maxBootAddr {
+		return 0, "", handshakeErr(ErrBadHello, "mpi: hello address length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return 0, "", handshakeErr(ErrBadHello, "mpi: hello address truncated (%v)", err)
+	}
+	return rank, string(b), nil
+}
+
+// writeDirectory sends the success response: the full transport-address
+// directory, indexed by world rank.
+func writeDirectory(w io.Writer, addrs []string) error {
+	bw := bufio.NewWriter(w)
+	bw.Write(dirMagic[:])
+	bw.WriteByte(bootVersion)
+	bw.WriteByte(bootStatusOK)
+	var cnt [4]byte
+	binary.BigEndian.PutUint32(cnt[:], uint32(len(addrs)))
+	bw.Write(cnt[:])
+	for _, a := range addrs {
+		var ln [2]byte
+		binary.BigEndian.PutUint16(ln[:], uint16(len(a)))
+		bw.Write(ln[:])
+		bw.WriteString(a)
+	}
+	return bw.Flush()
+}
+
+// writeReject sends an error response with the given status code and a
+// short human-readable message; best effort (the peer may be gone).
+func writeReject(w io.Writer, status byte, msg string) {
+	if len(msg) > maxBootAddr {
+		msg = msg[:maxBootAddr]
+	}
+	buf := make([]byte, 0, 8+len(msg))
+	buf = append(buf, dirMagic[:]...)
+	buf = append(buf, bootVersion, status)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(msg)))
+	buf = append(buf, msg...)
+	w.Write(buf)
+}
+
+// readDirectory parses the launcher's response. A non-OK status becomes
+// the matching typed error; allocation is bounded regardless of what the
+// headers claim.
+func readDirectory(r io.Reader) ([]string, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, handshakeErr(wrapNetErr(err), "mpi: reading directory")
+	}
+	if [4]byte(hdr[0:4]) != dirMagic || hdr[4] != bootVersion {
+		return nil, handshakeErr(nil, "mpi: directory header %q version %d", hdr[0:4], hdr[4])
+	}
+	if status := hdr[5]; status != bootStatusOK {
+		var ln [2]byte
+		msg := "(no detail)"
+		if _, err := io.ReadFull(r, ln[:]); err == nil {
+			b := make([]byte, min(int(binary.BigEndian.Uint16(ln[:])), maxBootAddr))
+			if _, err := io.ReadFull(r, b); err == nil {
+				msg = string(b)
+			}
+		}
+		switch status {
+		case bootStatusDuplicate:
+			return nil, handshakeErr(ErrDuplicateRank, "mpi: launcher rejected hello: %s", msg)
+		case bootStatusBadHello, bootStatusBadRank:
+			return nil, handshakeErr(ErrBadHello, "mpi: launcher rejected hello: %s", msg)
+		default:
+			return nil, handshakeErr(nil, "mpi: launcher rejected hello (status %d): %s", status, msg)
+		}
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, handshakeErr(wrapNetErr(err), "mpi: directory truncated")
+	}
+	n := int(binary.BigEndian.Uint32(cnt[:]))
+	if n <= 0 || n > maxBootWorld {
+		return nil, handshakeErr(nil, "mpi: directory claims %d entries", n)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		var ln [2]byte
+		if _, err := io.ReadFull(r, ln[:]); err != nil {
+			return nil, handshakeErr(wrapNetErr(err), "mpi: directory entry %d truncated", i)
+		}
+		m := int(binary.BigEndian.Uint16(ln[:]))
+		if m == 0 || m > maxBootAddr {
+			return nil, handshakeErr(nil, "mpi: directory entry %d length %d", i, m)
+		}
+		b := make([]byte, m)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, handshakeErr(wrapNetErr(err), "mpi: directory entry %d truncated", i)
+		}
+		addrs[i] = string(b)
+	}
+	return addrs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Launcher side
+
+// Rendezvous is the launcher's bootstrap service: it accepts one hello
+// per worker rank and answers each with the complete peer directory.
+type Rendezvous struct {
+	n       int
+	timeout time.Duration
+	ln      net.Listener
+}
+
+// NewRendezvous opens a loopback rendezvous port for n worker ranks.
+// timeout bounds the whole Wait (accepting, reading hellos, writing
+// directories); <= 0 selects a 30s default.
+func NewRendezvous(n int, timeout time.Duration) (*Rendezvous, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: rendezvous for %d workers", n)
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rendezvous listen: %w", err)
+	}
+	return &Rendezvous{n: n, timeout: timeout, ln: ln}, nil
+}
+
+// Addr returns the rendezvous address workers must dial.
+func (rv *Rendezvous) Addr() string { return rv.ln.Addr().String() }
+
+// Close releases the rendezvous port. Safe after Wait (which closes the
+// listener itself) and safe to call to abort a Wait in progress.
+func (rv *Rendezvous) Close() error { return rv.ln.Close() }
+
+// Wait blocks until all n worker ranks have registered, then sends every
+// worker the full directory — the n worker transport addresses indexed
+// by rank, with the launcher's own transport address launcherAddr at
+// index n — and returns that directory.
+//
+// Garbage hellos and out-of-range ranks are rejected with an error frame
+// and do not abort the wait (a stray scanner must not kill the job); a
+// duplicate rank registration is a launcher bug and fails the whole
+// rendezvous with ErrDuplicateRank. The deadline bounds everything: if
+// some worker never dials, Wait fails with an error unwrapping to both
+// ErrHandshake and ErrTimeout instead of hanging.
+func (rv *Rendezvous) Wait(launcherAddr string) ([]string, error) {
+	deadline := time.Now().Add(rv.timeout)
+	if tl, ok := rv.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	defer rv.ln.Close()
+	addrs := make([]string, rv.n)
+	conns := make(map[int]net.Conn, rv.n)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for have := 0; have < rv.n; {
+		conn, err := rv.ln.Accept()
+		if err != nil {
+			return nil, handshakeErr(wrapNetErr(err), "mpi: rendezvous got %d of %d workers",
+				have, rv.n)
+		}
+		conn.SetDeadline(deadline)
+		rank, addr, err := readHello(conn)
+		switch {
+		case err != nil:
+			writeReject(conn, bootStatusBadHello, err.Error())
+			conn.Close()
+		case rank < 0 || rank >= rv.n:
+			writeReject(conn, bootStatusBadRank,
+				fmt.Sprintf("rank %d out of range [0,%d)", rank, rv.n))
+			conn.Close()
+		case conns[rank] != nil:
+			msg := fmt.Sprintf("rank %d already registered from %s", rank, conn.RemoteAddr())
+			writeReject(conn, bootStatusDuplicate, msg)
+			conn.Close()
+			return nil, handshakeErr(ErrDuplicateRank, "mpi: %s", msg)
+		default:
+			addrs[rank] = addr
+			conns[rank] = conn
+			have++
+		}
+	}
+	dir := append(addrs, launcherAddr)
+	for rank, conn := range conns {
+		if err := writeDirectory(conn, dir); err != nil {
+			return nil, handshakeErr(wrapNetErr(err), "mpi: sending directory to rank %d", rank)
+		}
+		conn.Close()
+		delete(conns, rank)
+	}
+	return dir, nil
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+
+// JoinRendezvous registers this process's world rank and transport
+// address with the launcher's rendezvous at addr, and returns the full
+// peer directory (transport addresses indexed by world rank). The whole
+// exchange is bounded by timeout (<= 0 selects 30s); a launcher that has
+// gone away, closed the port mid-handshake, or rejected the hello
+// surfaces as a typed error unwrapping to ErrHandshake — never a hang.
+func JoinRendezvous(addr string, rank int, transportAddr string, timeout time.Duration) ([]string, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, handshakeErr(wrapNetErr(err), "mpi: dialing rendezvous %s", addr)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := writeHello(conn, rank, transportAddr); err != nil {
+		if errors.Is(err, ErrHandshake) {
+			return nil, err
+		}
+		return nil, handshakeErr(wrapNetErr(err), "mpi: sending hello to %s", addr)
+	}
+	dir, err := readDirectory(conn)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: joining rendezvous %s as rank %d: %w", addr, rank, err)
+	}
+	return dir, nil
+}

@@ -1,0 +1,218 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"datampi/internal/fault"
+)
+
+// All workers register concurrently; every side must see the same
+// directory, launcher address last.
+func TestRendezvousHappyPath(t *testing.T) {
+	const n = 3
+	rv, err := NewRendezvous(n, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([][]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			dirs[r], errs[r] = JoinRendezvous(rv.Addr(), r, fmt.Sprintf("127.0.0.1:%d", 10000+r), 5*time.Second)
+		}(r)
+	}
+	dir, err := rv.Wait("127.0.0.1:9999")
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	wg.Wait()
+	if len(dir) != n+1 || dir[n] != "127.0.0.1:9999" {
+		t.Fatalf("launcher directory %v", dir)
+	}
+	for r := 0; r < n; r++ {
+		if errs[r] != nil {
+			t.Fatalf("join rank %d: %v", r, errs[r])
+		}
+		if len(dirs[r]) != n+1 {
+			t.Fatalf("rank %d directory %v", r, dirs[r])
+		}
+		for i := range dir {
+			if dirs[r][i] != dir[i] {
+				t.Fatalf("rank %d directory %v != launcher's %v", r, dirs[r], dir)
+			}
+		}
+	}
+}
+
+func TestRendezvousDuplicateRank(t *testing.T) {
+	rv, err := NewRendezvous(2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinErrs := make(chan error, 2)
+	go func() {
+		_, err := JoinRendezvous(rv.Addr(), 0, "127.0.0.1:10000", 5*time.Second)
+		joinErrs <- err
+	}()
+	// Give the first registration time to land, then register rank 0 again.
+	time.Sleep(50 * time.Millisecond)
+	go func() {
+		_, err := JoinRendezvous(rv.Addr(), 0, "127.0.0.1:10001", 5*time.Second)
+		joinErrs <- err
+	}()
+	_, err = rv.Wait("127.0.0.1:9999")
+	if !errors.Is(err, ErrDuplicateRank) || !errors.Is(err, ErrHandshake) {
+		t.Fatalf("Wait error = %v, want ErrDuplicateRank (and ErrHandshake)", err)
+	}
+	sawDuplicate := false
+	for i := 0; i < 2; i++ {
+		err := <-joinErrs
+		if err == nil {
+			t.Fatal("a join succeeded despite duplicate-rank abort")
+		}
+		if !errors.Is(err, ErrHandshake) {
+			t.Fatalf("join error %v does not unwrap ErrHandshake", err)
+		}
+		if errors.Is(err, ErrDuplicateRank) {
+			sawDuplicate = true
+		}
+	}
+	if !sawDuplicate {
+		t.Fatal("no joiner saw ErrDuplicateRank")
+	}
+}
+
+// A stray connection writing garbage must be rejected without killing
+// the rendezvous: the real workers still complete the handshake.
+func TestRendezvousGarbageHelloSurvives(t *testing.T) {
+	rv, err := NewRendezvous(1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() {
+		_, err := rv.Wait("127.0.0.1:9999")
+		waitErr <- err
+	}()
+	garbage := []struct {
+		name string
+		data []byte
+	}{
+		{"wrong magic", []byte("GET / HTTP/1.1\r\n\r\n")},
+		{"bad version", append([]byte("DMPH\xff"), make([]byte, 20)...)},
+		{"zero addr len", []byte("DMPH\x01\x00\x00\x00\x00\x00\x00")},
+	}
+	for _, g := range garbage {
+		conn, err := net.Dial("tcp", rv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(g.data)
+		// The rejection frame must come back (typed on the wire too).
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := readDirectory(conn); !errors.Is(err, ErrBadHello) {
+			t.Fatalf("%s: peer error = %v, want ErrBadHello", g.name, err)
+		}
+		conn.Close()
+	}
+	// Out-of-range rank: a well-formed hello the rendezvous must refuse.
+	if _, err := JoinRendezvous(rv.Addr(), 7, "127.0.0.1:10000", 5*time.Second); !errors.Is(err, ErrBadHello) || !errors.Is(err, ErrHandshake) {
+		t.Fatalf("out-of-range join error = %v, want ErrBadHello", err)
+	}
+	// The legitimate worker still gets through.
+	dir, err := JoinRendezvous(rv.Addr(), 0, "127.0.0.1:10000", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir) != 2 {
+		t.Fatalf("directory %v", dir)
+	}
+	if err := <-waitErr; err != nil {
+		t.Fatalf("Wait after garbage: %v", err)
+	}
+}
+
+// A worker that never dials must bound the launcher's wait: Wait fails
+// with a typed timeout instead of hanging.
+func TestRendezvousTimeout(t *testing.T) {
+	rv, err := NewRendezvous(2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go JoinRendezvous(rv.Addr(), 0, "127.0.0.1:10000", time.Second)
+	start := time.Now()
+	_, err = rv.Wait("127.0.0.1:9999")
+	if !errors.Is(err, ErrHandshake) || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Wait error = %v, want ErrHandshake and ErrTimeout", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Wait took %v, deadline did not bound it", d)
+	}
+}
+
+// The launcher port closing mid-handshake must fail the join fast with a
+// typed error — dial refused, and accept-then-close both covered.
+func TestJoinRendezvousLauncherGone(t *testing.T) {
+	rv, err := NewRendezvous(1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := rv.Addr()
+	rv.Close()
+	if _, err := JoinRendezvous(addr, 0, "127.0.0.1:10000", time.Second); !errors.Is(err, ErrHandshake) {
+		t.Fatalf("join of closed port = %v, want ErrHandshake", err)
+	}
+
+	// Launcher accepts the dial, then dies before answering the hello.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	start := time.Now()
+	_, err = JoinRendezvous(ln.Addr().String(), 0, "127.0.0.1:10000", time.Second)
+	ln.Close()
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("join of mid-handshake close = %v, want ErrHandshake", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("join took %v, deadline did not bound it", d)
+	}
+}
+
+func TestJoinWorldValidation(t *testing.T) {
+	ep, err := ListenEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	addrs := []string{ep.Addr(), "127.0.0.1:10001"}
+	if _, err := JoinWorld(0, 0, ep, nil); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := JoinWorld(2, 2, ep, addrs); err == nil {
+		t.Error("self out of range accepted")
+	}
+	if _, err := JoinWorld(2, 0, nil, addrs); err == nil {
+		t.Error("nil endpoint accepted")
+	}
+	if _, err := JoinWorld(2, 0, ep, addrs[:1]); err == nil {
+		t.Error("short directory accepted")
+	}
+	if _, err := JoinWorld(2, 0, ep, addrs, WithFaults(fault.NewInjector(&fault.Plan{}))); err == nil {
+		t.Error("fault injection accepted on a distributed world")
+	}
+}

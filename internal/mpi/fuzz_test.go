@@ -66,6 +66,73 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzReadHello: the rendezvous hello parser faces the launcher's open
+// TCP port, so arbitrary bytes (port scanners, stale peers, truncated
+// writes) must never panic it or make it over-allocate; every hello it
+// does accept must re-encode and re-parse identically.
+func FuzzReadHello(f *testing.F) {
+	f.Add([]byte(nil))
+	var valid bytes.Buffer
+	writeHello(&valid, 3, "127.0.0.1:40404")
+	f.Add(valid.Bytes())
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))    // wrong magic
+	f.Add([]byte("DMPH\x02\x00\x00\x00\x00\x00\x04addr")) // future version
+	f.Add([]byte("DMPH\x01\x00\x00\x00\x07\xff\xff"))     // lying addr length
+	f.Add([]byte("DMPH\x01\xff\xff\xff\xff\x00\x01x"))    // negative rank
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rank, addr, err := readHello(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadHello) && !errors.Is(err, io.EOF) &&
+				!errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("hello parse error %v is neither ErrBadHello nor an io error", err)
+			}
+			return
+		}
+		if len(addr) == 0 || len(addr) > maxBootAddr {
+			t.Fatalf("accepted address of length %d", len(addr))
+		}
+		var sink bytes.Buffer
+		if err := writeHello(&sink, rank, addr); err != nil {
+			t.Fatalf("re-encode of parsed hello: %v", err)
+		}
+		rank2, addr2, err := readHello(bytes.NewReader(sink.Bytes()))
+		if err != nil || rank2 != rank || addr2 != addr {
+			t.Fatalf("re-parse: (%d, %q, %v) != (%d, %q)", rank2, addr2, err, rank, addr)
+		}
+	})
+}
+
+// FuzzReadDirectory: the worker-side directory parser reads from the
+// rendezvous socket; arbitrary bytes must error cleanly with bounded
+// allocation, never panic or hang.
+func FuzzReadDirectory(f *testing.F) {
+	f.Add([]byte(nil))
+	var ok bytes.Buffer
+	writeDirectory(&ok, []string{"127.0.0.1:1", "127.0.0.1:2"})
+	f.Add(ok.Bytes())
+	var rej bytes.Buffer
+	writeReject(&rej, bootStatusDuplicate, "rank 1 already registered")
+	f.Add(rej.Bytes())
+	f.Add([]byte("DMPD\x01\x00\xff\xff\xff\xff")) // lying entry count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		addrs, err := readDirectory(bytes.NewReader(data))
+		if err != nil {
+			return // must not panic; typed-ness is covered by unit tests
+		}
+		if len(addrs) == 0 || len(addrs) > maxBootWorld {
+			t.Fatalf("accepted directory of %d entries", len(addrs))
+		}
+		var sink bytes.Buffer
+		if err := writeDirectory(&sink, addrs); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		addrs2, err := readDirectory(bytes.NewReader(sink.Bytes()))
+		if err != nil || len(addrs2) != len(addrs) {
+			t.Fatalf("re-parse: %v (%d entries, want %d)", err, len(addrs2), len(addrs))
+		}
+	})
+}
+
 // FuzzReadFrameStream: a stream of arbitrary bytes, read as consecutive
 // frames the way readLoop does, terminates (no infinite loop on a stuck
 // parser) and stops at the first malformed frame.

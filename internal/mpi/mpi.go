@@ -68,6 +68,7 @@ type World struct {
 	size  int
 	tr    transport
 	procs []*proc
+	local []bool // nil = every rank is hosted in this process (NewWorld)
 
 	mu      sync.Mutex
 	comms   map[uint32][]*Comm // comm id -> per-world-rank comm
@@ -172,6 +173,11 @@ func identityRanks(n int) []int {
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
+
+// Local reports whether world rank r is hosted in this process: always
+// true for a NewWorld world, and true only for the joined rank in a
+// distributed JoinWorld world.
+func (w *World) Local(r int) bool { return w.local == nil || w.local[r] }
 
 // Stats returns the world's cumulative transport counters (frames/bytes
 // on the wire, TCP retransmits and dials). Safe to call concurrently with

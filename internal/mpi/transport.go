@@ -192,6 +192,7 @@ func (t *memTransport) close() {
 type tcpTransport struct {
 	transportStats
 	n           int
+	self        int // local rank in a distributed world; -1 = all ranks local
 	link        *netsim.Link
 	sendTimeout time.Duration
 	onRetry     func(src, dst, attempt int)
@@ -200,11 +201,12 @@ type tcpTransport struct {
 	inboxes     []chan frame
 	done        chan struct{}
 
-	mu      sync.Mutex
-	conns   map[[3]int]*tcpConn // [comm,srcRank,dst] -> connection owned by the sender
-	sendSeq map[[3]int]uint64   // next sequence number per outgoing stream
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[[3]int]*tcpConn // [comm,srcRank,dst] -> connection owned by the sender
+	sendSeq  map[[3]int]uint64   // next sequence number per outgoing stream
+	accepted map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
 
 	rdMu    sync.Mutex
 	streams map[[3]int]*streamState // [comm,srcRank,dst] -> receive ordering
@@ -230,6 +232,7 @@ type tcpConn struct {
 func newTCPTransport(n int, link *netsim.Link, sendTimeout time.Duration, onRetry func(src, dst, attempt int)) (*tcpTransport, error) {
 	t := &tcpTransport{
 		n:           n,
+		self:        -1,
 		link:        link,
 		sendTimeout: sendTimeout,
 		onRetry:     onRetry,
@@ -258,6 +261,36 @@ func newTCPTransport(n int, link *netsim.Link, sendTimeout time.Duration, onRetr
 	return t, nil
 }
 
+// newDistTCPTransport builds the single-process slice of a distributed
+// TCP transport: rank self listens on ln (whose address must equal
+// addrs[self]); every other rank is reached by dialing its directory
+// address. The wire protocol, per-stream sequencing and retry machinery
+// are exactly those of the all-local transport — each (comm, srcRank,
+// dst) stream originates in exactly one process, so sender-assigned
+// sequence numbers stay consistent across the distributed world.
+func newDistTCPTransport(n, self int, ln net.Listener, addrs []string, link *netsim.Link, sendTimeout time.Duration, onRetry func(src, dst, attempt int)) (*tcpTransport, error) {
+	t := &tcpTransport{
+		n:           n,
+		self:        self,
+		link:        link,
+		sendTimeout: sendTimeout,
+		onRetry:     onRetry,
+		listeners:   make([]net.Listener, n),
+		addrs:       append([]string(nil), addrs...),
+		inboxes:     make([]chan frame, n),
+		done:        make(chan struct{}),
+		conns:       make(map[[3]int]*tcpConn),
+		sendSeq:     make(map[[3]int]uint64),
+		streams:     make(map[[3]int]*streamState),
+	}
+	t.listeners[self] = ln
+	t.addrs[self] = ln.Addr().String()
+	t.inboxes[self] = make(chan frame, 1024)
+	t.wg.Add(1)
+	go t.acceptLoop(self)
+	return t, nil
+}
+
 func (t *tcpTransport) acceptLoop(r int) {
 	defer t.wg.Done()
 	for {
@@ -273,6 +306,24 @@ func (t *tcpTransport) acceptLoop(r int) {
 func (t *tcpTransport) readLoop(r int, conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
+	// Track the accepted connection so close() can sever it: in a
+	// distributed world its peer lives in another process and stays open
+	// across our shutdown, so the read below would otherwise block forever.
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if t.accepted == nil {
+		t.accepted = make(map[net.Conn]struct{})
+	}
+	t.accepted[conn] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
 		f, err := readFrame(br)
@@ -498,6 +549,9 @@ func (t *tcpTransport) resetPair(comm uint32, srcRank int32, dst int) {
 }
 
 func (t *tcpTransport) recv(r int) (frame, bool) {
+	if t.inboxes[r] == nil {
+		return frame{}, false // remote rank of a distributed world
+	}
 	select {
 	case f := <-t.inboxes[r]:
 		t.countRecv(len(f.data))
@@ -522,6 +576,10 @@ func (t *tcpTransport) close() {
 	t.closed = true
 	conns := t.conns
 	t.conns = map[[3]int]*tcpConn{}
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
 	t.mu.Unlock()
 	close(t.done)
 	for _, ln := range t.listeners {
@@ -531,6 +589,9 @@ func (t *tcpTransport) close() {
 	}
 	for _, tc := range conns {
 		tc.c.Close()
+	}
+	for _, c := range accepted {
+		c.Close()
 	}
 	t.wg.Wait()
 }

@@ -54,6 +54,36 @@ func New() *Tracer {
 // Enabled reports whether events are recorded (false for a nil Tracer).
 func (t *Tracer) Enabled() bool { return t != nil }
 
+// StartUnixMicros returns the tracer's epoch (the instant TS counts
+// from) as microseconds since the Unix epoch, or 0 on a nil Tracer. It
+// is the reference point for merging traces recorded by other processes:
+// offset = theirStart - ourStart shifts their timestamps onto our clock.
+func (t *Tracer) StartUnixMicros() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.start.UnixMicro()
+}
+
+// Inject merges events recorded by another process's tracer into this
+// one, shifting their timestamps by offsetMicros (see StartUnixMicros).
+// Pids are kept as recorded — in a DataMPI run each worker process
+// already traces under its own rank pid, so a merged trace shows one
+// process row per OS process. Metadata events pass through unshifted.
+func (t *Tracer) Inject(events []Event, offsetMicros int64) {
+	if t == nil {
+		return
+	}
+	for _, e := range events {
+		if e.Ph == "M" {
+			t.addMeta(e)
+			continue
+		}
+		e.TS += offsetMicros
+		t.Rank(e.PID).append(e)
+	}
+}
+
 // Rank returns pid's event buffer, creating it on first use. On a nil
 // Tracer it returns nil, which every Buf method accepts as "disabled".
 func (t *Tracer) Rank(pid int) *Buf {

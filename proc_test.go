@@ -1,0 +1,166 @@
+package datampi_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"datampi"
+)
+
+// procTestJob is the job both sides of the process-launch test build: a
+// tiny deterministic wordcount whose A tasks write one file per rank into
+// the directory named by PROC_TEST_OUT (plain env, visible to workers
+// because spawned children inherit the environment).
+func procTestJob() *datampi.Job {
+	outDir := os.Getenv("PROC_TEST_OUT")
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	return &datampi.Job{
+		Name: "proc-wordcount",
+		Mode: datampi.MapReduce,
+		Conf: datampi.Config{ValueCodec: datampi.Int64Codec, SPLBytes: 1024},
+		NumO: 6, NumA: 3, Procs: 2, Slots: 2,
+		OTask: func(ctx *datampi.Context) error {
+			for i := 0; i < 300; i++ {
+				w := words[(i*7+ctx.Rank()*13)%len(words)]
+				if err := ctx.Send(w, int64(1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		ATask: func(ctx *datampi.Context) error {
+			f, err := os.Create(fmt.Sprintf("%s/out-%d", outDir, ctx.Rank()))
+			if err != nil {
+				return err
+			}
+			for {
+				g, ok, err := ctx.NextGroup()
+				if err != nil {
+					f.Close()
+					return err
+				}
+				if !ok {
+					break
+				}
+				var sum int64
+				for _, v := range g.Values {
+					sum += int64(binary.BigEndian.Uint64(v))
+				}
+				fmt.Fprintf(f, "%s\t%d\n", g.Key, sum)
+			}
+			return f.Close()
+		},
+	}
+}
+
+// TestMain routes spawned worker copies of this test binary into the
+// worker loop before any test runs.
+func TestMain(m *testing.M) {
+	if spawned, err := datampi.RunWorkerIfSpawned(procTestJob); spawned {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// lockedBuffer absorbs concurrently relayed worker output.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *lockedBuffer) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func TestWithProcessLaunch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	dir := t.TempDir()
+	t.Setenv("PROC_TEST_OUT", dir)
+	var workerOut lockedBuffer
+	var traceOut bytes.Buffer
+	res, err := datampi.Run(procTestJob(),
+		datampi.WithProcessLaunch(&workerOut),
+		datampi.WithTrace(&traceOut),
+		datampi.WithCounters())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// Every word count must survive the cross-process shuffle exactly.
+	counts := map[string]int64{}
+	for r := 0; r < 3; r++ {
+		b, err := os.ReadFile(fmt.Sprintf("%s/out-%d", dir, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev string
+		for _, line := range strings.Split(strings.TrimSuffix(string(b), "\n"), "\n") {
+			word, n, _ := strings.Cut(line, "\t")
+			if word < prev {
+				t.Errorf("rank %d output not sorted: %q after %q", r, word, prev)
+			}
+			prev = word
+			var c int64
+			fmt.Sscan(n, &c)
+			counts[word] += c
+		}
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if want := int64(6 * 300); total != want {
+		t.Errorf("total count %d, want %d", total, want)
+	}
+	if res.RecordsSent != 6*300 {
+		t.Errorf("RecordsSent = %d, want %d", res.RecordsSent, 6*300)
+	}
+	if s, r := res.RuntimeCounters["shuffle.bytes.sent"], res.RuntimeCounters["shuffle.bytes.received"]; s != r || s == 0 {
+		t.Errorf("shuffle not balanced: sent %d, received %d", s, r)
+	}
+	if !bytes.Contains(traceOut.Bytes(), []byte(`"task"`)) {
+		t.Error("trace output has no task spans")
+	}
+	// Spans from both worker processes must be present (pid = world rank).
+	pids := map[int]bool{}
+	for _, e := range extractPIDs(traceOut.String()) {
+		pids[e] = true
+	}
+	for r := 0; r < 2; r++ {
+		if !pids[r] {
+			t.Errorf("merged trace has no spans from worker process %d", r)
+		}
+	}
+}
+
+// extractPIDs pulls the distinct "pid" values out of a trace_event JSON
+// document without fully modeling its schema.
+func extractPIDs(doc string) []int {
+	seen := map[int]bool{}
+	for _, part := range strings.Split(doc, `"pid":`)[1:] {
+		var pid int
+		if _, err := fmt.Sscanf(part, "%d", &pid); err == nil {
+			seen[pid] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
