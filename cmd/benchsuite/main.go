@@ -160,6 +160,13 @@ func runRegress(o bench.Opts, quick bool, benchOut, against, tracePath string) {
 			fmt.Printf("%-16s shuffle %d records / %d bytes, combine %d->%d\n", "",
 				e.Counters["shuffle.records.sent"], e.Counters["shuffle.bytes.sent"],
 				e.Counters["combine.records.in"], e.Counters["combine.records.out"])
+			if bp, ok := e.Counters["cp.overhead.bp"]; ok {
+				fmt.Printf("%-16s checkpoint overhead %+.2f%% vs checkpoint/off\n", "", float64(bp)/100)
+			}
+			if ns, ok := e.Counters["recovery.ns.per.lost.record"]; ok {
+				fmt.Printf("%-16s recovery: %d records reloaded, %d lost, %d ns per lost record\n", "",
+					e.Counters["recovery.reloaded.records"], e.Counters["recovery.lost.records"], ns)
+			}
 		}
 	}
 	if against != "" {

@@ -26,7 +26,9 @@
 // processes (re-executions of this binary) that rendezvous over TCP and
 // run the job cross-process (§IV-B). Process launch supports terasort and
 // wordcount; with -ft, a worker process dying mid-run is relaunched and
-// the job completes from its checkpoints.
+// the job completes from its checkpoints; adding -partial-restart
+// respawns only the dead rank and replays its committed chunks instead
+// of relaunching the whole fleet.
 package main
 
 import (
@@ -61,6 +63,7 @@ func main() {
 	procs := flag.Int("n", 2, "worker processes to spawn")
 	launchMode := flag.String("launch", "goroutine", "worker hosting: goroutine (in-process) | proc (spawn real worker processes)")
 	ft := flag.Bool("ft", false, "enable the key-value library-level checkpoint (fault tolerance)")
+	partial := flag.Bool("partial-restart", false, "with -launch=proc -ft: recover a dead worker by respawning only that rank instead of relaunching the fleet")
 	hostfile := flag.String("f", "", "hostfile: one host per line (localhost only), overrides -n")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
 	counters := flag.Bool("counters", false, "print the runtime counters after the run")
@@ -90,10 +93,14 @@ func main() {
 	switch *launchMode {
 	case "goroutine":
 	case "proc":
-		runProc(*numO, *numA, *mode, *procs, *ft, *tracePath, *counters, flag.Args())
+		runProc(*numO, *numA, *mode, *procs, *ft, *partial, *tracePath, *counters, flag.Args())
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "mpidrun: unknown -launch mode %q (want goroutine or proc)\n", *launchMode)
+		os.Exit(2)
+	}
+	if *partial {
+		fmt.Fprintln(os.Stderr, "mpidrun: -partial-restart requires -launch=proc")
 		os.Exit(2)
 	}
 	if *pprofAddr != "" {
@@ -216,9 +223,12 @@ func main() {
 
 // runProc is the -launch=proc path: build a self-contained job spec from
 // the flags, spawn the worker fleet, and run the job across it.
-func runProc(numO, numA int, mode string, procs int, ft bool, tracePath string, counters bool, args []string) {
+func runProc(numO, numA int, mode string, procs int, ft, partial bool, tracePath string, counters bool, args []string) {
 	if mode != "MapReduce" {
 		fatal(fmt.Errorf("-launch=proc supports MapReduce mode only (got -M %s)", mode))
+	}
+	if partial && !ft {
+		fatal(fmt.Errorf("-partial-restart requires -ft (recovery replays committed checkpoints)"))
 	}
 	app := args[0]
 	argN := func(i, def int) int {
@@ -254,6 +264,7 @@ func runProc(numO, numA int, mode string, procs int, ft bool, tracePath string, 
 		}
 		defer os.RemoveAll(cpDir)
 		spec.FT = true
+		spec.PartialRestart = partial
 		spec.CheckpointDir = cpDir
 		if records > 0 {
 			spec.CheckpointRecords = int64(records / 50)

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -164,6 +165,64 @@ func aheavyJob(records, mergeWorkers int, serial bool, disks []*diskio.Disk, res
 	}
 }
 
+// ftShuffleJob builds the mem-transport shuffle workload with library
+// checkpointing enabled (§IV-E): same record stream as shuffleJob, plus a
+// chunk dir that is wiped on every iteration so a clean run never reloads
+// the previous iteration's chunks.
+func ftShuffleJob(records int, dir string, asyncOff bool, crashAfter int64, res **core.Result) func() error {
+	keys := make([][]byte, 257)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+	}
+	return func() error {
+		if crashAfter == 0 {
+			if err := os.RemoveAll(dir); err != nil {
+				return err
+			}
+		}
+		job := &core.Job{
+			Name: "shuffle-ft",
+			Mode: core.MapReduce,
+			Conf: core.Config{
+				ValueCodec:               kv.Int64,
+				FaultTolerance:           true,
+				CheckpointDir:            dir,
+				CheckpointRecords:        int64(records) / 4,
+				AsyncCheckpointOff:       asyncOff,
+				InjectFailAfterCPRecords: crashAfter,
+			},
+			NumO: 4, NumA: 2, Procs: 2, Slots: 2,
+			OTask: func(ctx *core.Context) error {
+				var vbuf []byte
+				for i := 0; i < records; i++ {
+					vbuf = kv.AppendInt64(vbuf[:0], int64(i))
+					if err := ctx.SendRecord(kv.Record{Key: keys[i%257], Value: vbuf}); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			ATask: func(ctx *core.Context) error {
+				for {
+					_, ok, err := ctx.NextGroup()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+				}
+			},
+		}
+		r, err := core.Run(job)
+		if err != nil {
+			return err
+		}
+		*res = r
+		return nil
+	}
+}
+
 // Regress runs the harness. When tr is non-nil, one extra traced WordCount
 // run is appended after the timed benchmarks (tracing is never enabled
 // inside a timed loop — the snapshot must measure the disabled path).
@@ -247,6 +306,78 @@ func Regress(o Opts, quick bool, tr *trace.Tracer) (*RegressReport, error) {
 		aheavyJob(aheavyRecords, o.MergeWorkers, true, disks, &aser)); err != nil {
 		return nil, err
 	}
+
+	// The checkpoint trio: the same mem shuffle with checkpointing off,
+	// with the default double-buffered async committer, and under the
+	// synchronous-commit ablation. The async/off ns delta is the
+	// checkpoint overhead the background committer is meant to keep small;
+	// it is stamped on the async and sync entries as cp.overhead.bp
+	// (basis points vs the off entry, 100 bp = 1%).
+	cpRoot, err := os.MkdirTemp("", "dmpi-bench-cp-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(cpRoot)
+	var coff *core.Result
+	if err := add("checkpoint/off", &coff, shuffleJob(shuffleRecords, 0, 0, false, &coff)); err != nil {
+		return nil, err
+	}
+	var casync *core.Result
+	if err := add("checkpoint/async", &casync,
+		ftShuffleJob(shuffleRecords, filepath.Join(cpRoot, "async"), false, 0, &casync)); err != nil {
+		return nil, err
+	}
+	var csync *core.Result
+	if err := add("checkpoint/sync", &csync,
+		ftShuffleJob(shuffleRecords, filepath.Join(cpRoot, "sync"), true, 0, &csync)); err != nil {
+		return nil, err
+	}
+	offNs := rep.Entries[len(rep.Entries)-3].NsPerOp
+	for i := len(rep.Entries) - 2; i < len(rep.Entries); i++ {
+		e := &rep.Entries[i]
+		if e.Counters == nil {
+			e.Counters = map[string]int64{}
+		}
+		if offNs > 0 {
+			e.Counters["cp.overhead.bp"] = 10000 * (e.NsPerOp - offNs) / offNs
+		}
+	}
+
+	// Recovery measurement (single shot, not a timed loop): crash the
+	// checkpointed shuffle once roughly half its records are durable, then
+	// time the recovery run over the same chunk dir. The ratio counter
+	// records what each lost record — one the crash forced the rerun to
+	// recompute rather than reload — costs in recovery time.
+	rdir := filepath.Join(cpRoot, "recovery")
+	totalRecords := int64(4 * shuffleRecords)
+	var rres *core.Result
+	if err := ftShuffleJob(shuffleRecords, rdir, false, totalRecords/2, &rres)(); !errors.Is(err, core.ErrInjectedFailure) {
+		return nil, fmt.Errorf("bench: checkpoint/recovery crash run: %v", err)
+	}
+	rstart := time.Now()
+	var rec *core.Result
+	if err := ftShuffleJob(shuffleRecords, rdir, false, -1, &rec)(); err != nil {
+		return nil, fmt.Errorf("bench: checkpoint/recovery rerun: %w", err)
+	}
+	recoveryNs := time.Since(rstart).Nanoseconds()
+	lost := totalRecords - rec.RecordsReloaded
+	if lost < 1 {
+		lost = 1
+	}
+	rcounters := map[string]int64{
+		"recovery.reloaded.records":   rec.RecordsReloaded,
+		"recovery.lost.records":       lost,
+		"recovery.ns.per.lost.record": recoveryNs / lost,
+	}
+	for k, v := range rec.RuntimeCounters {
+		rcounters[k] = v
+	}
+	rep.Entries = append(rep.Entries, RegressEntry{
+		Name:       "checkpoint/recovery",
+		Iterations: 1,
+		NsPerOp:    recoveryNs,
+		Counters:   rcounters,
+	})
 
 	// WordCount end-to-end (the tier-1 shuffle workload): one shared env,
 	// the job reruns over the same input every iteration.

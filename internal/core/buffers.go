@@ -26,28 +26,39 @@ type sendItem struct {
 	reverse   bool // Iteration mode A->O traffic
 	data      []byte
 	records   int64
+	// idx is the per-(task, partition) frame sequence number assigned when
+	// the SPL sealed this buffer. It travels in the wire header and the
+	// checkpoint chunk payload, so receivers can deduplicate replayed
+	// frames after a partial restart.
+	idx int64
 	// prepared marks data already sorted/combined (checkpoint reloads).
 	prepared bool
 	// noCheckpoint suppresses re-checkpointing (checkpoint reloads).
 	noCheckpoint bool
 	// cpSeal marks a checkpoint-round boundary: the task has drained every
 	// partition buffer, so everything appended to its chunk so far is an
-	// emission-order prefix and can be committed (§IV-E, Fig. 7).
+	// emission-order prefix and can be committed (§IV-E, Fig. 7). A cpSeal
+	// with task < 0 seals every open chunk on the process (the rejoin
+	// barrier after a partial restart).
 	cpSeal bool
 }
 
 // Wire format of a data message, laid out so the SPL can reserve the whole
 // header up front and transmit writes it in place:
 //
-//	u32 round | u32 partition | u8 flags | framed records
+//	u32 round | u32 partition | u8 flags | u32 task | u64 idx | framed records
 //
 // The payload fed to checkpoints and decodePayload is everything from
-// framePartOff on, byte-identical to the previous two-piece encoding.
+// framePartOff on, so committed chunks self-describe which (task,
+// partition, idx) frame each entry was. task 0xFFFFFFFF encodes the
+// sentinel -1 (end markers, reloads that predate dedup).
 const (
 	frameRoundOff  = 0
 	framePartOff   = 4
 	frameFlagsOff  = 8
-	frameHeaderLen = 9
+	frameTaskOff   = 9
+	frameIdxOff    = 13
+	frameHeaderLen = 21
 )
 
 const (
@@ -91,7 +102,7 @@ func frameWithRecords(records []byte) []byte {
 }
 
 // writeFrameHeader fills the reserved header bytes in place.
-func writeFrameHeader(frame []byte, round, partition int, reverse bool) {
+func writeFrameHeader(frame []byte, round, partition int, reverse bool, task int, idx int64) {
 	binary.BigEndian.PutUint32(frame[frameRoundOff:], uint32(round))
 	binary.BigEndian.PutUint32(frame[framePartOff:], uint32(partition))
 	var flags byte
@@ -99,21 +110,43 @@ func writeFrameHeader(frame []byte, round, partition int, reverse bool) {
 		flags = flagReverse
 	}
 	frame[frameFlagsOff] = flags
+	binary.BigEndian.PutUint32(frame[frameTaskOff:], uint32(int32(task)))
+	binary.BigEndian.PutUint64(frame[frameIdxOff:], uint64(idx))
 }
 
 // spl is one task's Send Partition List.
 type spl struct {
 	parts   []partBuf
 	maxSize int
+	// frameSeq is the next frame index per partition. After a partial
+	// restart the replacement seeds it with the committed frame counts, so
+	// a deterministic re-run reproduces the same (partition, idx) labels
+	// as the lost incarnation and survivors can drop the duplicates.
+	frameSeq []int64
 }
 
 type partBuf struct {
 	data    []byte
 	records int64
+	idx     int64 // assigned when the buffer is sealed
 }
 
 func newSPL(numPartitions, maxSize int) *spl {
-	return &spl{parts: make([]partBuf, numPartitions), maxSize: maxSize}
+	return &spl{
+		parts:    make([]partBuf, numPartitions),
+		maxSize:  maxSize,
+		frameSeq: make([]int64, numPartitions),
+	}
+}
+
+// seedFrameSeq advances the per-partition frame counters to start after
+// the already-committed frames (partial-restart replacement ranks).
+func (s *spl) seedFrameSeq(counts map[int]int64) {
+	for p, n := range counts {
+		if p >= 0 && p < len(s.frameSeq) && n > s.frameSeq[p] {
+			s.frameSeq[p] = n
+		}
+	}
 }
 
 // add appends a record to partition p; it returns a sealed buffer when the
@@ -128,6 +161,8 @@ func (s *spl) add(p int, rec kv.Record) *partBuf {
 	b.records++
 	if len(b.data)-frameHeaderLen >= s.maxSize {
 		sealed := *b
+		sealed.idx = s.frameSeq[p]
+		s.frameSeq[p]++
 		*b = partBuf{}
 		return &sealed
 	}
@@ -139,7 +174,10 @@ func (s *spl) drain() []sealedPart {
 	var out []sealedPart
 	for p := range s.parts {
 		if s.parts[p].records > 0 {
-			out = append(out, sealedPart{partition: p, buf: s.parts[p]})
+			buf := s.parts[p]
+			buf.idx = s.frameSeq[p]
+			s.frameSeq[p]++
+			out = append(out, sealedPart{partition: p, buf: buf})
 			s.parts[p] = partBuf{}
 		}
 	}
@@ -152,12 +190,16 @@ type sealedPart struct {
 }
 
 // decodePayload parses the message payload (everything after the round
-// word): u32 partition | u8 flags | records.
-func decodePayload(b []byte) (partition int, reverse bool, records []byte, err error) {
-	if len(b) < 5 {
-		return 0, false, nil, fmt.Errorf("core: data payload %d bytes", len(b))
+// word): u32 partition | u8 flags | u32 task | u64 idx | records.
+func decodePayload(b []byte) (partition int, reverse bool, task int, idx int64, records []byte, err error) {
+	if len(b) < frameHeaderLen-framePartOff {
+		return 0, false, 0, 0, nil, fmt.Errorf("core: data payload %d bytes", len(b))
 	}
-	return int(binary.BigEndian.Uint32(b)), b[4]&flagReverse != 0, b[5:], nil
+	partition = int(binary.BigEndian.Uint32(b))
+	reverse = b[4]&flagReverse != 0
+	task = int(int32(binary.BigEndian.Uint32(b[frameTaskOff-framePartOff:])))
+	idx = int64(binary.BigEndian.Uint64(b[frameIdxOff-framePartOff:]))
+	return partition, reverse, task, idx, b[frameHeaderLen-framePartOff:], nil
 }
 
 // prepareFrame sorts and combines a framed buffer's records according to

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,6 +21,13 @@ import (
 // generated checkpoints" are visible. On restart the runtime reloads every
 // complete chunk — re-injecting the data into the shuffle without
 // recomputation — and tasks skip that many input records.
+//
+// Commit runs in one of two modes. Synchronous commit appends each sealed
+// frame to the chunk file inline on the transmit path. Asynchronous commit
+// (the default under fault tolerance) hands whole checkpoint rounds to a
+// background committer goroutine through a depth-one queue: one batch can
+// be queued while another is being written, so the shuffle pipeline only
+// blocks on disk when both buffers are in flight.
 
 // cpChunk is one complete checkpoint chunk on disk. The file holds a
 // sequence of [u32 len | payload] entries (payload = partition-framed
@@ -44,10 +52,29 @@ type cpWriter struct {
 	tmp     string
 	records int64
 	err     error
+
+	// commitHook, when set, runs between the tmp file's final write and
+	// the atomic rename — the torn-commit window. A hook error leaves the
+	// .tmp file on disk exactly as a crash at that point would.
+	commitHook func(task, seq int) error
 }
 
 func newCPWriter(dir string, task int) *cpWriter {
 	return &cpWriter{dir: dir, task: task}
+}
+
+// discard closes and removes the in-progress tmp file after a write
+// failure, so a failed chunk never leaks an open handle or a stray .tmp.
+func (w *cpWriter) discard() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	if w.tmp != "" {
+		os.Remove(w.tmp)
+		w.tmp = ""
+	}
+	w.records = 0
 }
 
 // append adds one sealed payload (with partition header) to the chunk.
@@ -64,6 +91,7 @@ func (w *cpWriter) append(payload []byte, records int64) error {
 		f, err := os.Create(w.tmp)
 		if err != nil {
 			w.err = err
+			w.tmp = ""
 			return err
 		}
 		w.f = f
@@ -72,10 +100,12 @@ func (w *cpWriter) append(payload []byte, records int64) error {
 	binary.BigEndian.PutUint32(l[:], uint32(len(payload)))
 	if _, err := w.f.Write(l[:]); err != nil {
 		w.err = err
+		w.discard()
 		return err
 	}
 	if _, err := w.f.Write(payload); err != nil {
 		w.err = err
+		w.discard()
 		return err
 	}
 	w.records += records
@@ -96,22 +126,38 @@ func (w *cpWriter) seal() error {
 	binary.BigEndian.PutUint64(foot[4:], uint64(w.records))
 	if _, err := w.f.Write(foot[:]); err != nil {
 		w.err = err
+		w.discard()
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
 		w.err = err
+		w.discard()
 		return err
 	}
 	if err := w.f.Close(); err != nil {
 		w.err = err
+		w.f = nil
+		w.discard()
 		return err
+	}
+	w.f = nil
+	if w.commitHook != nil {
+		if err := w.commitHook(w.task, w.seq); err != nil {
+			// Simulated crash inside the commit window: the fully
+			// written, fsynced .tmp stays on disk, un-renamed, exactly
+			// as SIGKILL between write and rename would leave it.
+			w.err = err
+			w.tmp = ""
+			w.records = 0
+			return err
+		}
 	}
 	final := filepath.Join(w.dir, cpChunkName(w.task, w.seq))
 	if err := os.Rename(w.tmp, final); err != nil {
 		w.err = err
+		w.discard()
 		return err
 	}
-	w.f = nil
 	w.tmp = ""
 	w.records = 0
 	w.seq++
@@ -122,8 +168,9 @@ func (w *cpWriter) seal() error {
 func (w *cpWriter) abort() {
 	if w.f != nil {
 		w.f.Close()
-		os.Remove(w.tmp)
 		w.f = nil
+		os.Remove(w.tmp)
+		w.tmp = ""
 	}
 }
 
@@ -166,6 +213,11 @@ func listChunks(dir string) ([]cpChunk, error) {
 	return out, nil
 }
 
+// maxChunkPayload bounds a single checkpoint entry's claimed length, so a
+// corrupt or hostile chunk header cannot balloon memory before the read
+// fails. Real payloads are SPL-sized (tens of KB).
+const maxChunkPayload = 1 << 26
+
 // readChunk streams a chunk's payloads to fn and returns the footer's
 // record count. A malformed chunk returns an error (callers treat it as
 // absent).
@@ -175,25 +227,184 @@ func readChunk(path string, fn func(payload []byte) error) (int64, error) {
 		return 0, err
 	}
 	defer f.Close()
+	n, err := readChunkFrom(f, fn)
+	if err != nil {
+		return 0, fmt.Errorf("core: checkpoint %s: %w", path, err)
+	}
+	return n, nil
+}
+
+// readChunkFrom parses the chunk stream format from r: a sequence of
+// [u32 len | payload] entries terminated by a [u32 0 | u64 records]
+// footer. Allocation per entry is bounded by maxChunkPayload regardless
+// of what the header claims.
+func readChunkFrom(r io.Reader, fn func(payload []byte) error) (int64, error) {
 	for {
 		var l [4]byte
-		if _, err := io.ReadFull(f, l[:]); err != nil {
-			return 0, fmt.Errorf("core: truncated checkpoint %s: %w", path, err)
+		if _, err := io.ReadFull(r, l[:]); err != nil {
+			return 0, fmt.Errorf("truncated checkpoint: %w", err)
 		}
 		n := binary.BigEndian.Uint32(l[:])
 		if n == 0 { // footer
 			var cnt [8]byte
-			if _, err := io.ReadFull(f, cnt[:]); err != nil {
-				return 0, fmt.Errorf("core: truncated checkpoint footer %s: %w", path, err)
+			if _, err := io.ReadFull(r, cnt[:]); err != nil {
+				return 0, fmt.Errorf("truncated checkpoint footer: %w", err)
 			}
-			return int64(binary.BigEndian.Uint64(cnt[:])), nil
+			records := binary.BigEndian.Uint64(cnt[:])
+			if records > math.MaxInt64 {
+				return 0, fmt.Errorf("checkpoint footer claims %d records", records)
+			}
+			return int64(records), nil
+		}
+		if n > maxChunkPayload {
+			return 0, fmt.Errorf("checkpoint entry claims %d bytes (max %d)", n, maxChunkPayload)
 		}
 		payload := make([]byte, n)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return 0, fmt.Errorf("core: truncated checkpoint %s: %w", path, err)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, fmt.Errorf("truncated checkpoint: %w", err)
 		}
 		if err := fn(payload); err != nil {
 			return 0, err
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous committer
+
+// cpEntry is one transmitted frame queued for asynchronous checkpoint
+// commit. The committer owns the frame and recycles it after writing.
+type cpEntry struct {
+	frame   []byte
+	records int64
+}
+
+// cpBatch is one checkpoint round for one task, handed to the committer
+// at a cpSeal boundary. A batch with a non-nil done channel and no task
+// work is a drain barrier: the committer closes done once every batch
+// queued before it has been committed.
+type cpBatch struct {
+	task    int
+	entries []cpEntry
+	done    chan struct{}
+}
+
+// cpCommitter writes checkpoint chunks on a background goroutine. Its
+// queue has depth one: with one batch queued and one being written, the
+// transmit path keeps two rounds in flight before it ever blocks on disk
+// (double buffering). The committer is NOT part of the process waitgroup;
+// quiesce closes q after the pipeline drains and then waits on done.
+type cpCommitter struct {
+	p    *process
+	q    chan *cpBatch
+	done chan struct{}
+}
+
+func newCPCommitter(p *process) *cpCommitter {
+	c := &cpCommitter{p: p, q: make(chan *cpBatch, 1), done: make(chan struct{})}
+	go c.run()
+	return c
+}
+
+// submit hands a batch to the committer, counting a stall when both
+// buffers are already in flight. On abort the batch is dropped — exactly
+// the data loss a crash at that point would cause, which the reload path
+// already recovers from.
+func (c *cpCommitter) submit(b *cpBatch) {
+	rt := c.p.rt
+	select {
+	case c.q <- b:
+		return
+	default:
+	}
+	rt.ctrs.cpAsyncStalls.Add(1)
+	select {
+	case c.q <- b:
+	case <-rt.aborted:
+		for _, e := range b.entries {
+			putFrame(e.frame)
+		}
+		if b.done != nil {
+			close(b.done)
+		}
+	}
+}
+
+// drain blocks until every batch submitted before it has been committed
+// (or the run aborted).
+func (c *cpCommitter) drain() {
+	ch := make(chan struct{})
+	c.submit(&cpBatch{task: -1, done: ch})
+	select {
+	case <-ch:
+	case <-c.p.rt.aborted:
+	}
+}
+
+func (c *cpCommitter) run() {
+	defer close(c.done)
+	p := c.p
+	rt := p.rt
+	cfg := &rt.job.Conf
+	writers := map[int]*cpWriter{}
+	defer func() {
+		for _, w := range writers {
+			w.abort()
+		}
+	}()
+	for b := range c.q {
+		if len(b.entries) == 0 {
+			if b.done != nil {
+				close(b.done)
+			}
+			continue
+		}
+		select {
+		case <-rt.aborted:
+			// Once the run has failed, commit nothing more: a batch may
+			// already have been dropped in submit, and committing a later
+			// round would leave a hole in the chunk sequence — reload
+			// counts chunks as a contiguous prefix of the record stream.
+			for _, e := range b.entries {
+				putFrame(e.frame)
+			}
+			if b.done != nil {
+				close(b.done)
+			}
+			continue
+		default:
+		}
+		w := writers[b.task]
+		if w == nil {
+			w = newCPWriter(cfg.CheckpointDir, b.task)
+			w.seq = rt.cpStartSeq(b.task)
+			w.commitHook = cfg.CheckpointCommitHook
+			writers[b.task] = w
+		}
+		start := p.tb.Start()
+		var n int64
+		for _, e := range b.entries {
+			err := w.append(e.frame[framePartOff:], e.records)
+			putFrame(e.frame)
+			if err != nil {
+				p.fail(fmt.Errorf("core: async checkpoint append: %w", err))
+			}
+			n += e.records
+		}
+		err := w.seal()
+		if b.done != nil {
+			close(b.done)
+		}
+		if err != nil {
+			p.fail(fmt.Errorf("core: async checkpoint commit: %w", err))
+			continue
+		}
+		rt.ctrs.cpChunks.Add(1)
+		rt.ctrs.cpAsyncCommits.Add(1)
+		p.tb.Span(tidControl, "cp.commit.async", "checkpoint", start,
+			map[string]any{"task": b.task, "records": n})
+		if fa := cfg.InjectFailAfterCPRecords; fa > 0 && rt.cpDurable.Add(n) >= fa {
+			rt.fail(ErrInjectedFailure)
 		}
 	}
 }

@@ -154,6 +154,30 @@ type Config struct {
 	// persisted different sizes of checkpoints".
 	InjectFailAfterCPRecords int64
 
+	// AsyncCheckpointOff disables the double-buffered asynchronous
+	// checkpoint committer (ablation): chunk appends and seals run inline
+	// on the transmit path, as the pre-async implementation did. With the
+	// default async commit, sealed checkpoint rounds are written by a
+	// background goroutine and the shuffle pipeline only blocks on disk
+	// when both commit buffers are in flight.
+	AsyncCheckpointOff bool
+
+	// PartialRestart enables per-rank recovery in distributed runs: when a
+	// worker process dies mid-shuffle, the master respawns only that rank,
+	// survivors keep their merge state, and committed checkpoint chunks
+	// are replayed to cover the lost rank's data. Requires FaultTolerance;
+	// rejected in Streaming/Iteration modes and with DataCentricOff.
+	// Without it (or when recovery is not possible) rank death stays
+	// fatal, and the launcher's whole-attempt retry recovers the job.
+	PartialRestart bool
+
+	// CheckpointCommitHook, when non-nil, runs inside every chunk commit
+	// between the tmp file's final write and the atomic rename — the
+	// torn-commit window. Returning an error aborts the commit, leaving
+	// the .tmp file on disk exactly as a crash at that instant would
+	// (test instrumentation for torn-commit recovery).
+	CheckpointCommitHook func(task, seq int) error
+
 	// FaultPlan, when non-nil, runs the job's entire MPI traffic (data
 	// plane and mpidrun control plane) under the deterministic
 	// fault-injection transport: message drops, delays, duplication,
@@ -232,6 +256,17 @@ func (c *Config) Normalize(mode Mode) error {
 	}
 	if c.FaultTolerance && mode == Streaming {
 		return errors.New("core: checkpointing is not supported in Streaming mode")
+	}
+	if c.PartialRestart {
+		if !c.FaultTolerance {
+			return errors.New("core: PartialRestart requires FaultTolerance")
+		}
+		if mode == Streaming || mode == Iteration {
+			return fmt.Errorf("core: PartialRestart is not supported in %s mode", mode)
+		}
+		if c.DataCentricOff {
+			return errors.New("core: PartialRestart requires data-centric scheduling")
+		}
 	}
 	return nil
 }

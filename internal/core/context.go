@@ -181,6 +181,7 @@ func (c *Context) SendRecord(rec kv.Record) error {
 			reverse:   !c.isO,
 			data:      sealed.data,
 			records:   sealed.records,
+			idx:       sealed.idx,
 		}, c.round); err != nil {
 			return err
 		}
@@ -229,6 +230,7 @@ func (c *Context) drainSPL() error {
 			reverse:   !c.isO,
 			data:      sp.buf.data,
 			records:   sp.buf.records,
+			idx:       sp.buf.idx,
 		}, c.round)
 		if err != nil {
 			return err

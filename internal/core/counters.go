@@ -36,6 +36,14 @@ type runtimeCounters struct {
 	cpRecords atomic.Int64 // records appended to checkpoint chunks
 	cpChunks  atomic.Int64 // checkpoint chunks sealed
 
+	cpAsyncCommits atomic.Int64 // chunks committed by the async committer
+	cpAsyncStalls  atomic.Int64 // submits that blocked with both buffers in flight
+
+	partialRestarts  atomic.Int64 // dead ranks recovered in place (master side)
+	partialReplayed  atomic.Int64 // records replayed from chunks after a partial restart
+	partialDropped   atomic.Int64 // frames dropped on a dead rank pending its restart
+	partialDupFrames atomic.Int64 // duplicate replayed frames dropped by receivers
+
 	fetchBytesServed atomic.Int64 // ablation path: bytes served to remote fetches
 }
 
@@ -85,6 +93,26 @@ func (rc *runtimeCounters) snapshot(ws mpi.Stats) map[string]int64 {
 	out["spill.compact.bytes"] = rc.spillCompactBytes.Load()
 	out["checkpoint.records"] = rc.cpRecords.Load()
 	out["checkpoint.chunks"] = rc.cpChunks.Load()
+	// Async-commit and partial-restart counters appear only when nonzero,
+	// so the sync/async ablations stay byte-identical on the shared set.
+	if v := rc.cpAsyncCommits.Load(); v != 0 {
+		out["cp.async.commits"] = v
+	}
+	if v := rc.cpAsyncStalls.Load(); v != 0 {
+		out["cp.async.stalls"] = v
+	}
+	if v := rc.partialRestarts.Load(); v != 0 {
+		out["restart.partial.restarts"] = v
+	}
+	if v := rc.partialReplayed.Load(); v != 0 {
+		out["restart.partial.replayed.records"] = v
+	}
+	if v := rc.partialDropped.Load(); v != 0 {
+		out["restart.partial.dropped.frames"] = v
+	}
+	if v := rc.partialDupFrames.Load(); v != 0 {
+		out["restart.partial.dup.frames"] = v
+	}
 	out["fetch.bytes.served"] = rc.fetchBytesServed.Load()
 	out["mpi.frames.sent"] = ws.FramesSent
 	out["mpi.bytes.sent"] = ws.BytesSent

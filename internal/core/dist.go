@@ -21,6 +21,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
 
 	"datampi/internal/mpi"
 	"datampi/internal/trace"
@@ -107,6 +109,17 @@ func RunWorker(job *Job, world *mpi.World, rank int) error {
 	rt.assignA = fillInt(job.NumA, -1)
 	p := newProcess(rt, rank, comms[rank])
 	rt.procs = []*process{p}
+	// Stamp the hosting OS process on this rank's trace row: the merged
+	// trace then proves which ranks kept their process across a partial
+	// restart (same pid, attempt 0) and which were respawned (attempt >0).
+	if tb := job.Trace.Rank(rank); tb != nil {
+		attempt := 0
+		if s := job.Conf.Extra["attempt"]; s != "" {
+			attempt, _ = strconv.Atoi(s)
+		}
+		tb.Instant(tidControl, "proc.start", "control",
+			map[string]any{"pid": os.Getpid(), "attempt": attempt})
+	}
 	rt.workerLoop(p)
 	ferr := rt.err() // recorded failure, nil after a clean bye
 	world.Close()

@@ -4,7 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"datampi/internal/fault"
 )
 
 // TestRandomizedCrashRecovery is the fault-tolerance property test: for
@@ -91,4 +95,99 @@ func TestDoubleCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkCounts(t, &o3, wantCounts(docs))
+}
+
+// TestCrashRecoveryMatrix pins recovery exactness across the failure
+// surface: a kill at each pipeline stage (before any commit, inside a
+// commit's torn window, after records are durable, and a rank death while
+// merging), on both transports, under both commit modes. Whatever the
+// crash point, a recovery run over the same checkpoint directory must
+// produce exactly the clean run's counts — no duplicated and no lost
+// records.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	docs := ftDocs()
+	want := wantCounts(docs)
+
+	kills := []struct {
+		name string
+		arm  func(job *Job) // arm the crash for the first attempt only
+		// injected marks failpoints that surface as ErrInjectedFailure;
+		// the rank death surfaces as a transport error instead.
+		injected bool
+	}{
+		{"preShuffle", func(job *Job) {
+			job.Conf.InjectFailAfterRecords = 40
+		}, true},
+		{"midCommit", func(job *Job) {
+			// Torn commit: the hook error fires after the chunk's tmp file
+			// is written and fsynced, before the atomic rename — recovery
+			// must treat the chunk as if it never existed.
+			var commits atomic.Int64
+			job.Conf.CheckpointCommitHook = func(task, seq int) error {
+				if commits.Add(1) == 3 {
+					return ErrInjectedFailure
+				}
+				return nil
+			}
+		}, true},
+		{"postSeal", func(job *Job) {
+			job.Conf.InjectFailAfterCPRecords = 700
+		}, true},
+		{"duringMerge", func(job *Job) {
+			job.Conf.FaultPlan = fault.KillRank(7, 1, 25)
+			job.Conf.IOTimeout = 200 * time.Millisecond
+		}, false},
+	}
+	transports := []struct {
+		name string
+		opts []RunOption
+	}{
+		{"mem", nil},
+		{"tcp", []RunOption{WithTCPTransport()}},
+	}
+	modes := []struct {
+		name     string
+		asyncOff bool
+	}{
+		{"async", false},
+		{"sync", true},
+	}
+
+	for _, k := range kills {
+		for _, tr := range transports {
+			for _, m := range modes {
+				t.Run(k.name+"_"+tr.name+"_"+m.name, func(t *testing.T) {
+					dir := t.TempDir()
+					var out1 collector
+					job1 := wordCountJob(docs, 3, 2, &out1)
+					job1.Conf.FaultTolerance = true
+					job1.Conf.CheckpointDir = dir
+					job1.Conf.CheckpointRecords = 64
+					job1.Conf.AsyncCheckpointOff = m.asyncOff
+					k.arm(job1)
+					_, err := Run(job1, tr.opts...)
+					if err == nil {
+						// The crash point can outrun the run (e.g. the torn
+						// commit count never reached): a clean finish is
+						// acceptable, but must already be exact.
+						checkCounts(t, &out1, want)
+						return
+					}
+					if k.injected && !errors.Is(err, ErrInjectedFailure) {
+						t.Fatalf("unexpected failure: %v", err)
+					}
+					var out2 collector
+					job2 := wordCountJob(docs, 3, 2, &out2)
+					job2.Conf.FaultTolerance = true
+					job2.Conf.CheckpointDir = dir
+					job2.Conf.CheckpointRecords = 64
+					job2.Conf.AsyncCheckpointOff = m.asyncOff
+					if _, err := Run(job2, tr.opts...); err != nil {
+						t.Fatal(err)
+					}
+					checkCounts(t, &out2, want)
+				})
+			}
+		}
+	}
 }

@@ -65,6 +65,19 @@ type process struct {
 	// cpws is touched only by the transmit stage (pipeline on) or under
 	// sendMu (pipeline off); quiesce reads it after wg.Wait.
 	cpws map[int]*cpWriter
+	// committer is the background checkpoint committer; nil when fault
+	// tolerance is off or AsyncCheckpointOff selects synchronous commit.
+	committer *cpCommitter
+	// cpBatch accumulates the current checkpoint round per task for the
+	// async committer (same single-owner rules as cpws).
+	cpBatch map[int][]cpEntry
+
+	// dedup gates the receive-side duplicate-frame filter (PartialRestart):
+	// seen records each accepted (task, partition, idx) so replayed frames
+	// after a partial restart are dropped instead of double-merged. Both
+	// are touched only by the dataReceiver goroutine.
+	dedup bool
+	seen  map[dedupKey]map[int64]struct{}
 
 	mu     sync.Mutex
 	merges map[mergeKey]*mergeState
@@ -121,6 +134,15 @@ type ctxKey struct {
 	isO  bool
 }
 
+// dedupKey identifies one sender stream for duplicate-frame filtering.
+// It is keyed on the task, not the source process, so a task re-run on a
+// different process after a partial restart still deduplicates against
+// the lost incarnation's deliveries.
+type dedupKey struct {
+	task      int
+	partition int
+}
+
 func newProcess(rt *Runtime, idx int, comm *mpi.Comm) *process {
 	p := &process{
 		rt:       rt,
@@ -136,6 +158,15 @@ func newProcess(rt *Runtime, idx int, comm *mpi.Comm) *process {
 		merges:   make(map[mergeKey]*mergeState),
 		ctxs:     make(map[ctxKey]*Context),
 		streams:  make(map[int]chan kv.Record),
+	}
+	cfg := &rt.job.Conf
+	if cfg.FaultTolerance && !cfg.AsyncCheckpointOff {
+		p.committer = newCPCommitter(p)
+		p.cpBatch = make(map[int][]cpEntry)
+	}
+	if cfg.PartialRestart {
+		p.dedup = true
+		p.seen = make(map[dedupKey]map[int64]struct{})
 	}
 	p.wg.Add(3)
 	go p.senderLoop()
@@ -353,6 +384,16 @@ func (p *process) transmit(item *sendItem, round int, rawBytes int) error {
 	start := p.tb.Start()
 	cfg := &p.rt.job.Conf
 	if item.cpSeal {
+		if item.task < 0 {
+			return p.sealAllCheckpoints()
+		}
+		if p.committer != nil {
+			if entries := p.cpBatch[item.task]; len(entries) > 0 {
+				delete(p.cpBatch, item.task)
+				p.committer.submit(&cpBatch{task: item.task, entries: entries})
+			}
+			return nil
+		}
 		w := p.cpws[item.task]
 		if w == nil {
 			return nil
@@ -377,16 +418,18 @@ func (p *process) transmit(item *sendItem, round int, rawBytes int) error {
 		return nil
 	}
 	frame, nrec := item.data, item.records
-	writeFrameHeader(frame, round, item.partition, item.reverse)
-	if cfg.FaultTolerance && !item.noCheckpoint && !item.reverse {
+	writeFrameHeader(frame, round, item.partition, item.reverse, item.task, item.idx)
+	checkpointed := cfg.FaultTolerance && !item.noCheckpoint && !item.reverse
+	if checkpointed && p.committer == nil {
 		w := p.cpws[item.task]
 		if w == nil {
 			w = newCPWriter(cfg.CheckpointDir, item.task)
 			w.seq = p.rt.cpStartSeq(item.task)
+			w.commitHook = cfg.CheckpointCommitHook
 			p.cpws[item.task] = w
 		}
 		// The chunk payload is the frame minus the round word —
-		// byte-identical to the pre-pipeline checkpoint format.
+		// byte-identical to the wire payload receivers decode.
 		if err := w.append(frame[framePartOff:], nrec); err != nil {
 			return err
 		}
@@ -400,9 +443,35 @@ func (p *process) transmit(item *sendItem, round int, rawBytes int) error {
 	}
 	recBytes := int64(len(frame) - frameHeaderLen)
 	if err := p.comm.Send(dst, tagData, frame); err != nil {
+		if cfg.PartialRestart && checkpointed && errors.Is(err, mpi.ErrRankDead) {
+			// The destination died but this frame is durable: it is in the
+			// task's open chunk (sync) or queued for the async committer
+			// below, and the rejoin barrier commits open chunks before the
+			// master's recovery scan — so the replay covers it. Dropping
+			// instead of failing keeps survivor tasks running.
+			p.rt.ctrs.partialDropped.Add(1)
+			if p.committer != nil {
+				p.cpBatch[item.task] = append(p.cpBatch[item.task], cpEntry{frame: frame, records: nrec})
+				p.rt.ctrs.cpRecords.Add(nrec)
+			} else {
+				putFrame(frame)
+			}
+			item.data = nil
+			if p.rt.job.Mem != nil {
+				p.rt.job.Mem.Add(-int64(rawBytes))
+			}
+			return nil
+		}
 		return err
 	}
-	putFrame(frame)
+	if checkpointed && p.committer != nil {
+		// Async commit takes ownership of the frame after the transport
+		// released it; the committer recycles it once written.
+		p.cpBatch[item.task] = append(p.cpBatch[item.task], cpEntry{frame: frame, records: nrec})
+		p.rt.ctrs.cpRecords.Add(nrec)
+	} else {
+		putFrame(frame)
+	}
 	item.data = nil
 	if p.rt.job.Mem != nil {
 		p.rt.job.Mem.Add(-int64(rawBytes))
@@ -414,6 +483,39 @@ func (p *process) transmit(item *sendItem, round int, rawBytes int) error {
 			"task": item.task, "partition": item.partition, "dst": dst,
 			"bytes": recBytes, "records": nrec, "reverse": item.reverse,
 		})
+	}
+	return nil
+}
+
+// sealAllCheckpoints commits every open chunk on this process — the
+// rejoin barrier after a partial restart. Once the cpSeal(task=-1) item
+// carrying it has been processed, every frame this process transmitted
+// (or dropped on the dead rank) before the barrier is in a committed
+// chunk, so the master's recovery scan sees it.
+func (p *process) sealAllCheckpoints() error {
+	if p.committer != nil {
+		for task, entries := range p.cpBatch {
+			delete(p.cpBatch, task)
+			if len(entries) > 0 {
+				p.committer.submit(&cpBatch{task: task, entries: entries})
+			}
+		}
+		p.committer.drain()
+		return nil
+	}
+	start := p.tb.Start()
+	for task, w := range p.cpws {
+		n := w.records
+		if err := w.seal(); err != nil {
+			return err
+		}
+		if n > 0 {
+			p.rt.ctrs.cpChunks.Add(1)
+			if p.tb != nil {
+				p.tb.Span(tidSend, "cp.commit", "checkpoint", start,
+					map[string]any{"task": task, "records": n})
+			}
+		}
 	}
 	return nil
 }
@@ -445,7 +547,7 @@ func (p *process) dataReceiver() {
 			return
 		}
 		round := int(binary.BigEndian.Uint32(wire))
-		partition, reverse, records, err := decodePayload(wire[4:])
+		partition, reverse, task, idx, records, err := decodePayload(wire[4:])
 		if err != nil {
 			p.fail(err)
 			return
@@ -456,6 +558,21 @@ func (p *process) dataReceiver() {
 				p.closeStreams()
 			}
 			continue
+		}
+		if p.dedup && !reverse && task >= 0 {
+			k := dedupKey{task: task, partition: partition}
+			s := p.seen[k]
+			if s == nil {
+				s = make(map[int64]struct{})
+				p.seen[k] = s
+			}
+			if _, dup := s[idx]; dup {
+				// A replayed frame this process already merged (partial
+				// restart); drop it before it is counted or merged.
+				p.rt.ctrs.partialDupFrames.Add(1)
+				continue
+			}
+			s[idx] = struct{}{}
 		}
 		if streaming && !reverse {
 			nrec, err := kv.CountRecords(records)
@@ -570,7 +687,7 @@ func (p *process) dropMerge(k mergeKey, partition int) {
 func (p *process) sendEndMarkers(round int, reverse bool) error {
 	wire := getFrame()
 	defer putFrame(wire)
-	writeFrameHeader(wire, round, endPartition, reverse)
+	writeFrameHeader(wire, round, endPartition, reverse, -1, 0)
 	for dst := 0; dst < p.comm.Size(); dst++ {
 		if err := p.comm.Send(dst, tagData, wire); err != nil {
 			return err
@@ -721,6 +838,19 @@ func (p *process) quiesce() {
 	p.wg.Wait()
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
+	if p.committer != nil {
+		// The transmit stage has exited; drop any uncommitted batch (a
+		// crash at this point would lose it the same way) and let the
+		// committer finish in-flight writes before returning.
+		for task, entries := range p.cpBatch {
+			delete(p.cpBatch, task)
+			for _, e := range entries {
+				putFrame(e.frame)
+			}
+		}
+		close(p.committer.q)
+		<-p.committer.done
+	}
 	for _, w := range p.cpws {
 		if w.f != nil {
 			w.f.Close()

@@ -19,24 +19,37 @@ const (
 
 // ctrlMsg is a command from mpidrun to one worker process.
 type ctrlMsg struct {
-	Type  string   `json:"type"` // runO runA endO endRev reload shutdown
+	Type  string   `json:"type"` // runO runA endO endRev reload rejoin replay shutdown
 	Task  int      `json:"task,omitempty"`
 	Round int      `json:"round"`
 	Skip  int64    `json:"skip,omitempty"`  // records covered by checkpoints
-	Paths []string `json:"paths,omitempty"` // checkpoint chunks to reload
+	Paths []string `json:"paths,omitempty"` // checkpoint chunks to reload/replay
 	// CPSeq seeds the task's checkpoint chunk numbering on a runO.
 	// In-process workers share the master's reload state, but a spawned
 	// worker process cannot see it, so the assignment carries it.
 	CPSeq int `json:"cpSeq,omitempty"`
+	// CPFrames seeds the task's per-partition frame sequence counters on
+	// a runO with the committed frame counts, so a re-run after a partial
+	// restart labels its frames identically to the lost incarnation and
+	// receivers can deduplicate.
+	CPFrames map[int]int64 `json:"cpFrames,omitempty"`
 	// AssignO snapshots the O-task→process binding on a runA in
 	// distributed runs, so reverse (A→O) feedback routes without the
 	// shared assignment table an in-process run reads directly.
 	AssignO []int `json:"assignO,omitempty"`
+	// Rank/Addr identify the replacement worker on a rejoin: survivors
+	// patch their transport directory, then seal every open checkpoint
+	// chunk before acknowledging (the rejoin barrier).
+	Rank int    `json:"rank,omitempty"`
+	Addr string `json:"addr,omitempty"`
+	// ReplayOwner filters a replay: only chunk frames whose partition is
+	// owned by this process are re-sent; -1 replays every frame.
+	ReplayOwner int `json:"replayOwner,omitempty"`
 }
 
 // eventMsg is a report from a worker process to mpidrun.
 type eventMsg struct {
-	Type    string `json:"type"` // oDone aDone reloadDone bye error
+	Type    string `json:"type"` // oDone aDone reloadDone rejoinDone replayDone bye error
 	Task    int    `json:"task,omitempty"`
 	Proc    int    `json:"proc"`
 	Round   int    `json:"round"`

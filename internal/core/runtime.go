@@ -57,6 +57,18 @@ type Runtime struct {
 	cpMu       sync.Mutex
 	cpSeq      map[int]int
 	skipByTask map[int]int64
+	// cpFramesByTask[t][partition] counts the frames committed for task t
+	// per destination partition (under cpMu): a partial-restart re-run
+	// seeds its frame sequence from it so (partition, idx) labels line up
+	// with what receivers already merged.
+	cpFramesByTask map[int]map[int]int64
+
+	// Partial restart (master event loop only; no locking needed).
+	// recoveryArmed is true exactly while a worker death is survivable:
+	// during the O phase of a round, outside recovery processing.
+	recoveryArmed bool
+	respawnsUsed  int
+	reloadProc    map[string]int // chunk path → proc it was re-injected on
 
 	// distMaster/distWorker mark a cross-process run (§IV-B mpidrun as a
 	// real launcher): the master schedules over a caller-provided
@@ -115,9 +127,10 @@ type Result struct {
 }
 
 type runCfg struct {
-	tcp   bool
-	link  *netsim.Link
-	world *mpi.World
+	tcp     bool
+	link    *netsim.Link
+	world   *mpi.World
+	respawn func(rank int) (string, error)
 }
 
 // RunOption configures transport choices for a run.
@@ -128,6 +141,15 @@ func WithTCPTransport() RunOption { return func(c *runCfg) { c.tcp = true } }
 
 // WithLink charges all MPI traffic to the given shaped network link.
 func WithLink(l *netsim.Link) RunOption { return func(c *runCfg) { c.link = l } }
+
+// WithRespawn provides a relauncher for dead worker ranks, enabling
+// partial restart (Config.PartialRestart): when a worker process dies
+// mid-O-phase the master calls respawn(rank), which must start a fresh OS
+// process that re-joins the world at that rank and return its transport
+// address. Only meaningful together with WithWorld.
+func WithRespawn(respawn func(rank int) (addr string, err error)) RunOption {
+	return func(c *runCfg) { c.respawn = respawn }
+}
 
 // WithWorld runs the master over a caller-provided distributed world
 // (mpi.JoinWorld) instead of creating an in-process one: world rank
@@ -166,12 +188,14 @@ func RunContext(ctx context.Context, job *Job, opts ...RunOption) (*Result, erro
 		}
 	}
 	rt := &Runtime{
-		job:        job,
-		id:         runtimeIDs.Add(1),
-		aborted:    make(chan struct{}),
-		failRank:   -1,
-		cpSeq:      map[int]int{},
-		skipByTask: map[int]int64{},
+		job:            job,
+		id:             runtimeIDs.Add(1),
+		aborted:        make(chan struct{}),
+		failRank:       -1,
+		cpSeq:          map[int]int{},
+		skipByTask:     map[int]int64{},
+		cpFramesByTask: map[int]map[int]int64{},
+		reloadProc:     map[string]int{},
 	}
 	rt.abortCtx, rt.abortCancel = context.WithCancel(context.Background())
 	defer rt.abortCancel()
@@ -478,6 +502,11 @@ func (rt *Runtime) recvMasterEvent() (eventMsg, error) {
 			// Deadline tick with no failure recorded yet: consult the
 			// failure detector, then keep waiting.
 			if p := rt.deadWorker(); p >= 0 {
+				if rt.canPartialRestart() {
+					// Surface the death as a synthetic event instead of
+					// failing: the round scheduler recovers just that rank.
+					return eventMsg{Type: "rankDead", Proc: p}, nil
+				}
 				derr := fmt.Errorf("core: worker process %d died: %w", p, mpi.ErrRankDead)
 				rt.fail(derr)
 				return eventMsg{}, derr
@@ -487,6 +516,27 @@ func (rt *Runtime) recvMasterEvent() (eventMsg, error) {
 		return eventMsg{}, err
 	}
 }
+
+// maxPartialRestarts bounds respawns per run: a rank that keeps dying
+// indicates something systemic, so escalate to a whole-attempt failure.
+const maxPartialRestarts = 3
+
+// canPartialRestart reports whether a worker death right now is
+// recoverable in place. Master event loop only.
+func (rt *Runtime) canPartialRestart() bool {
+	return rt.recoveryArmed && rt.job.Conf.PartialRestart && rt.distMaster &&
+		rt.rcfg.respawn != nil && rt.respawnsUsed < maxPartialRestarts
+}
+
+// rankDeadError marks a control send that failed because its target rank
+// is dead, naming the rank so the scheduler can recover it in place.
+type rankDeadError struct {
+	rank int
+	err  error
+}
+
+func (e *rankDeadError) Error() string { return e.err.Error() }
+func (e *rankDeadError) Unwrap() error { return e.err }
 
 // deadWorker returns the lowest dead worker rank, or -1.
 func (rt *Runtime) deadWorker() int {
@@ -585,6 +635,33 @@ func chunkRecordCount(path string) (int64, error) {
 	return int64(binary.BigEndian.Uint64(foot[4:])), nil
 }
 
+// countChunkFrames folds one committed chunk's per-partition frame counts
+// into cpFramesByTask (under cpMu).
+func (rt *Runtime) countChunkFrames(task int, path string) error {
+	counts := map[int]int64{}
+	if _, err := readChunk(path, func(payload []byte) error {
+		partition, _, _, _, _, err := decodePayload(payload)
+		if err != nil {
+			return err
+		}
+		counts[partition]++
+		return nil
+	}); err != nil {
+		return err
+	}
+	rt.cpMu.Lock()
+	m := rt.cpFramesByTask[task]
+	if m == nil {
+		m = map[int]int64{}
+		rt.cpFramesByTask[task] = m
+	}
+	for p, n := range counts {
+		m[p] += n
+	}
+	rt.cpMu.Unlock()
+	return nil
+}
+
 // reload finds complete checkpoint chunks from a previous attempt, assigns
 // them to processes for re-injection, and records per-task skip counts.
 func (rt *Runtime) reload() error {
@@ -603,13 +680,25 @@ func (rt *Runtime) reload() error {
 		if err != nil {
 			continue // incomplete chunk: ignore, do not skip its records
 		}
+		if rt.job.Conf.PartialRestart {
+			// A later partial restart re-runs tasks with seeded frame
+			// numbering; reloaded frames keep their original (partition,
+			// idx) labels, so they must be part of the seed.
+			if err := rt.countChunkFrames(ch.task, ch.path); err != nil {
+				return err
+			}
+		}
 		rt.cpMu.Lock()
 		rt.skipByTask[ch.task] += n
 		if ch.seq >= rt.cpSeq[ch.task] {
 			rt.cpSeq[ch.task] = ch.seq + 1
 		}
 		rt.cpMu.Unlock()
-		perProc[i%rt.job.Procs] = append(perProc[i%rt.job.Procs], ch.path)
+		proc := i % rt.job.Procs
+		perProc[proc] = append(perProc[proc], ch.path)
+		if rt.reloadProc != nil {
+			rt.reloadProc[ch.path] = proc
+		}
 		i++
 	}
 	sentTo := 0
@@ -679,10 +768,25 @@ func (rt *Runtime) runRound(r int) error {
 		rt.assignMu.Unlock()
 		rt.cpMu.Lock()
 		skip := rt.skipByTask[t]
+		seq := rt.cpSeq[t]
+		var cpf map[int]int64
+		if m := rt.cpFramesByTask[t]; len(m) > 0 {
+			cpf = make(map[int]int64, len(m))
+			for part, n := range m {
+				cpf[part] = n
+			}
+		}
 		rt.cpMu.Unlock()
-		return sendCtrl(rt.masterIC, p, ctrlMsg{
-			Type: "runO", Task: t, Round: r, Skip: skip, CPSeq: rt.cpStartSeq(t),
+		err := sendCtrl(rt.masterIC, p, ctrlMsg{
+			Type: "runO", Task: t, Round: r, Skip: skip, CPSeq: seq, CPFrames: cpf,
 		})
+		if err != nil && errors.Is(err, mpi.ErrRankDead) {
+			// The target died between failure-detector sweeps. Name the
+			// rank so the scheduler can recover it in place; the task stays
+			// assigned to p, and the recovery re-queues it.
+			return &rankDeadError{rank: p, err: err}
+		}
+		return err
 	}
 	dispatchO := func() error {
 		var rest []int
@@ -775,6 +879,208 @@ func (rt *Runtime) runRound(r int) error {
 		return nil
 	}
 
+	oDoneTasks := make([]bool, j.NumO)
+	recovering := false
+
+	maybeEndO := func() error {
+		if oDone < j.NumO || endOSent {
+			return nil
+		}
+		endOSent = true
+		rt.recoveryArmed = false // A-side state is not replayable
+		rt.res.OPhaseTimes = append(rt.res.OPhaseTimes, time.Since(roundStart))
+		if err := broadcastCtrl(ctrlMsg{Type: "endO", Round: r}); err != nil {
+			return err
+		}
+		if j.Mode != Streaming {
+			return dispatchA()
+		}
+		return nil
+	}
+	handleODone := func(ev eventMsg) error {
+		oDone++
+		oDoneTasks[ev.Task] = true
+		slotsO[ev.Proc]++
+		if j.Conf.PartialRestart {
+			// A re-run after a partial restart reports only its post-skip
+			// records; the recovery pre-seeded the committed base, so the
+			// sum is the task's full count. (Exclusive of Iteration mode,
+			// whose cumulative per-round reports need the plain overwrite.)
+			rt.res.OTaskSent[ev.Task] += ev.Records
+		} else {
+			rt.res.OTaskSent[ev.Task] = ev.Records
+		}
+		rt.mergeCounters(ev.Counters)
+		if err := dispatchO(); err != nil {
+			return err
+		}
+		if recovering {
+			return nil // endO is decided after the recovery settles
+		}
+		return maybeEndO()
+	}
+	handleADone := func(ev eventMsg) error {
+		aDone++
+		slotsA[ev.Proc]++
+		rt.res.ATaskReceived[ev.Task] = ev.Records
+		rt.mergeCounters(ev.Counters)
+		if endOSent || j.Mode == Streaming {
+			return dispatchA()
+		}
+		return nil
+	}
+	// awaitN pumps the event stream until n events of the wanted type have
+	// arrived, handling ordinary completions in between (survivors keep
+	// working through a recovery).
+	awaitN := func(want string, n int) error {
+		for n > 0 {
+			ev, err := rt.recvMasterEvent()
+			if err != nil {
+				return err
+			}
+			switch ev.Type {
+			case want:
+				n--
+			case "oDone":
+				if err := handleODone(ev); err != nil {
+					return err
+				}
+			case "aDone":
+				if err := handleADone(ev); err != nil {
+					return err
+				}
+			case "error":
+				return eventError(ev)
+			default:
+				return fmt.Errorf("core: unexpected event %q awaiting %s", ev.Type, want)
+			}
+		}
+		return nil
+	}
+
+	// recoverRank restarts only the dead rank (§IV-B fault tolerance,
+	// partial-restart form): survivors keep their merge state and keep
+	// running; the replacement replays committed chunks and re-runs only
+	// the dead rank's O tasks from their checkpoint cut.
+	recoverRank := func(dead int) error {
+		recovering = true
+		rt.recoveryArmed = false // a second death mid-recovery is fatal
+		defer func() { recovering = false }()
+		rt.respawnsUsed++
+		mtb := j.Trace.Rank(j.Procs)
+		tstart := mtb.Start()
+		addr, err := rt.rcfg.respawn(dead)
+		if err != nil {
+			return fmt.Errorf("core: respawning worker %d: %w", dead, err)
+		}
+		if err := rt.world.ReplaceRank(dead, addr); err != nil {
+			return err
+		}
+		// Rejoin barrier: every survivor patches its transport directory
+		// and seals all open checkpoint chunks, so the scan below sees
+		// every frame ever sent (or dropped while the rank was down).
+		for p := 0; p < j.Procs; p++ {
+			if p == dead {
+				continue
+			}
+			if err := sendCtrl(rt.masterIC, p, ctrlMsg{Type: "rejoin", Round: r, Rank: dead, Addr: addr}); err != nil {
+				return err
+			}
+		}
+		if err := awaitN("rejoinDone", j.Procs-1); err != nil {
+			return err
+		}
+		// Scan committed chunks: recompute the dead tasks' skip counts,
+		// chunk numbering and frame labels from scratch (old and new
+		// chunks alike), and split the replay. Dead-task chunks replay
+		// unfiltered — any of their deliveries may have died in a socket
+		// buffer; survivor-task chunks replay only the frames whose
+		// partitions the dead rank owned (its lost merge state).
+		deadTask := map[int]bool{}
+		rt.assignMu.Lock()
+		for t := 0; t < j.NumO; t++ {
+			if rt.assignO[t] == dead {
+				deadTask[t] = true
+			}
+		}
+		rt.assignMu.Unlock()
+		chunks, err := listChunks(j.Conf.CheckpointDir)
+		if err != nil {
+			return err
+		}
+		rt.cpMu.Lock()
+		for t := range deadTask {
+			rt.skipByTask[t] = 0
+			rt.cpSeq[t] = 0
+			delete(rt.cpFramesByTask, t)
+		}
+		rt.cpMu.Unlock()
+		skip := map[int]int64{}
+		var deadPaths, survivorPaths []string
+		for _, ch := range chunks {
+			if deadTask[ch.task] {
+				n, err := chunkRecordCount(ch.path)
+				if err != nil {
+					continue // incomplete: neither counted nor replayed
+				}
+				if err := rt.countChunkFrames(ch.task, ch.path); err != nil {
+					return err
+				}
+				rt.cpMu.Lock()
+				rt.skipByTask[ch.task] += n
+				if ch.seq >= rt.cpSeq[ch.task] {
+					rt.cpSeq[ch.task] = ch.seq + 1
+				}
+				rt.cpMu.Unlock()
+				skip[ch.task] += n
+				deadPaths = append(deadPaths, ch.path)
+				continue
+			}
+			if p, ok := rt.reloadProc[ch.path]; ok && p == dead {
+				// The dead rank was re-injecting this prior-attempt chunk;
+				// whatever was still in its pipeline is gone, so replay it
+				// all (receivers deduplicate).
+				deadPaths = append(deadPaths, ch.path)
+				continue
+			}
+			survivorPaths = append(survivorPaths, ch.path)
+		}
+		if err := sendCtrl(rt.masterIC, dead, ctrlMsg{Type: "replay", Round: r, Paths: deadPaths, ReplayOwner: -1}); err != nil {
+			return err
+		}
+		if err := sendCtrl(rt.masterIC, dead, ctrlMsg{Type: "replay", Round: r, Paths: survivorPaths, ReplayOwner: dead}); err != nil {
+			return err
+		}
+		if err := awaitN("replayDone", 2); err != nil {
+			return err
+		}
+		// Re-queue only the dead rank's tasks; survivors keep everything.
+		for t := range deadTask {
+			if oDoneTasks[t] {
+				oDone--
+				oDoneTasks[t] = false
+			} else {
+				slotsO[dead]++ // its slot died with the old incarnation
+			}
+			// Seed the committed base; the re-run's report adds the rest.
+			rt.res.OTaskSent[t] = skip[t]
+			rt.prefProc[t] = dead
+			oPending = append(oPending, t)
+		}
+		rt.ctrs.partialRestarts.Add(1)
+		mtb.Span(tidControl, "restart.partial", "fault", tstart,
+			map[string]any{"rank": dead, "tasks": len(deadTask),
+				"replayChunks": len(deadPaths) + len(survivorPaths)})
+		recovering = false
+		rt.recoveryArmed = true
+		if err := dispatchO(); err != nil {
+			return err
+		}
+		return maybeEndO()
+	}
+
+	rt.recoveryArmed = j.Conf.PartialRestart && rt.distMaster && rt.rcfg.respawn != nil
+	defer func() { rt.recoveryArmed = false }()
 	if j.Mode == Streaming {
 		if err := dispatchA(); err != nil {
 			return err
@@ -788,41 +1094,30 @@ func (rt *Runtime) runRound(r int) error {
 		if err != nil {
 			return err
 		}
+		var herr error
 		switch ev.Type {
 		case "error":
 			return eventError(ev)
+		case "rankDead":
+			herr = recoverRank(ev.Proc)
 		case "oDone":
-			oDone++
-			slotsO[ev.Proc]++
-			rt.res.OTaskSent[ev.Task] = ev.Records
-			rt.mergeCounters(ev.Counters)
-			if err := dispatchO(); err != nil {
-				return err
-			}
-			if oDone == j.NumO && !endOSent {
-				endOSent = true
-				rt.res.OPhaseTimes = append(rt.res.OPhaseTimes, time.Since(roundStart))
-				if err := broadcastCtrl(ctrlMsg{Type: "endO", Round: r}); err != nil {
-					return err
-				}
-				if j.Mode != Streaming {
-					if err := dispatchA(); err != nil {
-						return err
-					}
-				}
-			}
+			herr = handleODone(ev)
 		case "aDone":
-			aDone++
-			slotsA[ev.Proc]++
-			rt.res.ATaskReceived[ev.Task] = ev.Records
-			rt.mergeCounters(ev.Counters)
-			if endOSent || j.Mode == Streaming {
-				if err := dispatchA(); err != nil {
-					return err
-				}
-			}
+			herr = handleADone(ev)
 		default:
 			return fmt.Errorf("core: unexpected event %q", ev.Type)
+		}
+		if herr != nil {
+			// A control send that hit a dead rank is recoverable too: the
+			// death just surfaced on the master's side first.
+			var rde *rankDeadError
+			if errors.As(herr, &rde) && rt.canPartialRestart() {
+				if err := recoverRank(rde.rank); err != nil {
+					return err
+				}
+				continue
+			}
+			return herr
 		}
 	}
 	if n := len(rt.res.OPhaseTimes); n > 0 {

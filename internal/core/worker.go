@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"datampi/internal/kv"
 )
 
 // workerLoop is a worker process's control loop: it receives scheduling
@@ -34,7 +36,20 @@ func (rt *Runtime) workerLoop(p *process) {
 		case "reload":
 			p.wg.Add(1)
 			go func() { defer p.wg.Done(); rt.reloadChunks(p, cmd) }()
+		case "rejoin":
+			p.wg.Add(1)
+			go func() { defer p.wg.Done(); rt.rejoinRank(p, cmd) }()
+		case "replay":
+			p.wg.Add(1)
+			go func() { defer p.wg.Done(); rt.replayChunks(p, cmd) }()
 		case "shutdown":
+			// Let in-flight transmits (and their trailing cpSeal items)
+			// drain, then wait out the async committer, so the bye event's
+			// counter snapshot includes every committed chunk.
+			_ = p.flushQueue()
+			if p.committer != nil {
+				p.committer.drain()
+			}
 			p.shutdown()
 			rt.reportEvent(p, rt.byeEvent(p))
 			return
@@ -95,6 +110,12 @@ func (rt *Runtime) taskContext(p *process, task int, isO bool, skip int64) *Cont
 func (rt *Runtime) runOTask(p *process, cmd ctrlMsg) {
 	tstart := p.tb.Start()
 	ctx := rt.taskContext(p, cmd.Task, true, cmd.Skip)
+	if len(cmd.CPFrames) > 0 {
+		// Start frame numbering after the committed frames, so this run
+		// reproduces the lost incarnation's (partition, idx) labels and
+		// receivers can drop what they already merged.
+		ctx.spl.seedFrameSeq(cmd.CPFrames)
+	}
 	ctx.round = cmd.Round
 	ctx.it, ctx.grouper, ctx.streamCh = nil, nil, nil
 	// In Iteration mode the O task first consumes the feedback the A side
@@ -115,6 +136,17 @@ func (rt *Runtime) runOTask(p *process, cmd ctrlMsg) {
 	err := rt.runUser(rt.job.OTask, ctx)
 	if err == nil {
 		err = ctx.flushSends()
+	}
+	if err == nil && rt.job.Conf.PartialRestart {
+		// Under partial restart, oDone means "durable": the master's endO
+		// broadcast (sent once every O task is done) closes the recovery
+		// window, so a task may only report done once its frames are
+		// transmitted and its checkpoint chunks committed — a death during
+		// the commit tail must still land inside the window.
+		err = p.flushQueue()
+		if err == nil && p.committer != nil {
+			p.committer.drain()
+		}
 	}
 	if rt.job.Mode == Iteration && cmd.Round > 0 {
 		p.dropMerge(mergeKey{round: cmd.Round - 1, reverse: true}, cmd.Task)
@@ -212,17 +244,19 @@ func (rt *Runtime) reloadChunks(p *process, cmd ctrlMsg) {
 	var total int64
 	for _, path := range cmd.Paths {
 		n, err := readChunk(path, func(payload []byte) error {
-			partition, reverse, records, err := decodePayload(payload)
+			partition, reverse, task, idx, records, err := decodePayload(payload)
 			if err != nil {
 				return err
 			}
 			return p.submit(sendItem{
-				task:      -1,
+				task:      task,
 				partition: partition,
 				reverse:   reverse,
-				// Chunk payloads are headerless record bytes; wrap them
-				// into a framed buffer for the zero-copy transmit path.
+				// Chunk payloads carry their own (partition, task, idx)
+				// header followed by record bytes; wrap the records into a
+				// framed buffer for the zero-copy transmit path.
 				data:         frameWithRecords(records),
+				idx:          idx,
 				prepared:     true,
 				noCheckpoint: true,
 			}, cmd.Round)
@@ -234,4 +268,72 @@ func (rt *Runtime) reloadChunks(p *process, cmd ctrlMsg) {
 		total += n
 	}
 	rt.reportEvent(p, eventMsg{Type: "reloadDone", Records: total})
+}
+
+// rejoinRank patches this survivor's transport directory for a respawned
+// rank, then runs the rejoin barrier: once ReplaceRank returns no more
+// frames are dropped on the dead rank, and the seal-all cpSeal pushed
+// through the pipeline commits every open chunk — including any frames
+// dropped or lost while the rank was down. The master scans for
+// replayable chunks only after every survivor has acknowledged.
+func (rt *Runtime) rejoinRank(p *process, cmd ctrlMsg) {
+	if err := rt.world.ReplaceRank(cmd.Rank, cmd.Addr); err != nil {
+		rt.taskFailed(p, err)
+		return
+	}
+	if err := p.submit(sendItem{task: -1, cpSeal: true}, cmd.Round); err != nil {
+		rt.taskFailed(p, err)
+		return
+	}
+	if err := p.flushQueue(); err != nil {
+		rt.taskFailed(p, err)
+		return
+	}
+	rt.reportEvent(p, eventMsg{Type: "rejoinDone"})
+}
+
+// replayChunks re-sends committed chunk frames after a partial restart.
+// ReplayOwner >= 0 narrows the replay to frames whose partition that
+// process owns (the frames the dead rank may never have merged); -1
+// replays every frame (chunks of the dead rank's own tasks, whose
+// deliveries anywhere are uncertain). Receivers drop duplicates by
+// (task, partition, idx), so over-replaying is safe.
+func (rt *Runtime) replayChunks(p *process, cmd ctrlMsg) {
+	var total int64
+	for _, path := range cmd.Paths {
+		_, err := readChunk(path, func(payload []byte) error {
+			partition, reverse, task, idx, records, err := decodePayload(payload)
+			if err != nil {
+				return err
+			}
+			if cmd.ReplayOwner >= 0 && rt.ownerProc(partition) != cmd.ReplayOwner {
+				return nil
+			}
+			nrec, err := kv.CountRecords(records)
+			if err != nil {
+				return err
+			}
+			total += nrec
+			return p.submit(sendItem{
+				task:         task,
+				partition:    partition,
+				reverse:      reverse,
+				data:         frameWithRecords(records),
+				records:      nrec,
+				idx:          idx,
+				prepared:     true,
+				noCheckpoint: true,
+			}, cmd.Round)
+		})
+		if err != nil {
+			rt.taskFailed(p, err)
+			return
+		}
+	}
+	if err := p.flushQueue(); err != nil {
+		rt.taskFailed(p, err)
+		return
+	}
+	rt.ctrs.partialReplayed.Add(total)
+	rt.reportEvent(p, eventMsg{Type: "replayDone", Records: total})
 }

@@ -63,6 +63,15 @@ type Cluster struct {
 	relayWG sync.WaitGroup
 	waitWG  sync.WaitGroup
 
+	// addrs is the joined directory (worker transport addrs plus the
+	// launcher's, index Procs), kept so Respawn can hand a replacement
+	// worker a patched copy. gen numbers respawned incarnations, and
+	// spawns[r] counts rank r's (so Shutdown can tell a respawned rank's
+	// live process from its dead predecessor's exit record).
+	addrs  []string
+	gen    atomic.Int64
+	spawns []int
+
 	closing atomic.Bool
 	mu      sync.Mutex
 	exits   []WorkerExit
@@ -147,6 +156,11 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	c.world = world
+	c.addrs = append([]string(nil), addrs...)
+	c.spawns = make([]int, cfg.Procs)
+	for i := range c.spawns {
+		c.spawns[i] = 1
+	}
 	for r, cmd := range c.cmds {
 		c.waitWG.Add(1)
 		go c.watch(r, cmd)
@@ -187,6 +201,79 @@ func (c *Cluster) watch(rank int, cmd *exec.Cmd) {
 	}
 }
 
+// Respawn starts a replacement OS process for a dead worker rank and
+// completes a one-worker re-rendezvous with it, returning the
+// replacement's transport address. It is the launcher half of a partial
+// restart (core.WithRespawn): survivors keep running; only the named
+// rank gets a fresh process. The replacement's attempt number is bumped
+// past 0 so attempt-0-armed chaos failpoints stay disarmed.
+func (c *Cluster) Respawn(rank int) (string, error) {
+	if rank < 0 || rank >= c.cfg.Procs {
+		return "", fmt.Errorf("launch: respawn rank %d out of range", rank)
+	}
+	exe := c.cfg.Exe
+	if exe == "" {
+		var err error
+		exe, err = os.Executable()
+		if err != nil {
+			return "", fmt.Errorf("launch: cannot locate worker binary: %w", err)
+		}
+	}
+	rv, err := mpi.NewRendezvous(1, bootstrapTimeout)
+	if err != nil {
+		return "", err
+	}
+	attempt := c.cfg.Attempt + int(c.gen.Add(1))
+	cmd := exec.Command(exe, c.cfg.Args...)
+	cmd.Env = append(os.Environ(),
+		fmt.Sprintf("%s=%d", EnvWorkerRank, rank),
+		fmt.Sprintf("%s=%d", EnvProcs, c.cfg.Procs),
+		fmt.Sprintf("%s=%s", EnvRendezvous, rv.Addr()),
+		fmt.Sprintf("%s=%d", EnvAttempt, attempt),
+		fmt.Sprintf("%s=%d", EnvIOTimeout, c.cfg.IOTimeout.Milliseconds()),
+	)
+	cmd.Env = append(cmd.Env, c.cfg.ExtraEnv...)
+	stdin, err := cmd.StdinPipe()
+	var stdout, stderrp io.ReadCloser
+	if err == nil {
+		if stdout, err = cmd.StdoutPipe(); err == nil {
+			stderrp, err = cmd.StderrPipe()
+		}
+	}
+	if err == nil {
+		err = cmd.Start()
+	}
+	if err != nil {
+		rv.Close()
+		return "", fmt.Errorf("launch: respawning worker %d: %w", rank, err)
+	}
+	c.relay(rank, stdout)
+	c.relay(rank, stderrp)
+	addr, err := rv.WaitOne(rank, func(newAddr string) []string {
+		c.mu.Lock()
+		dir := append([]string(nil), c.addrs...)
+		c.mu.Unlock()
+		dir[rank] = newAddr
+		return dir
+	})
+	rv.Close()
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", err
+	}
+	c.mu.Lock()
+	c.addrs[rank] = addr
+	c.cmds[rank] = cmd
+	c.stdins[rank] = stdin
+	c.spawns[rank]++
+	c.mu.Unlock()
+	c.waitWG.Add(1)
+	go c.watch(rank, cmd)
+	fmt.Fprintf(c.cfg.Output, "[launcher] respawned worker %d (attempt %d) at %s\n", rank, attempt, addr)
+	return addr, nil
+}
+
 // killAll SIGKILLs every spawned child (bootstrap-failure path).
 func (c *Cluster) killAll() {
 	for _, cmd := range c.cmds {
@@ -216,13 +303,14 @@ func (c *Cluster) Shutdown() []WorkerExit {
 	case <-done:
 	case <-time.After(termGrace):
 		c.mu.Lock()
-		exited := make(map[int]bool, len(c.exits))
+		exited := make(map[int]int, len(c.exits))
 		for _, e := range c.exits {
-			exited[e.Rank] = true
+			exited[e.Rank]++
 		}
+		cmds := append([]*exec.Cmd(nil), c.cmds...)
 		c.mu.Unlock()
-		for r, cmd := range c.cmds {
-			if !exited[r] && cmd.Process != nil {
+		for r, cmd := range cmds {
+			if exited[r] < c.spawns[r] && cmd.Process != nil {
 				cmd.Process.Kill()
 				killed[r] = true
 			}

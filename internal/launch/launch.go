@@ -79,7 +79,11 @@ func launchAttempt(spec *JobSpec, specEnv string, opt Options, attempt int) (*co
 		return nil, err
 	}
 	job := spec.BuildJob(-1, attempt, opt.Trace)
-	res, err := core.RunContext(opt.Ctx, job, core.WithWorld(cluster.World()))
+	runOpts := []core.RunOption{core.WithWorld(cluster.World())}
+	if spec.PartialRestart {
+		runOpts = append(runOpts, core.WithRespawn(cluster.Respawn))
+	}
+	res, err := core.RunContext(opt.Ctx, job, runOpts...)
 	cluster.Shutdown()
 	return res, err
 }

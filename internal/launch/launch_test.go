@@ -49,6 +49,8 @@ func (w *syncWriter) String() string {
 func runOracle(t *testing.T, spec JobSpec) *core.Result {
 	t.Helper()
 	spec.KillAfterChunks = 0 // failpoints are a process-launch concern
+	spec.FailCPCommit = 0
+	spec.PartialRestart = false
 	spec.FT = false
 	spec.CheckpointDir = ""
 	if err := spec.Normalize(); err != nil {

@@ -1,0 +1,121 @@
+package launch
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datampi/internal/trace"
+)
+
+// SIGKILL one worker inside a checkpoint commit — after the chunk's tmp
+// file is fsynced, before the atomic rename — and require the launcher to
+// recover it with a partial restart: only the dead rank gets a new OS
+// process, survivors keep theirs, the torn commit is treated as if it
+// never happened, and the output is byte-identical to a clean run.
+func TestProcPartialRestartMidCommitKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	base := t.TempDir()
+	spec := JobSpec{
+		App: "wordcount", NumO: 6, NumA: 4, Procs: 3,
+		Lines: 1200, Seed: 5, SPLBytes: 4096,
+		OutDir: filepath.Join(base, "proc"),
+		FT:     true, CheckpointDir: filepath.Join(base, "cp"), CheckpointRecords: 300,
+		PartialRestart: true,
+		KillRank:       1, FailCPCommit: 2,
+		IOTimeoutMs: 500,
+	}
+	ospec := spec
+	ospec.OutDir = filepath.Join(base, "oracle")
+	ores := runOracle(t, ospec)
+
+	out := &syncWriter{}
+	tr := trace.New()
+	res, err := Launch(&spec, Options{Output: out, Trace: tr})
+	if err != nil {
+		t.Fatalf("Launch after mid-commit kill: %v\nworker output:\n%s", err, out.String())
+	}
+	checkPartsEqual(t, readParts(t, spec.OutDir, spec.NumA), readParts(t, ospec.OutDir, spec.NumA))
+	// Per-task accounting must cover the full input exactly once: the
+	// recovery pre-seeds each restarted task's committed base and the
+	// re-run adds only its post-skip records.
+	var totalO int64
+	for _, n := range res.OTaskSent {
+		totalO += n
+	}
+	if totalO != ores.RecordsSent {
+		t.Errorf("sum(OTaskSent) = %d, want %d (oracle)", totalO, ores.RecordsSent)
+	}
+	// The committed prefix was replayed from chunks, not re-sent.
+	if res.RecordsSent >= ores.RecordsSent {
+		t.Errorf("RecordsSent = %d, want < %d: the restarted tasks re-sent their committed prefix", res.RecordsSent, ores.RecordsSent)
+	}
+
+	log := out.String()
+	// The whole point: the fleet was never relaunched. The dead rank was
+	// respawned in place instead.
+	if strings.Contains(log, "relaunching from checkpoints") {
+		t.Errorf("whole-attempt relaunch happened; partial restart did not engage:\n%s", log)
+	}
+	if !strings.Contains(log, "respawned worker 1") {
+		t.Errorf("launcher never respawned worker 1; output:\n%s", log)
+	}
+	if n := res.RuntimeCounters["restart.partial.restarts"]; n != 1 {
+		t.Errorf("restart.partial.restarts = %d, want 1", n)
+	}
+	if res.RuntimeCounters["restart.partial.replayed.records"] == 0 {
+		t.Error("partial restart replayed no checkpointed records")
+	}
+
+	// Per-rank pid stability, proven by the merged trace: every worker
+	// stamps a proc.start instant with its OS pid and attempt number.
+	// Survivor ranks must have exactly one, at attempt 0; the killed rank
+	// must additionally have a respawned incarnation at attempt >= 1.
+	type start struct{ pid, attempt int }
+	starts := map[int][]start{}
+	var sawRestartSpan bool
+	for _, e := range tr.Events() {
+		if e.Name == "proc.start" {
+			// Args survive a JSON round-trip from the worker, so numbers
+			// arrive as float64.
+			pid, _ := e.Args["pid"].(float64)
+			attempt, _ := e.Args["attempt"].(float64)
+			starts[e.PID] = append(starts[e.PID], start{int(pid), int(attempt)})
+		}
+		if e.Name == "restart.partial" && e.PID == spec.Procs {
+			sawRestartSpan = true
+		}
+	}
+	for _, r := range []int{0, 2} {
+		ss := starts[r]
+		if len(ss) != 1 || ss[0].attempt != 0 {
+			t.Errorf("survivor rank %d proc.start events = %v, want one at attempt 0", r, ss)
+		}
+	}
+	// The SIGKILLed incarnation's trace buffer died with it (a worker's
+	// trace rides on its final bye), so rank 1's surviving proc.start must
+	// be the respawned incarnation's — attempt >= 1, in a fresh process.
+	kills := starts[spec.KillRank]
+	if len(kills) == 0 {
+		t.Fatalf("killed rank %d has no proc.start event from its replacement", spec.KillRank)
+	}
+	respawned := 0
+	for _, s := range kills {
+		if s.attempt >= 1 {
+			respawned++
+			for _, r := range []int{0, 2} {
+				if len(starts[r]) > 0 && starts[r][0].pid == s.pid {
+					t.Errorf("replacement for rank %d reused survivor rank %d's pid %d", spec.KillRank, r, s.pid)
+				}
+			}
+		}
+	}
+	if respawned == 0 {
+		t.Errorf("killed rank %d never restarted at attempt >= 1: %v", spec.KillRank, kills)
+	}
+	if !sawRestartSpan {
+		t.Error("merged trace has no restart.partial span on the master row")
+	}
+}

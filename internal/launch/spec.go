@@ -8,7 +8,9 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"datampi/internal/core"
@@ -47,6 +49,11 @@ type JobSpec struct {
 	SPLBytes    int   `json:"splBytes,omitempty"`
 	IOTimeoutMs int64 `json:"ioTimeoutMs,omitempty"`
 
+	// PartialRestart recovers a dead worker by respawning just that rank
+	// (core.Config.PartialRestart + core.WithRespawn) instead of
+	// relaunching the whole attempt.
+	PartialRestart bool `json:"partialRestart,omitempty"`
+
 	// Chaos failpoint: on attempt 0, worker process KillRank SIGKILLs
 	// itself as soon as KillAfterChunks complete checkpoint chunks are
 	// visible in CheckpointDir — mid-shuffle, but with recoverable state
@@ -55,6 +62,13 @@ type JobSpec struct {
 	// record-count trigger fires before anything is checkpointed.)
 	KillRank        int `json:"killRank,omitempty"`
 	KillAfterChunks int `json:"killAfterChunks,omitempty"`
+
+	// FailCPCommit is a sharper chaos failpoint: on attempt 0, worker
+	// KillRank SIGKILLs itself inside its FailCPCommit-th checkpoint
+	// commit — after the chunk's tmp file is fully written and fsynced,
+	// before the atomic rename publishes it. Recovery must treat the torn
+	// commit as if it never happened.
+	FailCPCommit int `json:"failCPCommit,omitempty"`
 }
 
 // Normalize fills defaults and validates the spec.
@@ -91,6 +105,12 @@ func (s *JobSpec) Normalize() error {
 	if s.KillAfterChunks > 0 && !s.FT {
 		return fmt.Errorf("launch: KillAfterChunks requires FT (the trigger watches CheckpointDir)")
 	}
+	if s.FailCPCommit > 0 && !s.FT {
+		return fmt.Errorf("launch: FailCPCommit requires FT (the trigger is the checkpoint committer)")
+	}
+	if s.PartialRestart && !s.FT {
+		return fmt.Errorf("launch: PartialRestart requires FT")
+	}
 	return nil
 }
 
@@ -117,10 +137,23 @@ func (s *JobSpec) BuildJob(workerRank, attempt int, tr *trace.Tracer) *core.Job 
 			FaultTolerance:    s.FT,
 			CheckpointDir:     s.CheckpointDir,
 			CheckpointRecords: s.CheckpointRecords,
+			PartialRestart:    s.PartialRestart,
 			IOTimeout:         s.IOTimeout(),
+			Extra:             map[string]string{"attempt": strconv.Itoa(attempt)},
 		},
 		NumO: s.NumO, NumA: s.NumA, Procs: s.Procs, Slots: s.Slots,
 		Trace: tr,
+	}
+	if s.FailCPCommit > 0 && workerRank == s.KillRank && attempt == 0 {
+		// Die mid-commit: the chunk's tmp file is durable but unpublished.
+		var commits atomic.Int64
+		target := int64(s.FailCPCommit)
+		job.Conf.CheckpointCommitHook = func(task, seq int) error {
+			if commits.Add(1) == target {
+				sigkillSelf()
+			}
+			return nil
+		}
 	}
 	switch s.App {
 	case "wordcount":

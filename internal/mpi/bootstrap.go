@@ -303,6 +303,45 @@ func (rv *Rendezvous) Wait(launcherAddr string) ([]string, error) {
 	return dir, nil
 }
 
+// WaitOne blocks until the single expected worker rank has registered,
+// answers it with the directory dir(addr) — the caller patches its saved
+// directory with the replacement's fresh transport address — and returns
+// that address. It is the re-rendezvous of a partial restart: one
+// respawned rank bootstraps against a launcher whose other workers are
+// still running. Garbage hellos and wrong ranks are rejected without
+// aborting the wait; the deadline bounds everything, as in Wait.
+func (rv *Rendezvous) WaitOne(rank int, dir func(addr string) []string) (string, error) {
+	deadline := time.Now().Add(rv.timeout)
+	if tl, ok := rv.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	defer rv.ln.Close()
+	for {
+		conn, err := rv.ln.Accept()
+		if err != nil {
+			return "", handshakeErr(wrapNetErr(err), "mpi: re-rendezvous for rank %d", rank)
+		}
+		conn.SetDeadline(deadline)
+		r, addr, err := readHello(conn)
+		switch {
+		case err != nil:
+			writeReject(conn, bootStatusBadHello, err.Error())
+			conn.Close()
+		case r != rank:
+			writeReject(conn, bootStatusBadRank,
+				fmt.Sprintf("rank %d not expected (re-rendezvous for %d)", r, rank))
+			conn.Close()
+		default:
+			err := writeDirectory(conn, dir(addr))
+			conn.Close()
+			if err != nil {
+				return "", handshakeErr(wrapNetErr(err), "mpi: sending directory to rank %d", rank)
+			}
+			return addr, nil
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Worker side
 

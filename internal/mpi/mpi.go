@@ -314,6 +314,57 @@ func (w *World) RankDead(worldRank int) bool {
 	return w.dead[worldRank]
 }
 
+// ReplaceRank rewires a distributed world around a respawned worldRank
+// now listening at addr: the stale directory entry, send connections and
+// sequence counters toward the rank, and the receive-stream state from
+// its old incarnation are dropped, and the rank's dead mark is cleared
+// so traffic flows to the replacement. Only valid on worlds using the
+// TCP transport (JoinWorld).
+//
+// A lingering frame from the old incarnation still buffered on a dying
+// socket could in principle re-create receive-stream state after the
+// reset; in practice failure detection runs on second-scale timeouts
+// while a killed process's sockets drain in milliseconds, so the old
+// incarnation is long gone by the time anyone calls ReplaceRank.
+func (w *World) ReplaceRank(worldRank int, addr string) error {
+	if worldRank < 0 || worldRank >= w.size {
+		return fmt.Errorf("mpi: replace rank %d of world size %d", worldRank, w.size)
+	}
+	tc, ok := w.tr.(*tcpTransport)
+	if !ok {
+		return errors.New("mpi: ReplaceRank requires the TCP transport")
+	}
+	// Receive streams are keyed by the sender's rank within each
+	// communicator; snapshot the replaced rank's comm ranks so the
+	// transport can clear the old incarnation's stream state.
+	commRanks := map[uint32]int{}
+	w.mu.Lock()
+	for id, peers := range w.comms {
+		if c := peers[worldRank]; c != nil {
+			commRanks[id] = c.myRank
+		}
+	}
+	w.mu.Unlock()
+	tc.replaceRank(worldRank, addr, commRanks)
+	w.deadMu.Lock()
+	delete(w.dead, worldRank)
+	w.deadMu.Unlock()
+	// Wake receivers that observed the rank as dead.
+	w.mu.Lock()
+	for _, peers := range w.comms {
+		for _, c := range peers {
+			if c == nil {
+				continue
+			}
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}
+	}
+	w.mu.Unlock()
+	return nil
+}
+
 // registerHandle parks a communicator handle for pickup by another rank
 // (used by Split to distribute the per-rank handles it creates).
 func (w *World) registerHandle(c *Comm) int {

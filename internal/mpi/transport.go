@@ -548,6 +548,42 @@ func (t *tcpTransport) resetPair(comm uint32, srcRank int32, dst int) {
 	}
 }
 
+// replaceRank rewires the transport around a respawned rank: the address
+// directory points at the replacement, outgoing connections and sequence
+// counters toward the rank are dropped (the new incarnation expects every
+// stream to restart at sequence 0), and receive-stream ordering state
+// from the old incarnation is cleared so the replacement's streams are
+// admitted from scratch. commRanks maps communicator id -> the replaced
+// rank's rank within that communicator, the key space of incoming
+// streams.
+func (t *tcpTransport) replaceRank(worldRank int, addr string, commRanks map[uint32]int) {
+	t.mu.Lock()
+	t.addrs[worldRank] = addr
+	var stale []*tcpConn
+	for key, tc := range t.conns {
+		if key[2] == worldRank {
+			stale = append(stale, tc)
+			delete(t.conns, key)
+		}
+	}
+	for key := range t.sendSeq {
+		if key[2] == worldRank {
+			delete(t.sendSeq, key)
+		}
+	}
+	t.mu.Unlock()
+	for _, tc := range stale {
+		tc.c.Close()
+	}
+	t.rdMu.Lock()
+	for key := range t.streams {
+		if cr, ok := commRanks[uint32(key[0])]; ok && key[1] == cr {
+			delete(t.streams, key)
+		}
+	}
+	t.rdMu.Unlock()
+}
+
 func (t *tcpTransport) recv(r int) (frame, bool) {
 	if t.inboxes[r] == nil {
 		return frame{}, false // remote rank of a distributed world
