@@ -16,6 +16,7 @@
 //	benchsuite -regress [-quick] [-bench-out BENCH_shuffle.json]
 //	           [-against BENCH_shuffle.json] [-trace out.json]
 //	           [-prepare-workers N] [-merge-workers N]
+//	           [-coalesce-off] [-mux-off]
 package main
 
 import (
@@ -42,6 +43,8 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	prepWorkers := flag.Int("prepare-workers", 0, "with -regress: shuffle prepare-pool width (0 = GOMAXPROCS)")
 	mergeWorkers := flag.Int("merge-workers", 0, "with -regress: A-side merge-pool width (0 = GOMAXPROCS)")
+	coalesceOff := flag.Bool("coalesce-off", false, "with -regress: disable transport send coalescing (flush per frame)")
+	muxOff := flag.Bool("mux-off", false, "with -regress: disable connection multiplexing (one conn per comm/rank/dest)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -60,6 +63,8 @@ func main() {
 	if *regress {
 		o.PrepareWorkers = *prepWorkers
 		o.MergeWorkers = *mergeWorkers
+		o.CoalesceOff = *coalesceOff
+		o.MuxOff = *muxOff
 		runRegress(o, *quick, *benchOut, *against, *tracePath)
 		return
 	}

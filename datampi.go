@@ -254,9 +254,13 @@ func RunContext(ctx context.Context, job *Job, opts ...RunOption) (*Result, erro
 			job.Conf.IOTimeout = 10 * time.Second
 		}
 		cl, cerr := launch.StartCluster(launch.ClusterConfig{
-			Procs:     job.Procs,
-			IOTimeout: job.Conf.IOTimeout,
-			Output:    rc.procOutput,
+			Procs:            job.Procs,
+			IOTimeout:        job.Conf.IOTimeout,
+			Output:           rc.procOutput,
+			CoalesceOff:      job.Conf.CoalesceOff,
+			MuxOff:           job.Conf.MuxOff,
+			CoalesceBytes:    job.Conf.CoalesceBytes,
+			CoalesceDeadline: job.Conf.CoalesceDeadline,
 		})
 		if cerr != nil {
 			return nil, &RunError{Phase: "launch", Rank: -1, Err: cerr}

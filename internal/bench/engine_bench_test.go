@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"testing"
+
+	"datampi/internal/core"
+)
+
+// Progress-engine A/B benchmarks: the same TCP shuffle under the engine
+// and its ablations, runnable interleaved (-count=N) so machine drift
+// does not masquerade as an engine effect the way two separate
+// benchsuite processes can.
+func BenchmarkShuffleTCP(b *testing.B) {
+	const records = 4000
+	for _, c := range []struct {
+		name                string
+		coalesceOff, muxOff bool
+	}{
+		{"engine-on", false, false},
+		{"coalesce-off", true, false},
+		{"mux-off", false, true},
+		{"engine-off", true, true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res *core.Result
+			fn := shuffleJob(records, 0, 0, true, c.coalesceOff, c.muxOff, &res)
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -28,6 +28,12 @@ type Opts struct {
 	// MergeWorkers overrides the A-side merge-pool width for the
 	// regression harness (0 = the runtime default, GOMAXPROCS).
 	MergeWorkers int
+	// CoalesceOff / MuxOff run the regression harness under the transport
+	// progress-engine ablations: flush-per-frame sends and
+	// connection-per-(comm,rank,dst) instead of coalesced batches over one
+	// multiplexed conn per peer.
+	CoalesceOff bool
+	MuxOff      bool
 }
 
 // Quick returns the small test-suite sizing.

@@ -50,7 +50,7 @@ type RegressReport struct {
 // the timed loop exercises SendRecord (the hot-path API), not fmt or
 // interface boxing, while emitting byte-identical records to the historic
 // Send-based job so the counter baselines stay comparable.
-func shuffleJob(records, prepWorkers, mergeWorkers int, tcp bool, res **core.Result) func() error {
+func shuffleJob(records, prepWorkers, mergeWorkers int, tcp, coalesceOff, muxOff bool, res **core.Result) func() error {
 	keys := make([][]byte, 257)
 	for i := range keys {
 		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
@@ -63,6 +63,8 @@ func shuffleJob(records, prepWorkers, mergeWorkers int, tcp bool, res **core.Res
 				ValueCodec:     kv.Int64,
 				PrepareWorkers: prepWorkers,
 				MergeWorkers:   mergeWorkers,
+				CoalesceOff:    coalesceOff,
+				MuxOff:         muxOff,
 			},
 			NumO: 4, NumA: 2, Procs: 2, Slots: 2,
 			OTask: func(ctx *core.Context) error {
@@ -268,11 +270,26 @@ func Regress(o Opts, quick bool, tr *trace.Tracer) (*RegressReport, error) {
 		shuffleRecords = 4000
 	}
 	var sres *core.Result
-	if err := add("shuffle/mem", &sres, shuffleJob(shuffleRecords, o.PrepareWorkers, o.MergeWorkers, false, &sres)); err != nil {
+	if err := add("shuffle/mem", &sres, shuffleJob(shuffleRecords, o.PrepareWorkers, o.MergeWorkers, false, o.CoalesceOff, o.MuxOff, &sres)); err != nil {
 		return nil, err
 	}
 	var tres *core.Result
-	if err := add("shuffle/tcp", &tres, shuffleJob(shuffleRecords, o.PrepareWorkers, o.MergeWorkers, true, &tres)); err != nil {
+	if err := add("shuffle/tcp", &tres, shuffleJob(shuffleRecords, o.PrepareWorkers, o.MergeWorkers, true, o.CoalesceOff, o.MuxOff, &tres)); err != nil {
+		return nil, err
+	}
+
+	// Progress-engine ablation pair: the same TCP shuffle with coalescing
+	// off (flush per frame) and with multiplexing off (one conn per
+	// (comm, rank, dst) triple). Their ns/op against shuffle/tcp is the
+	// engine's measured win; their job counters must match it exactly.
+	var tcoff *core.Result
+	if err := add("shuffle/tcp-coalesce-off", &tcoff,
+		shuffleJob(shuffleRecords, o.PrepareWorkers, o.MergeWorkers, true, true, o.MuxOff, &tcoff)); err != nil {
+		return nil, err
+	}
+	var tmoff *core.Result
+	if err := add("shuffle/tcp-mux-off", &tmoff,
+		shuffleJob(shuffleRecords, o.PrepareWorkers, o.MergeWorkers, true, o.CoalesceOff, true, &tmoff)); err != nil {
 		return nil, err
 	}
 
@@ -319,7 +336,7 @@ func Regress(o Opts, quick bool, tr *trace.Tracer) (*RegressReport, error) {
 	}
 	defer os.RemoveAll(cpRoot)
 	var coff *core.Result
-	if err := add("checkpoint/off", &coff, shuffleJob(shuffleRecords, 0, 0, false, &coff)); err != nil {
+	if err := add("checkpoint/off", &coff, shuffleJob(shuffleRecords, 0, 0, false, false, false, &coff)); err != nil {
 		return nil, err
 	}
 	var casync *core.Result

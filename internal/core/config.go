@@ -154,6 +154,29 @@ type Config struct {
 	// persisted different sizes of checkpoints".
 	InjectFailAfterCPRecords int64
 
+	// CoalesceOff disables the TCP transport's send progress engine
+	// (ablation): every frame is written synchronously in its own vectored
+	// write, the pre-engine flush-per-frame behaviour. With the default
+	// engine, sends deposit frames into a per-connection batch that a
+	// writer goroutine drains in single vectored writes; job counters are
+	// byte-identical either way — only the mpi.* wire counters may differ.
+	CoalesceOff bool
+
+	// MuxOff disables the TCP transport's connection multiplexing
+	// (ablation): each (communicator, sender rank, destination) triple
+	// dials its own connection, the pre-engine O(comms·ranks) socket
+	// layout, instead of all streams toward a destination sharing one.
+	MuxOff bool
+
+	// CoalesceBytes / CoalesceDeadline tune the progress engine: a frame
+	// of CoalesceBytes or more, or a batch reaching CoalesceBytes, forces
+	// an immediate flush; otherwise the writer drains eagerly (batching
+	// emerges while the socket is busy), unless a positive
+	// CoalesceDeadline holds sub-threshold batches open that long. Zero
+	// CoalesceBytes keeps the 16 KiB default; zero deadline = eager drain.
+	CoalesceBytes    int
+	CoalesceDeadline time.Duration
+
 	// AsyncCheckpointOff disables the double-buffered asynchronous
 	// checkpoint committer (ablation): chunk appends and seals run inline
 	// on the transmit path, as the pre-async implementation did. With the

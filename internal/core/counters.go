@@ -120,6 +120,24 @@ func (rc *runtimeCounters) snapshot(ws mpi.Stats) map[string]int64 {
 	out["mpi.bytes.received"] = ws.BytesRecv
 	out["mpi.send.retries"] = ws.SendRetries
 	out["mpi.dials"] = ws.Dials
+	// Progress-engine wire counters appear only when nonzero, so mem-
+	// transport runs (and the CoalesceOff/MuxOff ablations where a meter
+	// never fires) keep an identical counter set.
+	if ws.CoalesceBatches != 0 {
+		out["mpi.coalesce.batches"] = ws.CoalesceBatches
+	}
+	if ws.CoalesceFlushSize != 0 {
+		out["mpi.coalesce.flush.size"] = ws.CoalesceFlushSize
+	}
+	if ws.CoalesceFlushDeadline != 0 {
+		out["mpi.coalesce.flush.deadline"] = ws.CoalesceFlushDeadline
+	}
+	if ws.MuxConns != 0 {
+		out["mpi.mux.conns"] = ws.MuxConns
+	}
+	if ws.WritevCalls != 0 {
+		out["mpi.writev.calls"] = ws.WritevCalls
+	}
 	return out
 }
 

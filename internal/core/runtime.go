@@ -279,6 +279,7 @@ func (rt *Runtime) setup() error {
 	if d := j.Conf.IOTimeout; d > 0 {
 		wopts = append(wopts, mpi.WithSendTimeout(d))
 	}
+	wopts = append(wopts, engineOptions(&j.Conf)...)
 	rt.ctrs = newRuntimeCounters(j.Procs)
 	if j.Trace.Enabled() {
 		// TCP retransmits surface as instants on the retrying sender's row.
@@ -327,6 +328,24 @@ func (rt *Runtime) setup() error {
 	rt.res.ATaskReceived = make([]int64, j.NumA)
 	rt.computeLocalityPrefs()
 	return nil
+}
+
+// engineOptions translates the Config's transport progress-engine knobs
+// (coalescing thresholds and the CoalesceOff/MuxOff ablations) into mpi
+// world options. Shared by the in-process master, the proc-mode master
+// world, and — via the launch env protocol — worker processes.
+func engineOptions(c *Config) []mpi.Option {
+	var opts []mpi.Option
+	if c.CoalesceOff {
+		opts = append(opts, mpi.WithCoalesceOff())
+	}
+	if c.MuxOff {
+		opts = append(opts, mpi.WithMuxOff())
+	}
+	if c.CoalesceBytes > 0 || c.CoalesceDeadline > 0 {
+		opts = append(opts, mpi.WithCoalesce(c.CoalesceBytes, c.CoalesceDeadline))
+	}
+	return opts
 }
 
 // nameTraceRows labels the Chrome-trace process and thread rows: one

@@ -40,6 +40,56 @@ type ClusterConfig struct {
 	// Output receives the workers' relayed stdout/stderr, each line
 	// prefixed "[w<rank>] ". Defaults to os.Stderr.
 	Output io.Writer
+	// Transport progress-engine knobs, applied to the master's world and
+	// forwarded to every worker via EnvCoalesce/EnvMux so the whole fleet
+	// runs one engine configuration (see core.Config.CoalesceOff et al.).
+	CoalesceOff      bool
+	MuxOff           bool
+	CoalesceBytes    int
+	CoalesceDeadline time.Duration
+}
+
+// spawnEnv assembles one worker's spawn-protocol environment on top of
+// the launcher's own. Shared by StartCluster and Respawn so a respawned
+// rank always rejoins with the fleet's exact configuration.
+func (cfg *ClusterConfig) spawnEnv(rank, attempt int, rvAddr string) []string {
+	env := append(os.Environ(),
+		fmt.Sprintf("%s=%d", EnvWorkerRank, rank),
+		fmt.Sprintf("%s=%d", EnvProcs, cfg.Procs),
+		fmt.Sprintf("%s=%s", EnvRendezvous, rvAddr),
+		fmt.Sprintf("%s=%d", EnvAttempt, attempt),
+		fmt.Sprintf("%s=%d", EnvIOTimeout, cfg.IOTimeout.Milliseconds()),
+	)
+	switch {
+	case cfg.CoalesceOff:
+		env = append(env, EnvCoalesce+"=off")
+	case cfg.CoalesceBytes > 0 || cfg.CoalesceDeadline > 0:
+		env = append(env, fmt.Sprintf("%s=%d,%d", EnvCoalesce,
+			cfg.CoalesceBytes, cfg.CoalesceDeadline.Microseconds()))
+	}
+	if cfg.MuxOff {
+		env = append(env, EnvMux+"=off")
+	}
+	return append(env, cfg.ExtraEnv...)
+}
+
+// worldOptions are the mpi options for the master's own world, matching
+// what spawnEnv ships to the workers.
+func (cfg *ClusterConfig) worldOptions() []mpi.Option {
+	var wopts []mpi.Option
+	if cfg.IOTimeout > 0 {
+		wopts = append(wopts, mpi.WithSendTimeout(cfg.IOTimeout))
+	}
+	if cfg.CoalesceOff {
+		wopts = append(wopts, mpi.WithCoalesceOff())
+	}
+	if cfg.MuxOff {
+		wopts = append(wopts, mpi.WithMuxOff())
+	}
+	if cfg.CoalesceBytes > 0 || cfg.CoalesceDeadline > 0 {
+		wopts = append(wopts, mpi.WithCoalesce(cfg.CoalesceBytes, cfg.CoalesceDeadline))
+	}
+	return wopts
 }
 
 // WorkerExit records how one worker process ended.
@@ -107,14 +157,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{cfg: cfg}
 	for r := 0; r < cfg.Procs; r++ {
 		cmd := exec.Command(exe, cfg.Args...)
-		cmd.Env = append(os.Environ(),
-			fmt.Sprintf("%s=%d", EnvWorkerRank, r),
-			fmt.Sprintf("%s=%d", EnvProcs, cfg.Procs),
-			fmt.Sprintf("%s=%s", EnvRendezvous, rv.Addr()),
-			fmt.Sprintf("%s=%d", EnvAttempt, cfg.Attempt),
-			fmt.Sprintf("%s=%d", EnvIOTimeout, cfg.IOTimeout.Milliseconds()),
-		)
-		cmd.Env = append(cmd.Env, cfg.ExtraEnv...)
+		cmd.Env = cfg.spawnEnv(r, cfg.Attempt, rv.Addr())
 		stdin, err := cmd.StdinPipe()
 		if err == nil {
 			var stdout, stderrp io.ReadCloser
@@ -145,11 +188,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		ep.Close()
 		return nil, err
 	}
-	var wopts []mpi.Option
-	if cfg.IOTimeout > 0 {
-		wopts = append(wopts, mpi.WithSendTimeout(cfg.IOTimeout))
-	}
-	world, err := mpi.JoinWorld(cfg.Procs+1, cfg.Procs, ep, addrs, wopts...)
+	world, err := mpi.JoinWorld(cfg.Procs+1, cfg.Procs, ep, addrs, cfg.worldOptions()...)
 	if err != nil {
 		c.killAll()
 		ep.Close()
@@ -225,14 +264,7 @@ func (c *Cluster) Respawn(rank int) (string, error) {
 	}
 	attempt := c.cfg.Attempt + int(c.gen.Add(1))
 	cmd := exec.Command(exe, c.cfg.Args...)
-	cmd.Env = append(os.Environ(),
-		fmt.Sprintf("%s=%d", EnvWorkerRank, rank),
-		fmt.Sprintf("%s=%d", EnvProcs, c.cfg.Procs),
-		fmt.Sprintf("%s=%s", EnvRendezvous, rv.Addr()),
-		fmt.Sprintf("%s=%d", EnvAttempt, attempt),
-		fmt.Sprintf("%s=%d", EnvIOTimeout, c.cfg.IOTimeout.Milliseconds()),
-	)
-	cmd.Env = append(cmd.Env, c.cfg.ExtraEnv...)
+	cmd.Env = c.cfg.spawnEnv(rank, attempt, rv.Addr())
 	stdin, err := cmd.StdinPipe()
 	var stdout, stderrp io.ReadCloser
 	if err == nil {

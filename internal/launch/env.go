@@ -30,6 +30,12 @@ const (
 	EnvAttempt    = "DATAMPI_ATTEMPT"
 	EnvIOTimeout  = "DATAMPI_IOTIMEOUT_MS"
 	EnvSpec       = "DATAMPI_SPEC"
+	// EnvCoalesce / EnvMux carry the transport progress-engine knobs so
+	// worker worlds run the same engine configuration as the master's:
+	// EnvCoalesce is "off" (ablation), "" (engine defaults), or
+	// "<bytes>,<deadline_us>"; EnvMux is "off" (ablation) or "".
+	EnvCoalesce = "DATAMPI_COALESCE"
+	EnvMux      = "DATAMPI_MUX"
 )
 
 // orphanExit is the exit code of a worker whose launcher disappeared
@@ -95,6 +101,12 @@ func JoinAsWorker() (*Worker, error) {
 	if ioTimeout > 0 {
 		wopts = append(wopts, mpi.WithSendTimeout(ioTimeout))
 	}
+	engOpts, err := engineEnvOptions()
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	wopts = append(wopts, engOpts...)
 	world, err := mpi.JoinWorld(procs+1, rank, ep, dir, wopts...)
 	if err != nil {
 		ep.Close()
@@ -102,6 +114,28 @@ func JoinAsWorker() (*Worker, error) {
 	}
 	return &Worker{World: world, Rank: rank, Procs: procs,
 		Attempt: attempt, IOTimeout: ioTimeout}, nil
+}
+
+// engineEnvOptions parses the progress-engine spawn variables (EnvCoalesce,
+// EnvMux) into world options for JoinWorld. Unset variables select the
+// engine defaults.
+func engineEnvOptions() ([]mpi.Option, error) {
+	var opts []mpi.Option
+	switch v := os.Getenv(EnvCoalesce); v {
+	case "":
+	case "off":
+		opts = append(opts, mpi.WithCoalesceOff())
+	default:
+		var bytes, us int
+		if _, err := fmt.Sscanf(v, "%d,%d", &bytes, &us); err != nil {
+			return nil, fmt.Errorf("launch: bad %s=%q: %w", EnvCoalesce, v, err)
+		}
+		opts = append(opts, mpi.WithCoalesce(bytes, time.Duration(us)*time.Microsecond))
+	}
+	if os.Getenv(EnvMux) == "off" {
+		opts = append(opts, mpi.WithMuxOff())
+	}
+	return opts, nil
 }
 
 func envInt(key string, def int) (int, error) {

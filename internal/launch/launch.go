@@ -67,13 +67,15 @@ func Launch(spec *JobSpec, opt Options) (*core.Result, error) {
 
 func launchAttempt(spec *JobSpec, specEnv string, opt Options, attempt int) (*core.Result, error) {
 	cluster, err := StartCluster(ClusterConfig{
-		Procs:     spec.Procs,
-		Exe:       opt.Exe,
-		Args:      opt.Args,
-		ExtraEnv:  []string{EnvSpec + "=" + specEnv},
-		Attempt:   attempt,
-		IOTimeout: spec.IOTimeout(),
-		Output:    opt.Output,
+		Procs:       spec.Procs,
+		Exe:         opt.Exe,
+		Args:        opt.Args,
+		ExtraEnv:    []string{EnvSpec + "=" + specEnv},
+		Attempt:     attempt,
+		IOTimeout:   spec.IOTimeout(),
+		Output:      opt.Output,
+		CoalesceOff: spec.CoalesceOff,
+		MuxOff:      spec.MuxOff,
 	})
 	if err != nil {
 		return nil, err

@@ -49,6 +49,11 @@ type JobSpec struct {
 	SPLBytes    int   `json:"splBytes,omitempty"`
 	IOTimeoutMs int64 `json:"ioTimeoutMs,omitempty"`
 
+	// CoalesceOff / MuxOff ablate the transport progress engine across
+	// the whole fleet (master world + every worker world).
+	CoalesceOff bool `json:"coalesceOff,omitempty"`
+	MuxOff      bool `json:"muxOff,omitempty"`
+
 	// PartialRestart recovers a dead worker by respawning just that rank
 	// (core.Config.PartialRestart + core.WithRespawn) instead of
 	// relaunching the whole attempt.
@@ -138,6 +143,8 @@ func (s *JobSpec) BuildJob(workerRank, attempt int, tr *trace.Tracer) *core.Job 
 			CheckpointDir:     s.CheckpointDir,
 			CheckpointRecords: s.CheckpointRecords,
 			PartialRestart:    s.PartialRestart,
+			CoalesceOff:       s.CoalesceOff,
+			MuxOff:            s.MuxOff,
 			IOTimeout:         s.IOTimeout(),
 			Extra:             map[string]string{"attempt": strconv.Itoa(attempt)},
 		},

@@ -69,7 +69,7 @@ func JoinWorld(n, self int, ep *Endpoint, addrs []string, opts ...Option) (*Worl
 	if cfg.inj != nil {
 		return nil, fmt.Errorf("mpi: fault injection is in-process only; use DeclareDead for real process death")
 	}
-	tr, err := newDistTCPTransport(n, self, ep.ln, addrs, cfg.link, cfg.sendTimeout, cfg.onRetry)
+	tr, err := newDistTCPTransport(n, self, ep.ln, addrs, cfg.link, cfg.sendTimeout, cfg.onRetry, cfg.eng)
 	if err != nil {
 		return nil, err
 	}

@@ -133,6 +133,108 @@ func FuzzReadDirectory(f *testing.F) {
 	})
 }
 
+// FuzzReadFrameBatch targets the progress engine's batched wire format:
+// a coalesced batch is concatenated frames (appendFrame), possibly from
+// interleaved streams, possibly torn mid-frame by a connection reset.
+// The fuzzer builds a batch from the input spec and checks three
+// properties: (1) the whole batch reads back frame-for-frame identical;
+// (2) a batch torn at any byte offset parses exactly its fully-contained
+// frame prefix, then fails with an io error — never a wrong frame, never
+// a panic; (3) a batch with one corrupted byte (lying length, broken
+// header, flipped payload) never panics the parser or makes it run away.
+func FuzzReadFrameBatch(f *testing.F) {
+	f.Add([]byte(nil), uint16(0))
+	// Two small frames on one stream, torn inside the second header.
+	f.Add([]byte{0, 3, 0, 1, 0, 3, 0, 2}, uint16(30))
+	// Four interleaved streams, cut on a frame boundary.
+	f.Add([]byte{0, 1, 0, 9, 1, 1, 0, 9, 2, 1, 0, 9, 3, 1, 0, 9}, uint16(50))
+	// A zero-payload frame followed by a near-threshold one.
+	f.Add([]byte{1, 0, 0, 5, 2, 255, 3, 6}, uint16(999))
+	f.Fuzz(func(t *testing.T, spec []byte, cut uint16) {
+		// Decode spec into frames over four interleaved streams: each
+		// 4-byte descriptor is (stream, payload-len-lo, payload-len-hi,
+		// tag). seq is per-stream, as the transport assigns it.
+		var frames []frame
+		var batch []byte
+		var ends []int // batch offset where each frame's bytes end
+		seqs := map[byte]uint64{}
+		for i := 0; i+4 <= len(spec) && len(frames) < 32; i += 4 {
+			stream := spec[i] & 3
+			plen := (int(spec[i+1]) | int(spec[i+2])<<8) & 0x3FF
+			fr := frame{
+				comm:    uint32(stream >> 1),
+				srcRank: int32(stream & 1),
+				tag:     int32(spec[i+3]),
+				seq:     seqs[stream],
+				data:    bytes.Repeat([]byte{spec[i+3] ^ byte(i)}, plen),
+			}
+			seqs[stream]++
+			frames = append(frames, fr)
+			batch = appendFrame(batch, fr)
+			ends = append(ends, len(batch))
+		}
+		// (1) Whole-batch round trip.
+		r := bufio.NewReader(bytes.NewReader(batch))
+		for idx, want := range frames {
+			got, err := readFrame(r)
+			if err != nil {
+				t.Fatalf("frame %d of complete batch: %v", idx, err)
+			}
+			if got.comm != want.comm || got.srcRank != want.srcRank ||
+				got.tag != want.tag || got.seq != want.seq || !bytes.Equal(got.data, want.data) {
+				t.Fatalf("frame %d mismatch: %+v != %+v", idx, got, want)
+			}
+		}
+		if _, err := readFrame(r); !errors.Is(err, io.EOF) {
+			t.Fatalf("after complete batch: %v, want EOF", err)
+		}
+		// (2) Torn batch: exactly the fully-contained prefix parses.
+		cutAt := int(cut) % (len(batch) + 1)
+		wantFrames := 0
+		for _, e := range ends {
+			if e <= cutAt {
+				wantFrames++
+			}
+		}
+		tr := bufio.NewReader(bytes.NewReader(batch[:cutAt]))
+		gotFrames := 0
+		for {
+			got, err := readFrame(tr)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("torn batch at %d: %v, want an io error", cutAt, err)
+				}
+				break
+			}
+			want := frames[gotFrames]
+			if got.comm != want.comm || got.seq != want.seq || !bytes.Equal(got.data, want.data) {
+				t.Fatalf("torn batch frame %d mismatch: %+v != %+v", gotFrames, got, want)
+			}
+			gotFrames++
+		}
+		if gotFrames != wantFrames {
+			t.Fatalf("torn batch at %d parsed %d frames, want %d", cutAt, gotFrames, wantFrames)
+		}
+		// (3) One corrupted byte: bounded parse, no panic. A flipped
+		// length byte is a lying header; the parser must stop at an
+		// error or the stream's end without over-reading.
+		if len(batch) > 0 {
+			mutated := append([]byte(nil), batch...)
+			mutated[int(cut)%len(mutated)] ^= 0xFF
+			mr := bufio.NewReader(bytes.NewReader(mutated))
+			for i := 0; i <= len(frames); i++ {
+				g, err := readFrame(mr)
+				if err != nil {
+					break // any error ends the connection; must not panic
+				}
+				if int64(len(g.data)) > maxFrameSize {
+					t.Fatalf("corrupted batch yielded %d-byte payload past the cap", len(g.data))
+				}
+			}
+		}
+	})
+}
+
 // FuzzReadFrameStream: a stream of arbitrary bytes, read as consecutive
 // frames the way readLoop does, terminates (no infinite loop on a stuck
 // parser) and stops at the first malformed frame.

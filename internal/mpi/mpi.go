@@ -90,6 +90,7 @@ type config struct {
 	inj         *fault.Injector
 	sendTimeout time.Duration
 	onRetry     func(src, dst, attempt int)
+	eng         engineConfig
 }
 
 // Option configures NewWorld.
@@ -122,6 +123,34 @@ func WithRetryHook(fn func(src, dst, attempt int)) Option {
 	return func(c *config) { c.onRetry = fn }
 }
 
+// WithCoalesce tunes the TCP transport's send progress engine: sends
+// deposit frames into a per-connection batch that a writer goroutine
+// drains in single vectored writes. By default the writer drains eagerly
+// — batching emerges only while the socket is busy, and a lone frame
+// pays no added latency. A frame of bytes or more, or a batch reaching
+// bytes, forces an immediate flush; a positive deadline instead holds a
+// sub-threshold batch open that long after its first frame (maximum
+// batching, at a latency cost). Zero or negative bytes keeps the 16 KiB
+// default; zero deadline is the eager default. The in-memory transport
+// ignores it.
+func WithCoalesce(bytes int, deadline time.Duration) Option {
+	return func(c *config) {
+		c.eng.coalesceBytes = bytes
+		c.eng.coalesceDeadline = deadline
+	}
+}
+
+// WithCoalesceOff disables send coalescing (ablation): every frame is
+// written synchronously in its own vectored write, like the pre-engine
+// transport's flush-per-frame behaviour.
+func WithCoalesceOff() Option { return func(c *config) { c.eng.coalesceOff = true } }
+
+// WithMuxOff disables connection multiplexing (ablation): each
+// (communicator, sender rank, destination) triple dials its own TCP
+// connection — the pre-engine socket layout — instead of all streams
+// toward a destination sharing one.
+func WithMuxOff() Option { return func(c *config) { c.eng.muxOff = true } }
+
 // NewWorld creates a world of n ranks.
 func NewWorld(n int, opts ...Option) (*World, error) {
 	if n <= 0 {
@@ -138,7 +167,7 @@ func NewWorld(n int, opts ...Option) (*World, error) {
 	}
 	var err error
 	if cfg.tcp {
-		w.tr, err = newTCPTransport(n, cfg.link, cfg.sendTimeout, cfg.onRetry)
+		w.tr, err = newTCPTransport(n, cfg.link, cfg.sendTimeout, cfg.onRetry, cfg.eng)
 	} else {
 		w.tr, err = newMemTransport(n, cfg.link, cfg.sendTimeout)
 	}

@@ -19,11 +19,12 @@ import (
 type transport interface {
 	// send delivers f toward dst. Ownership contract: the caller may reuse
 	// f.data as soon as send returns, so an implementation that retains the
-	// payload past the call (a buffering inbox, an async delivery queue)
-	// must copy it first; a synchronous implementation (TCP writes the
-	// bytes before returning) must not. On the receive side the contract
-	// inverts: a frame handed out by recv is owned by the receiver and is
-	// never touched by the transport again.
+	// payload past the call (a buffering inbox, an async delivery queue,
+	// the TCP progress engine's batch) must copy it first; a synchronous
+	// write path that puts the bytes on the wire before returning must
+	// not. On the receive side the contract inverts: a frame handed out by
+	// recv is owned by the receiver and is never touched by the transport
+	// again.
 	send(src, dst int, f frame) error
 	// recv blocks for the next frame addressed to world rank r; ok=false
 	// means the transport has been closed.
@@ -38,16 +39,36 @@ type transport interface {
 // (retransmits, reconnects, wire volume) into its job counters.
 type Stats struct {
 	// FramesSent/BytesSent count payloads handed to the wire (after any
-	// fault-injection drops); retried TCP writes count once per attempt.
+	// fault-injection drops); a frame counts once, when its write — or the
+	// batch flush carrying it — succeeds.
 	FramesSent, BytesSent int64
 	// FramesRecv/BytesRecv count payloads delivered to receivers.
 	FramesRecv, BytesRecv int64
-	// SendRetries counts TCP frame rewrites after a failed attempt; the
-	// in-memory transport never retries.
+	// SendRetries counts TCP batch/frame rewrites after a failed attempt;
+	// the in-memory transport never retries.
 	SendRetries int64
 	// Dials counts TCP connection establishments (first connects and
 	// post-reset redials).
 	Dials int64
+
+	// CoalesceBatches counts progress-engine flushes that shipped more
+	// than one frame in a single write — real coalescing, not lone-frame
+	// drains. CoalesceFlushSize counts flushes forced by the size
+	// threshold (a batch or frame at/above CoalesceBytes);
+	// CoalesceFlushDeadline counts flushes fired by a configured positive
+	// flush deadline. The default eager drain (deadline zero) charges
+	// neither meter: the writer ships whatever accumulated as soon as it
+	// is free.
+	CoalesceBatches       int64
+	CoalesceFlushSize     int64
+	CoalesceFlushDeadline int64
+	// MuxConns is the peak number of simultaneously open outgoing
+	// connections: one per destination under multiplexing (the default),
+	// one per (comm, srcRank, dst) triple under WithMuxOff.
+	MuxConns int64
+	// WritevCalls counts batch writes issued by the progress engine; each
+	// ships everything pending toward one destination in a single syscall.
+	WritevCalls int64
 }
 
 // transportStats is the shared atomic implementation behind Stats.
@@ -75,11 +96,14 @@ func (s *transportStats) stats() Stats {
 	}
 }
 
+// frameHeaderSize is the fixed wire header: comm id + src + tag + seq +
+// payload length.
+const frameHeaderSize = 24
+
 // frameOverhead is the per-message protocol overhead we charge to the
-// network link: comm id + src + tag + seq + length (24 bytes of header)
-// plus a nominal transport-layer framing cost comparable to a TCP/IP
-// header.
-const frameOverhead = 24 + 52
+// network link: the frame header plus a nominal transport-layer framing
+// cost comparable to a TCP/IP header.
+const frameOverhead = frameHeaderSize + 52
 
 // maxFrameSize caps one message's payload. A corrupt or hostile length
 // header can therefore not force an unbounded allocation; readFrame
@@ -91,12 +115,65 @@ const maxFrameSize = 256 << 20
 // balloon memory before the short read surfaces.
 const frameAllocChunk = 1 << 20
 
-// tcpSendRetries is how many times a TCP send redials and rewrites after a
-// connection failure before declaring the peer dead.
+// tcpSendRetries is how many times a TCP flush redials and rewrites after
+// a connection failure before declaring the peer dead.
 const tcpSendRetries = 4
 
 // tcpDialTimeout bounds one dial attempt inside the retry loop.
 const tcpDialTimeout = 2 * time.Second
+
+// tcpDrainTimeout bounds close()'s wait for the progress engine to flush
+// acknowledged-but-unwritten frames. Healthy writers drain in
+// microseconds; the cap only matters for a writer wedged against a peer
+// that died without closing its socket.
+const tcpDrainTimeout = 2 * time.Second
+
+// engineConfig tunes the TCP transport's send-side progress engine:
+// per-destination coalescing, vectored writes, and connection
+// multiplexing. The zero value selects the defaults; the Off fields are
+// the ablation switches.
+type engineConfig struct {
+	coalesceOff      bool
+	muxOff           bool
+	coalesceBytes    int
+	coalesceDeadline time.Duration
+}
+
+// defaultCoalesceBytes is the size-flush threshold: a batch (or a single
+// frame) at or above it is written without waiting on any deadline. The
+// threshold sits deliberately below the runtime's 64 KiB SPL frames, so
+// bulk shuffle data is never held back by a configured flush deadline.
+//
+// The default flush deadline is zero — eager drain. The writer goroutine
+// ships whatever the batch holds as soon as the previous write returns,
+// so an isolated control frame pays no added latency while frames
+// deposited during an in-flight write coalesce into the next syscall:
+// batching emerges exactly when the socket is the bottleneck. A positive
+// deadline (WithCoalesce) instead holds sub-threshold batches open —
+// library-level Nagle — trading latency for maximal batching.
+const defaultCoalesceBytes = 16 << 10
+
+func (e *engineConfig) normalize() {
+	if e.coalesceBytes <= 0 {
+		e.coalesceBytes = defaultCoalesceBytes
+	}
+	if e.coalesceDeadline < 0 {
+		e.coalesceDeadline = 0
+	}
+}
+
+// maxPendingBytes bounds how far a connection's batch may run ahead of
+// its writer before senders block — the TCP analogue of the mem
+// transport's bounded inbox. Several thresholds of slack lets bursts
+// coalesce; a stalled peer cannot absorb unbounded memory. A single
+// frame larger than the bound is still accepted once the batch has
+// drained below it.
+func (e *engineConfig) maxPendingBytes() int {
+	if m := 4 * e.coalesceBytes; m > 1<<20 {
+		return m
+	}
+	return 1 << 20
+}
 
 // ---------------------------------------------------------------------------
 // In-memory transport
@@ -187,7 +264,22 @@ func (t *memTransport) close() {
 }
 
 // ---------------------------------------------------------------------------
-// TCP loopback transport
+// TCP transport with a send-side progress engine
+//
+// The send path is a progress engine (the ROADMAP's "fewer syscalls,
+// fewer wakeups" layer): every frame is serialized into a per-connection
+// batch that a dedicated writer goroutine drains — senders append and
+// return without ever blocking on a syscall, frames deposited while a
+// write is in flight coalesce into the next single write, an optional
+// positive deadline holds sub-threshold batches open for maximal
+// batching (Nagle at the library level), and by default every
+// communicator and sender rank multiplexes onto one connection per
+// destination. The receive path is unchanged: a batch is just
+// concatenated frames, demultiplexed by the (comm, srcRank) header every
+// frame always carried, and per-stream sequence numbers keep delivery
+// exactly-once in order across resets and whole-batch rewrites. The
+// CoalesceOff ablation restores the seed transport's synchronous
+// flush-per-frame sends.
 
 type tcpTransport struct {
 	transportStats
@@ -196,16 +288,25 @@ type tcpTransport struct {
 	link        *netsim.Link
 	sendTimeout time.Duration
 	onRetry     func(src, dst, attempt int)
+	eng         engineConfig
 	listeners   []net.Listener
 	addrs       []string
 	inboxes     []chan frame
 	done        chan struct{}
 
+	coalesceBatches       atomic.Int64
+	coalesceFlushSize     atomic.Int64
+	coalesceFlushDeadline atomic.Int64
+	writevCalls           atomic.Int64
+
 	mu       sync.Mutex
-	conns    map[[3]int]*tcpConn // [comm,srcRank,dst] -> connection owned by the sender
-	sendSeq  map[[3]int]uint64   // next sequence number per outgoing stream
+	conns    map[[3]int]*tcpConn // connKey -> progress-engine connection state
+	sendSeq  map[[3]int]uint64   // [comm,srcRank,dst] -> next sequence number per stream
+	outbound map[net.Conn]struct{}
+	muxPeak  int64 // peak len(outbound), reported as Stats.MuxConns
 	accepted map[net.Conn]struct{}
-	closed   bool
+	closed   bool // close() started: new sends fail fast, drain is underway
+	torndown bool // drain finished, sockets severed: no more dialing
 	wg       sync.WaitGroup
 
 	rdMu    sync.Mutex
@@ -217,31 +318,66 @@ type tcpTransport struct {
 // one draining its final frames into the inbox; delivering strictly by the
 // sender-assigned sequence number restores stream order and discards the
 // rare duplicate (a frame whose write "failed" after the bytes were
-// already delivered, then was rewritten on the new connection).
+// already delivered, then was rewritten on the new connection). The same
+// mechanism makes whole-batch rewrites after a mid-batch reset safe: the
+// prefix that slipped out before the reset is deduplicated, the tail is
+// delivered once.
 type streamState struct {
 	next uint64
 	held map[uint64]frame
 }
 
+// tcpConn is one outgoing connection's progress-engine state: the live
+// socket (redialed on demand after a drop), the pending batch its writer
+// goroutine drains, and — after a flush exhausts its retries — the
+// sticky failure-detector verdict. With coalescing on, a connWriter
+// goroutine owns all socket I/O; under CoalesceOff there is no writer
+// and sends flush synchronously (the seed transport's behaviour),
+// serialized by flushMu.
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	w  *bufio.Writer
+	dst int
+
+	mu           sync.Mutex
+	c            net.Conn // nil until dialed, and after a drop
+	err          error    // sticky ErrRankDead verdict; lives until rank replacement retires the conn
+	batch        []byte   // serialized frames awaiting the writer's next flush
+	batchFrames  int
+	batchPayload int64     // payload bytes in batch (counters exclude headers)
+	batchStart   time.Time // when the batch went empty -> non-empty (deadline base)
+	flushNow     bool      // batch holds a size-threshold frame: skip any deadline wait
+	stopped      bool      // retired by replaceRank: the writer exits, senders drop
+	src          int       // world rank of the latest sender, for retry-hook attribution
+
+	flushing bool // the writer is mid-flush on a swapped-out batch
+
+	kick  chan struct{} // cap 1: batch state changed, wake the writer
+	space chan struct{} // cap 1: writer drained, backpressured senders recheck
+	dead  chan struct{} // closed on sticky verdict or retirement; unblocks waiters
+	once  sync.Once     // guards the dead close
+
+	flushMu sync.Mutex // CoalesceOff path: serializes synchronous flushes
+	syncBuf []byte     // CoalesceOff path: reusable frame serialization buffer
 }
 
-func newTCPTransport(n int, link *netsim.Link, sendTimeout time.Duration, onRetry func(src, dst, attempt int)) (*tcpTransport, error) {
+// closeDead marks tc permanently unusable, waking any blocked sender.
+func (tc *tcpConn) closeDead() { tc.once.Do(func() { close(tc.dead) }) }
+
+func newTCPTransport(n int, link *netsim.Link, sendTimeout time.Duration, onRetry func(src, dst, attempt int), eng engineConfig) (*tcpTransport, error) {
+	eng.normalize()
 	t := &tcpTransport{
 		n:           n,
 		self:        -1,
 		link:        link,
 		sendTimeout: sendTimeout,
 		onRetry:     onRetry,
+		eng:         eng,
 		listeners:   make([]net.Listener, n),
 		addrs:       make([]string, n),
 		inboxes:     make([]chan frame, n),
 		done:        make(chan struct{}),
 		conns:       make(map[[3]int]*tcpConn),
 		sendSeq:     make(map[[3]int]uint64),
+		outbound:    make(map[net.Conn]struct{}),
 		streams:     make(map[[3]int]*streamState),
 	}
 	for i := 0; i < n; i++ {
@@ -264,23 +400,30 @@ func newTCPTransport(n int, link *netsim.Link, sendTimeout time.Duration, onRetr
 // newDistTCPTransport builds the single-process slice of a distributed
 // TCP transport: rank self listens on ln (whose address must equal
 // addrs[self]); every other rank is reached by dialing its directory
-// address. The wire protocol, per-stream sequencing and retry machinery
-// are exactly those of the all-local transport — each (comm, srcRank,
-// dst) stream originates in exactly one process, so sender-assigned
-// sequence numbers stay consistent across the distributed world.
-func newDistTCPTransport(n, self int, ln net.Listener, addrs []string, link *netsim.Link, sendTimeout time.Duration, onRetry func(src, dst, attempt int)) (*tcpTransport, error) {
+// address. The wire protocol, per-stream sequencing, retry machinery and
+// progress engine are exactly those of the all-local transport — each
+// (comm, srcRank, dst) stream originates in exactly one process, so
+// sender-assigned sequence numbers stay consistent across the
+// distributed world. With multiplexing on (the default), the whole
+// process shares one outgoing connection per destination process, so a
+// proc-mode fleet runs O(n) sockets per host-pair instead of one per
+// (comm, rank) triple.
+func newDistTCPTransport(n, self int, ln net.Listener, addrs []string, link *netsim.Link, sendTimeout time.Duration, onRetry func(src, dst, attempt int), eng engineConfig) (*tcpTransport, error) {
+	eng.normalize()
 	t := &tcpTransport{
 		n:           n,
 		self:        self,
 		link:        link,
 		sendTimeout: sendTimeout,
 		onRetry:     onRetry,
+		eng:         eng,
 		listeners:   make([]net.Listener, n),
 		addrs:       append([]string(nil), addrs...),
 		inboxes:     make([]chan frame, n),
 		done:        make(chan struct{}),
 		conns:       make(map[[3]int]*tcpConn),
 		sendSeq:     make(map[[3]int]uint64),
+		outbound:    make(map[net.Conn]struct{}),
 		streams:     make(map[[3]int]*streamState),
 	}
 	t.listeners[self] = ln
@@ -289,6 +432,18 @@ func newDistTCPTransport(n, self int, ln net.Listener, addrs []string, link *net
 	t.wg.Add(1)
 	go t.acceptLoop(self)
 	return t, nil
+}
+
+func (t *tcpTransport) stats() Stats {
+	s := t.transportStats.stats()
+	s.CoalesceBatches = t.coalesceBatches.Load()
+	s.CoalesceFlushSize = t.coalesceFlushSize.Load()
+	s.CoalesceFlushDeadline = t.coalesceFlushDeadline.Load()
+	s.WritevCalls = t.writevCalls.Load()
+	t.mu.Lock()
+	s.MuxConns = t.muxPeak
+	t.mu.Unlock()
+	return s
 }
 
 func (t *tcpTransport) acceptLoop(r int) {
@@ -374,16 +529,35 @@ func (t *tcpTransport) orderStream(r int, f frame) []frame {
 	}
 }
 
-func writeFrame(w *bufio.Writer, f frame) error {
-	if len(f.data) > maxFrameSize {
-		return fmt.Errorf("mpi: %d-byte frame: %w", len(f.data), ErrFrameTooLarge)
-	}
-	var hdr [24]byte
+// putFrameHeader writes f's fixed wire header into hdr, which must be at
+// least frameHeaderSize bytes.
+func putFrameHeader(hdr []byte, f frame) {
 	binary.BigEndian.PutUint32(hdr[0:], f.comm)
 	binary.BigEndian.PutUint32(hdr[4:], uint32(f.srcRank))
 	binary.BigEndian.PutUint32(hdr[8:], uint32(int32(f.tag)))
 	binary.BigEndian.PutUint64(hdr[12:], f.seq)
 	binary.BigEndian.PutUint32(hdr[20:], uint32(len(f.data)))
+}
+
+// appendFrame serializes f (header + payload) onto b. A batch on the wire
+// is nothing more than concatenated frames — the receive side needs no
+// batch framing; readFrame consumes them one by one off the stream.
+func appendFrame(b []byte, f frame) []byte {
+	var hdr [frameHeaderSize]byte
+	putFrameHeader(hdr[:], f)
+	b = append(b, hdr[:]...)
+	return append(b, f.data...)
+}
+
+// writeFrame writes one frame through a buffered writer and flushes. The
+// progress engine does not use it — it exists as the reference serializer
+// readFrame is tested against.
+func writeFrame(w *bufio.Writer, f frame) error {
+	if len(f.data) > maxFrameSize {
+		return fmt.Errorf("mpi: %d-byte frame: %w", len(f.data), ErrFrameTooLarge)
+	}
+	var hdr [frameHeaderSize]byte
+	putFrameHeader(hdr[:], f)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -394,7 +568,7 @@ func writeFrame(w *bufio.Writer, f frame) error {
 }
 
 func readFrame(r io.Reader) (frame, error) {
-	var hdr [24]byte
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return frame{}, err
 	}
@@ -425,31 +599,247 @@ func readFrame(r io.Reader) (frame, error) {
 	return f, nil
 }
 
+// connKey maps a frame's stream to its outgoing connection. The default
+// engine multiplexes every communicator and sender rank onto one
+// connection per destination — O(n) sockets instead of one per (comm,
+// srcRank, dst) triple — demultiplexed on the receive side by the (comm,
+// srcRank) header every frame has always carried. WithMuxOff restores the
+// seed transport's connection-per-triple layout.
+func (t *tcpTransport) connKey(comm uint32, srcRank int32, dst int) [3]int {
+	if t.eng.muxOff {
+		return [3]int{int(comm), int(srcRank), dst}
+	}
+	return [3]int{-1, -1, dst}
+}
+
 func (t *tcpTransport) send(src, dst int, f frame) error {
+	if len(f.data) > maxFrameSize {
+		return fmt.Errorf("mpi: %d-byte frame: %w", len(f.data), ErrFrameTooLarge)
+	}
 	if t.link != nil {
 		t.link.Transfer(int64(len(f.data)), frameOverhead, 0)
 	}
-	// One connection per (communicator, sender rank, destination) triple so
-	// concurrent senders never interleave partial frames.
-	key := [3]int{int(f.comm), int(f.srcRank), dst}
 	// The stream sequence number is assigned once and reused across
 	// retries: a rewrite after a connection failure carries the same seq,
 	// so the receiver's reorderer can discard it if the original actually
-	// arrived.
+	// arrived. Streams stay keyed by the full triple even when their
+	// frames share a multiplexed connection. The conn and the seq are
+	// resolved under one t.mu hold, so a concurrent replaceRank either
+	// retires both (the frame is dropped with its incarnation) or neither.
+	seqKey := [3]int{int(f.comm), int(f.srcRank), dst}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed
 	}
-	f.seq = t.sendSeq[key]
-	t.sendSeq[key]++
+	f.seq = t.sendSeq[seqKey]
+	t.sendSeq[seqKey]++
+	key := t.connKey(f.comm, f.srcRank, dst)
+	tc := t.conns[key]
+	if tc == nil {
+		tc = &tcpConn{
+			dst:   dst,
+			kick:  make(chan struct{}, 1),
+			space: make(chan struct{}, 1),
+			dead:  make(chan struct{}),
+		}
+		t.conns[key] = tc
+		if !t.eng.coalesceOff {
+			t.wg.Add(1)
+			go t.connWriter(tc)
+		}
+	}
 	t.mu.Unlock()
+
+	if t.eng.coalesceOff {
+		return t.sendSync(tc, src, f)
+	}
+
+	// Deposit the frame into the writer's batch and return — the sender
+	// never blocks on a syscall. The batch retains the bytes past this
+	// call, so the serialization copy here is the transport.send
+	// ownership contract. Backpressure: when the batch has run
+	// maxPendingBytes ahead of the writer, wait for a drain.
+	var timeoutC <-chan time.Time
+	tc.mu.Lock()
+	tc.src = src
+	for {
+		if tc.err != nil {
+			// The writer exhausted its retries: the engine has already
+			// declared this destination dead. Fail fast — the verdict
+			// lives until a replacement takes over the rank.
+			err := tc.err
+			tc.mu.Unlock()
+			return err
+		}
+		if tc.stopped {
+			// replaceRank retired this connection: the frame belongs to
+			// the dead incarnation's streams and is dropped exactly like
+			// the batch it would have joined.
+			tc.mu.Unlock()
+			return nil
+		}
+		if len(tc.batch) < t.eng.maxPendingBytes() {
+			break
+		}
+		tc.mu.Unlock()
+		if t.sendTimeout > 0 && timeoutC == nil {
+			tm := time.NewTimer(t.sendTimeout)
+			defer tm.Stop()
+			timeoutC = tm.C
+		}
+		select {
+		case <-tc.space:
+		case <-tc.dead:
+		case <-t.done:
+			return ErrClosed
+		case <-timeoutC: // nil (blocks forever) when no timeout is set
+			return fmt.Errorf("mpi: send to rank %d: batch backlog for %v: %w",
+				dst, t.sendTimeout, ErrTimeout)
+		}
+		tc.mu.Lock()
+	}
+	if tc.batchFrames == 0 && t.eng.coalesceDeadline > 0 {
+		tc.batchStart = time.Now() // eager mode never reads the batch age
+	}
+	tc.batch = appendFrame(tc.batch, f)
+	tc.batchFrames++
+	tc.batchPayload += int64(len(f.data))
+	if len(f.data) >= t.eng.coalesceBytes || len(tc.batch) >= t.eng.coalesceBytes {
+		tc.flushNow = true
+	}
+	tc.mu.Unlock()
+	select {
+	case tc.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// sendSync is the CoalesceOff ablation: serialize and write one frame
+// synchronously, exactly the seed transport's flush-per-frame behaviour
+// (including synchronous error surfacing). flushMu serializes writers to
+// a shared multiplexed connection.
+func (t *tcpTransport) sendSync(tc *tcpConn, src int, f frame) error {
+	tc.flushMu.Lock()
+	defer tc.flushMu.Unlock()
+	tc.mu.Lock()
+	tc.src = src
+	if tc.err != nil {
+		err := tc.err
+		tc.mu.Unlock()
+		return err
+	}
+	if tc.stopped {
+		tc.mu.Unlock()
+		return nil
+	}
+	buf := appendFrame(tc.syncBuf[:0], f)
+	tc.syncBuf = buf
+	tc.mu.Unlock()
+	return t.flushBuf(tc, buf, 1, int64(len(f.data)), src, nil)
+}
+
+// connWriter is tc's progress engine: a per-connection goroutine that
+// owns the socket and drains the batch. With the default zero deadline
+// it drains eagerly — the moment the previous write returns — so
+// coalescing happens exactly when the socket is the bottleneck and an
+// isolated control frame is never delayed. A positive deadline holds a
+// sub-threshold batch open until it expires (or the size threshold
+// fires), maximizing batching at a latency cost. Exits on transport
+// shutdown, on retirement by replaceRank, or after parking a sticky
+// dead-rank verdict (no later send can enqueue anything past it).
+func (t *tcpTransport) connWriter(tc *tcpConn) {
+	defer t.wg.Done()
+	var buf []byte // writer-owned flush buffer, swapped with the live batch
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		tc.mu.Lock()
+		for tc.batchFrames == 0 && !tc.stopped {
+			tc.mu.Unlock()
+			select {
+			case <-tc.kick:
+			case <-t.done:
+				return
+			}
+			tc.mu.Lock()
+		}
+		if tc.stopped {
+			tc.mu.Unlock()
+			return
+		}
+		trigger := &t.coalesceFlushSize
+		if !tc.flushNow {
+			if d := t.eng.coalesceDeadline; d > 0 {
+				if wait := d - time.Since(tc.batchStart); wait > 0 {
+					tc.mu.Unlock()
+					if timer == nil {
+						timer = time.NewTimer(wait)
+					} else {
+						timer.Reset(wait)
+					}
+					select {
+					case <-timer.C:
+					case <-tc.kick:
+						if !timer.Stop() {
+							select {
+							case <-timer.C:
+							default:
+							}
+						}
+					case <-t.done:
+						return
+					}
+					continue // re-evaluate: size trigger, retirement, or expiry
+				}
+				trigger = &t.coalesceFlushDeadline
+			} else {
+				trigger = nil // eager drain: no flush meter to charge
+			}
+		}
+		frames, payload, src := tc.batchFrames, tc.batchPayload, tc.src
+		buf, tc.batch = tc.batch, buf[:0]
+		tc.batchFrames, tc.batchPayload, tc.flushNow = 0, 0, false
+		tc.flushing = true
+		tc.mu.Unlock()
+		select {
+		case tc.space <- struct{}{}:
+		default:
+		}
+		err := t.flushBuf(tc, buf, frames, payload, src, trigger)
+		tc.mu.Lock()
+		tc.flushing = false
+		tc.mu.Unlock()
+		if err != nil {
+			return // shutdown, or a sticky verdict nothing can enqueue past
+		}
+		// An oversized one-off (a huge frame) should not pin its buffer
+		// for the connection's lifetime.
+		if cap(buf) > 4*t.eng.maxPendingBytes() {
+			buf = nil
+		}
+	}
+}
+
+// flushBuf ships one swapped-out batch in a single write, redialing and
+// rewriting the whole batch on failure. Rewrites are safe against
+// duplication: every frame carries its stream sequence number, so a
+// receiver that got (part of) the first attempt discards what it already
+// delivered and the batch tail still arrives exactly once. trigger is
+// the flush-cause meter to charge on success (nil for eager drains); on
+// retry exhaustion the error is parked as tc's sticky verdict.
+func (t *tcpTransport) flushBuf(tc *tcpConn, buf []byte, frames int, payload int64, src int, trigger *atomic.Int64) error {
 	var lastErr error
 	for attempt := 0; attempt <= tcpSendRetries; attempt++ {
 		if attempt > 0 {
 			t.sendRetries.Add(1)
 			if t.onRetry != nil {
-				t.onRetry(src, dst, attempt)
+				t.onRetry(src, tc.dst, attempt)
 			}
 			// Exponential backoff: 1, 2, 4, 8 ms.
 			backoff := time.Duration(1<<uint(attempt-1)) * time.Millisecond
@@ -459,103 +849,140 @@ func (t *tcpTransport) send(src, dst int, f frame) error {
 			case <-time.After(backoff):
 			}
 		}
-		tc, err := t.conn(key, dst)
-		if err != nil {
+		tc.mu.Lock()
+		if err := t.ensureConnLocked(tc); err != nil {
+			tc.mu.Unlock()
 			if err == ErrClosed {
 				return err
 			}
 			lastErr = err
 			continue
 		}
-		tc.mu.Lock()
-		if t.sendTimeout > 0 {
-			tc.c.SetWriteDeadline(time.Now().Add(t.sendTimeout))
-		}
-		err = writeFrame(tc.w, f)
+		c := tc.c
 		tc.mu.Unlock()
+		if t.sendTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(t.sendTimeout))
+		}
+		// One syscall for the whole batch. net.Buffers consumes itself on
+		// write, so it is rebuilt per attempt; buf's bytes are untouched.
+		bufs := net.Buffers{buf}
+		_, err := bufs.WriteTo(c)
 		if err == nil {
-			t.countSend(len(f.data))
+			t.writevCalls.Add(1)
+			t.framesSent.Add(int64(frames))
+			t.bytesSent.Add(payload)
+			if frames > 1 {
+				t.coalesceBatches.Add(1)
+			}
+			if trigger != nil {
+				trigger.Add(1)
+			}
 			return nil
 		}
 		lastErr = err
-		// The connection (and any partially written frame) is poisoned:
+		// The connection (and any partially written batch) is poisoned:
 		// drop it so the next attempt redials and rewrites from scratch.
-		// The receiver discards partial frames, so a rewrite cannot
-		// duplicate data.
-		t.dropConn(key, tc)
+		// The receiver discards partial frames and deduplicates complete
+		// ones by sequence number, so a rewrite cannot double-deliver.
+		tc.mu.Lock()
+		t.dropConnLocked(tc)
+		tc.mu.Unlock()
 	}
-	return fmt.Errorf("mpi: send to rank %d failed after %d attempts (%v): %w",
-		dst, tcpSendRetries+1, lastErr, ErrRankDead)
+	// Failure-detector verdict: the destination stayed unreachable through
+	// every redial. Drop anything still pending — nothing can deliver it —
+	// and make the verdict sticky so later sends fail fast instead of
+	// re-running the whole retry ladder per frame.
+	tc.mu.Lock()
+	tc.err = fmt.Errorf("mpi: send to rank %d failed after %d attempts (%v): %w",
+		tc.dst, tcpSendRetries+1, lastErr, ErrRankDead)
+	tc.batch, tc.batchFrames, tc.batchPayload = nil, 0, 0
+	err := tc.err
+	tc.mu.Unlock()
+	tc.closeDead()
+	return err
 }
 
-// conn returns the cached connection for key, dialing dst if needed.
-func (t *tcpTransport) conn(key [3]int, dst int) (*tcpConn, error) {
+// ensureConnLocked dials tc's destination if its socket is down. Called
+// with tc.mu held, so concurrent senders to one destination wait on the
+// single dial instead of racing duplicates.
+func (t *tcpTransport) ensureConnLocked(tc *tcpConn) error {
+	if tc.c != nil {
+		return nil
+	}
 	t.mu.Lock()
-	if t.closed {
+	if t.torndown {
+		// closed-but-not-torndown means close() is draining: writers may
+		// still dial to deliver batches whose sends already returned
+		// success.
 		t.mu.Unlock()
-		return nil, ErrClosed
+		return ErrClosed
 	}
-	tc := t.conns[key]
+	addr := t.addrs[tc.dst]
 	t.mu.Unlock()
-	if tc != nil {
-		return tc, nil
-	}
 	d := net.Dialer{Timeout: tcpDialTimeout}
-	c, err := d.Dial("tcp", t.addrs[dst])
+	c, err := d.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("mpi: dial rank %d: %w", dst, err)
+		return fmt.Errorf("mpi: dial rank %d: %w", tc.dst, err)
 	}
 	t.dials.Add(1)
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		c.Close()
-		return nil, ErrClosed
+		return ErrClosed
 	}
-	if cur := t.conns[key]; cur != nil {
-		t.mu.Unlock()
-		c.Close()
-		return cur, nil
+	t.outbound[c] = struct{}{}
+	if n := int64(len(t.outbound)); n > t.muxPeak {
+		t.muxPeak = n
 	}
-	tc = &tcpConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
-	t.conns[key] = tc
 	t.mu.Unlock()
-	return tc, nil
+	tc.c = c
+	return nil
 }
 
-// dropConn closes and forgets a broken connection (only if it is still the
-// cached one, so a racing reconnect is not clobbered).
-func (t *tcpTransport) dropConn(key [3]int, tc *tcpConn) {
-	t.mu.Lock()
-	if t.conns[key] == tc {
-		delete(t.conns, key)
+// dropConnLocked closes and forgets tc's socket. The batch and stream
+// sequence state survive the drop, so the next flush redials and rewrites
+// everything still pending. Called with tc.mu held.
+func (t *tcpTransport) dropConnLocked(tc *tcpConn) {
+	if tc.c == nil {
+		return
 	}
+	t.mu.Lock()
+	delete(t.outbound, tc.c)
 	t.mu.Unlock()
 	tc.c.Close()
+	tc.c = nil
 }
 
-// resetPair injects a connection reset: the next send on the (comm, src,
-// dst) triple must redial. Used by the fault layer; net.Conn.Close is safe
-// against concurrent writers, whose writes then fail into the retry path.
+// resetPair injects a connection reset: the next flush toward the triple
+// must redial. Used by the fault layer; under multiplexing the triple's
+// frames share the destination's connection, so the reset severs that
+// shared socket — a strictly stronger fault, which the rewrite/dedup
+// machinery absorbs the same way. Pending batched frames survive the
+// reset and ride the next flush.
 func (t *tcpTransport) resetPair(comm uint32, srcRank int32, dst int) {
-	key := [3]int{int(comm), int(srcRank), dst}
+	key := t.connKey(comm, srcRank, dst)
 	t.mu.Lock()
 	tc := t.conns[key]
-	delete(t.conns, key)
 	t.mu.Unlock()
-	if tc != nil {
-		tc.c.Close()
+	if tc == nil {
+		return
 	}
+	tc.mu.Lock()
+	t.dropConnLocked(tc)
+	tc.mu.Unlock()
 }
 
 // replaceRank rewires the transport around a respawned rank: the address
-// directory points at the replacement, outgoing connections and sequence
+// directory points at the replacement, outgoing connections — including
+// their pending batches and any sticky dead-peer verdict — and sequence
 // counters toward the rank are dropped (the new incarnation expects every
-// stream to restart at sequence 0), and receive-stream ordering state
-// from the old incarnation is cleared so the replacement's streams are
-// admitted from scratch. commRanks maps communicator id -> the replaced
-// rank's rank within that communicator, the key space of incoming
-// streams.
+// stream to restart at sequence 0, and frames addressed to the old one
+// must not leak into it; committed-chunk replay re-covers that data), and
+// receive-stream ordering state from the old incarnation is cleared so
+// the replacement's streams are admitted from scratch. commRanks maps
+// communicator id -> the replaced rank's rank within that communicator,
+// the key space of incoming streams.
 func (t *tcpTransport) replaceRank(worldRank int, addr string, commRanks map[uint32]int) {
 	t.mu.Lock()
 	t.addrs[worldRank] = addr
@@ -573,7 +1000,22 @@ func (t *tcpTransport) replaceRank(worldRank int, addr string, commRanks map[uin
 	}
 	t.mu.Unlock()
 	for _, tc := range stale {
-		tc.c.Close()
+		// Retire the connection outright rather than reviving it in place:
+		// the writer goroutine exits, racing senders that already resolved
+		// this tc drop their frames (old-incarnation streams), and the next
+		// send toward the rank creates a fresh conn with a fresh writer.
+		tc.mu.Lock()
+		tc.stopped = true
+		tc.batch = nil
+		tc.batchFrames = 0
+		tc.batchPayload = 0
+		t.dropConnLocked(tc)
+		tc.mu.Unlock()
+		select {
+		case tc.kick <- struct{}{}:
+		default:
+		}
+		tc.closeDead()
 	}
 	t.rdMu.Lock()
 	for key := range t.streams {
@@ -609,9 +1051,48 @@ func (t *tcpTransport) close() {
 		t.mu.Unlock()
 		return
 	}
-	t.closed = true
-	conns := t.conns
+	t.closed = true // new sends fail fast from here on
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for _, tc := range t.conns {
+		conns = append(conns, tc)
+	}
+	t.mu.Unlock()
+	// Drain barrier: a send that returned success promised delivery, but
+	// with the async engine its frame may still sit in a batch or an
+	// in-flight flush. Force pending batches out (a held deadline batch
+	// flushes immediately) and wait until every writer has nothing left —
+	// or has hit a sticky verdict, whose frames are undeliverable anyway.
+	// This preserves the synchronous transport's contract that close()
+	// never abandons acknowledged sends on the healthy path. The wait is
+	// bounded: a writer can be wedged mid-write toward a peer that died
+	// without closing its socket (full TCP window, nobody reading), and
+	// only severing the socket below can unwedge it.
+	deadline := time.Now().Add(tcpDrainTimeout)
+	for _, tc := range conns {
+		tc.mu.Lock()
+		if tc.batchFrames > 0 {
+			tc.flushNow = true
+			select {
+			case tc.kick <- struct{}{}:
+			default:
+			}
+		}
+		for (tc.batchFrames > 0 || tc.flushing) && tc.err == nil && !tc.stopped &&
+			time.Now().Before(deadline) {
+			tc.mu.Unlock()
+			time.Sleep(500 * time.Microsecond)
+			tc.mu.Lock()
+		}
+		tc.mu.Unlock()
+	}
+	t.mu.Lock()
+	t.torndown = true
 	t.conns = map[[3]int]*tcpConn{}
+	outbound := make([]net.Conn, 0, len(t.outbound))
+	for c := range t.outbound {
+		outbound = append(outbound, c)
+	}
+	t.outbound = map[net.Conn]struct{}{}
 	accepted := make([]net.Conn, 0, len(t.accepted))
 	for c := range t.accepted {
 		accepted = append(accepted, c)
@@ -623,8 +1104,14 @@ func (t *tcpTransport) close() {
 			ln.Close()
 		}
 	}
-	for _, tc := range conns {
-		tc.c.Close()
+	// Severing the sockets makes any in-flight flush fail into its retry
+	// loop, which observes done/closed and returns ErrClosed; un-flushed
+	// batches die with the world, like any frame still in an inbox. Each
+	// connection's writer goroutine exits the same way — its idle wait and
+	// its retry backoff both select on done — so the Wait below covers
+	// them alongside the accept/read loops.
+	for _, c := range outbound {
+		c.Close()
 	}
 	for _, c := range accepted {
 		c.Close()
