@@ -16,7 +16,7 @@
 //	benchsuite -regress [-quick] [-bench-out BENCH_shuffle.json]
 //	           [-against BENCH_shuffle.json] [-trace out.json]
 //	           [-prepare-workers N] [-merge-workers N]
-//	           [-coalesce-off] [-mux-off]
+//	           [-coalesce-off] [-mux-off] [-shm-off]
 package main
 
 import (
@@ -45,6 +45,7 @@ func main() {
 	mergeWorkers := flag.Int("merge-workers", 0, "with -regress: A-side merge-pool width (0 = GOMAXPROCS)")
 	coalesceOff := flag.Bool("coalesce-off", false, "with -regress: disable transport send coalescing (flush per frame)")
 	muxOff := flag.Bool("mux-off", false, "with -regress: disable connection multiplexing (one conn per comm/rank/dest)")
+	shmOff := flag.Bool("shm-off", false, "with -regress: disable the shared-memory ring transport (shuffle/shm entries fall back to TCP)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -65,6 +66,7 @@ func main() {
 		o.MergeWorkers = *mergeWorkers
 		o.CoalesceOff = *coalesceOff
 		o.MuxOff = *muxOff
+		o.ShmOff = *shmOff
 		runRegress(o, *quick, *benchOut, *against, *tracePath)
 		return
 	}

@@ -151,6 +151,7 @@ type RunOption func(*runConfig)
 // runtime.
 type runConfig struct {
 	tcp            bool
+	shm            bool
 	proc           bool
 	procOutput     io.Writer
 	traceOut       io.Writer
@@ -167,6 +168,14 @@ func WithMemTransport() RunOption { return func(c *runConfig) { c.tcp = false } 
 // WithTCPTransport runs the MPI data plane over real TCP loopback sockets
 // instead of in-memory channels.
 func WithTCPTransport() RunOption { return func(c *runConfig) { c.tcp = true } }
+
+// WithShmTransport runs the MPI data plane over the TCP transport with
+// the same-host shared-memory ring transport enabled: an in-process
+// world is all one host, so every rank pair's traffic rides lock-free
+// shared-memory rings instead of sockets. Under WithProcessLaunch the
+// rings are on by default (same-host worker pairs are selected
+// automatically); set Config.ShmOff to force all pairs onto TCP.
+func WithShmTransport() RunOption { return func(c *runConfig) { c.tcp = true; c.shm = true } }
 
 // WithProcessLaunch makes Run a true launcher (§IV-B): it spawns
 // Job.Procs worker OS processes (re-executions of this binary), completes
@@ -261,12 +270,16 @@ func RunContext(ctx context.Context, job *Job, opts ...RunOption) (*Result, erro
 			MuxOff:           job.Conf.MuxOff,
 			CoalesceBytes:    job.Conf.CoalesceBytes,
 			CoalesceDeadline: job.Conf.CoalesceDeadline,
+			ShmOff:           job.Conf.ShmOff,
+			DrainTimeout:     job.Conf.DrainTimeout,
 		})
 		if cerr != nil {
 			return nil, &RunError{Phase: "launch", Rank: -1, Err: cerr}
 		}
 		cluster = cl
 		copts = append(copts, core.WithWorld(cl.World()))
+	} else if rc.shm {
+		copts = append(copts, core.WithShmTransport())
 	} else if rc.tcp {
 		copts = append(copts, core.WithTCPTransport())
 	}

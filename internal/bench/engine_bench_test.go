@@ -13,18 +13,19 @@ import (
 func BenchmarkShuffleTCP(b *testing.B) {
 	const records = 4000
 	for _, c := range []struct {
-		name                string
-		coalesceOff, muxOff bool
+		name  string
+		knobs shuffleKnobs
 	}{
-		{"engine-on", false, false},
-		{"coalesce-off", true, false},
-		{"mux-off", false, true},
-		{"engine-off", true, true},
+		{"engine-on", shuffleKnobs{tcp: true}},
+		{"coalesce-off", shuffleKnobs{tcp: true, coalesceOff: true}},
+		{"mux-off", shuffleKnobs{tcp: true, muxOff: true}},
+		{"engine-off", shuffleKnobs{tcp: true, coalesceOff: true, muxOff: true}},
+		{"shm", shuffleKnobs{tcp: true, shm: true}},
 	} {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
 			var res *core.Result
-			fn := shuffleJob(records, 0, 0, true, c.coalesceOff, c.muxOff, &res)
+			fn := shuffleJob(records, 0, 0, c.knobs, &res)
 			for i := 0; i < b.N; i++ {
 				if err := fn(); err != nil {
 					b.Fatal(err)

@@ -34,6 +34,9 @@ type Opts struct {
 	// multiplexed conn per peer.
 	CoalesceOff bool
 	MuxOff      bool
+	// ShmOff disables the shared-memory ring transport everywhere in the
+	// harness, turning the shuffle/shm entries into TCP baselines.
+	ShmOff bool
 }
 
 // Quick returns the small test-suite sizing.

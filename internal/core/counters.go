@@ -138,6 +138,18 @@ func (rc *runtimeCounters) snapshot(ws mpi.Stats) map[string]int64 {
 	if ws.WritevCalls != 0 {
 		out["mpi.writev.calls"] = ws.WritevCalls
 	}
+	if ws.ShmConns != 0 {
+		out["mpi.shm.conns"] = ws.ShmConns
+	}
+	if ws.ShmBytes != 0 {
+		out["mpi.shm.bytes"] = ws.ShmBytes
+	}
+	if ws.ShmWakes != 0 {
+		out["mpi.shm.wakes"] = ws.ShmWakes
+	}
+	if ws.ShmSpins != 0 {
+		out["mpi.shm.spins"] = ws.ShmSpins
+	}
 	return out
 }
 

@@ -29,6 +29,10 @@ var engineVariants = []struct {
 	{"mux-off", func(c *Config) { c.MuxOff = true }},
 	{"engine-off", func(c *Config) { c.CoalesceOff = true; c.MuxOff = true }},
 	{"tuned", func(c *Config) { c.CoalesceBytes = 256; c.CoalesceDeadline = time.Millisecond }},
+	// Same-host rings and the ShmOff ablation: the transport under the
+	// batches changes, the application-visible counters must not.
+	{"shm", func(c *Config) { c.Shm = true }},
+	{"shm-off", func(c *Config) { c.Shm = true; c.ShmOff = true }},
 }
 
 // stripWireCounters drops the mpi.* keys — the only counters an engine

@@ -128,6 +128,7 @@ type Result struct {
 
 type runCfg struct {
 	tcp     bool
+	shm     bool
 	link    *netsim.Link
 	world   *mpi.World
 	respawn func(rank int) (string, error)
@@ -138,6 +139,12 @@ type RunOption func(*runCfg)
 
 // WithTCPTransport runs the MPI data plane over real TCP loopback sockets.
 func WithTCPTransport() RunOption { return func(c *runCfg) { c.tcp = true } }
+
+// WithShmTransport runs the data plane over the TCP transport with the
+// same-host shared-memory ring transport enabled: an in-process world is
+// all one host, so every rank pair's traffic rides rings instead of
+// sockets. Equivalent to Config.Shm, as a per-run transport choice.
+func WithShmTransport() RunOption { return func(c *runCfg) { c.tcp = true; c.shm = true } }
 
 // WithLink charges all MPI traffic to the given shaped network link.
 func WithLink(l *netsim.Link) RunOption { return func(c *runCfg) { c.link = l } }
@@ -264,6 +271,9 @@ func (rt *Runtime) setup() error {
 	if rt.rcfg.tcp {
 		wopts = append(wopts, mpi.WithTCP())
 	}
+	if rt.rcfg.shm {
+		wopts = append(wopts, mpi.WithShm())
+	}
 	if rt.rcfg.link != nil {
 		wopts = append(wopts, mpi.WithLink(rt.rcfg.link))
 	}
@@ -344,6 +354,12 @@ func engineOptions(c *Config) []mpi.Option {
 	}
 	if c.CoalesceBytes > 0 || c.CoalesceDeadline > 0 {
 		opts = append(opts, mpi.WithCoalesce(c.CoalesceBytes, c.CoalesceDeadline))
+	}
+	if c.Shm && !c.ShmOff {
+		opts = append(opts, mpi.WithShm())
+	}
+	if c.DrainTimeout > 0 {
+		opts = append(opts, mpi.WithDrainTimeout(c.DrainTimeout))
 	}
 	return opts
 }

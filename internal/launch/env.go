@@ -36,6 +36,15 @@ const (
 	// "<bytes>,<deadline_us>"; EnvMux is "off" (ablation) or "".
 	EnvCoalesce = "DATAMPI_COALESCE"
 	EnvMux      = "DATAMPI_MUX"
+	// EnvShmDir is the launcher's shared-memory segment directory. A
+	// worker that can read its nonce advertises the derived host identity
+	// alongside its TCP address and maps the rings; unset (or unreadable)
+	// means this worker pairs over TCP only. Respawn replacements never
+	// receive it — their rings hold a dead incarnation's state.
+	EnvShmDir = "DATAMPI_SHM_DIR"
+	// EnvDrain overrides the transport's close-time drain barrier bound,
+	// in milliseconds (mpi.WithDrainTimeout).
+	EnvDrain = "DATAMPI_DRAIN_MS"
 )
 
 // orphanExit is the exit code of a worker whose launcher disappeared
@@ -92,12 +101,23 @@ func JoinAsWorker() (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	dir, err := mpi.JoinRendezvous(rvAddr, rank, ep.Addr(), bootstrapTimeout)
+	// Advertise the shm host identity alongside the TCP address when the
+	// launcher shipped a segment directory we can actually read; peers
+	// that derive the same identity select the ring transport for this
+	// pair at connection time, everyone else dials TCP.
+	selfAddr := ep.Addr()
+	var wopts []mpi.Option
+	if shmDir := os.Getenv(EnvShmDir); shmDir != "" {
+		if hid, err := mpi.ShmHostID(shmDir); err == nil {
+			selfAddr = mpi.ShmAddr(selfAddr, hid)
+			wopts = append(wopts, mpi.WithShmSegments(shmDir))
+		}
+	}
+	dir, err := mpi.JoinRendezvous(rvAddr, rank, selfAddr, bootstrapTimeout)
 	if err != nil {
 		ep.Close()
 		return nil, err
 	}
-	var wopts []mpi.Option
 	if ioTimeout > 0 {
 		wopts = append(wopts, mpi.WithSendTimeout(ioTimeout))
 	}
@@ -134,6 +154,11 @@ func engineEnvOptions() ([]mpi.Option, error) {
 	}
 	if os.Getenv(EnvMux) == "off" {
 		opts = append(opts, mpi.WithMuxOff())
+	}
+	if ms, err := envInt(EnvDrain, 0); err != nil {
+		return nil, err
+	} else if ms > 0 {
+		opts = append(opts, mpi.WithDrainTimeout(time.Duration(ms)*time.Millisecond))
 	}
 	return opts, nil
 }

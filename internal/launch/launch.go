@@ -28,6 +28,10 @@ type Options struct {
 	Trace *trace.Tracer
 	// Ctx bounds the whole run (default context.Background()).
 	Ctx context.Context
+	// ShmDir overrides where the shared-memory segment directory is
+	// created (default mpi.ShmBaseDir()). Tests use it to verify the
+	// segment lifecycle; production runs leave it empty.
+	ShmDir string
 }
 
 // Launch runs a built-in application spec across real worker OS
@@ -76,6 +80,8 @@ func launchAttempt(spec *JobSpec, specEnv string, opt Options, attempt int) (*co
 		Output:      opt.Output,
 		CoalesceOff: spec.CoalesceOff,
 		MuxOff:      spec.MuxOff,
+		ShmOff:      spec.ShmOff,
+		ShmDir:      opt.ShmDir,
 	})
 	if err != nil {
 		return nil, err

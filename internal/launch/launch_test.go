@@ -204,12 +204,15 @@ func TestProcMuxConnCount(t *testing.T) {
 		t.Skip("spawns worker processes")
 	}
 	base := t.TempDir()
+	// ShmOff: this test pins the *TCP* socket economics; with the
+	// shared-memory transport on (the fleet default), same-host pairs
+	// never dial and mpi.mux.conns stays 0 — see TestProcShmTransport.
 	mkSpec := func(name string, muxOff bool) JobSpec {
 		return JobSpec{
 			App: "wordcount", NumO: 6, NumA: 3, Procs: 3,
 			Lines: 300, Seed: 13, SPLBytes: 4096,
 			OutDir: filepath.Join(base, name),
-			MuxOff: muxOff,
+			MuxOff: muxOff, ShmOff: true,
 		}
 	}
 	ospec := mkSpec("oracle", false)
@@ -259,6 +262,13 @@ func TestProcChaosKillWorker(t *testing.T) {
 		t.Skip("spawns worker processes")
 	}
 	base := t.TempDir()
+	// Route the shm segments under the test tempdir so the SIGKILL path's
+	// cleanup is observable: a killed worker can't unmap or unlink
+	// anything, so the launcher must unlink its attempt's directory.
+	shmParent := filepath.Join(base, "shm")
+	if err := os.MkdirAll(shmParent, 0o700); err != nil {
+		t.Fatal(err)
+	}
 	spec := JobSpec{
 		App: "wordcount", NumO: 8, NumA: 4, Procs: 3,
 		Lines: 1200, Seed: 3, SPLBytes: 4096,
@@ -271,7 +281,7 @@ func TestProcChaosKillWorker(t *testing.T) {
 	ores := runOracle(t, ospec)
 
 	out := &syncWriter{}
-	res, err := Launch(&spec, Options{Output: out})
+	res, err := Launch(&spec, Options{Output: out, ShmDir: shmParent})
 	if err != nil {
 		t.Fatalf("Launch after chaos: %v\nworker output:\n%s", err, out.String())
 	}
@@ -289,6 +299,9 @@ func TestProcChaosKillWorker(t *testing.T) {
 	if res.RecordsReloaded == 0 {
 		t.Error("recovery reloaded no checkpointed records")
 	}
+	// Both attempts' segment directories (the killed one's included) must
+	// be gone: nothing may persist under /dev/shm after the run.
+	requireNoShmLeak(t, shmParent)
 }
 
 func TestHostfileParser(t *testing.T) {

@@ -1,0 +1,137 @@
+package launch
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// requireNoShmLeak asserts the segment parent directory is empty: every
+// datampi-shm-* directory the launcher created under it was removed
+// again, whichever way the attempt ended.
+func requireNoShmLeak(t *testing.T, parent string) {
+	t.Helper()
+	ents, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatalf("reading shm parent: %v", err)
+	}
+	for _, e := range ents {
+		t.Errorf("shm segment leak: %s left under %s", e.Name(), parent)
+	}
+}
+
+// TestProcShmTransport is the process-level e2e for the shared-memory
+// ring transport: the whole fleet runs on one host, so with the default
+// configuration every rank pair (workers and master alike) must select
+// shm at rendezvous, move the entire shuffle through the rings without a
+// single transport dial, and still produce output byte-identical to the
+// in-process oracle. The run also pins the segment lifecycle: after
+// Shutdown the segment directory must be gone.
+func TestProcShmTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	base := t.TempDir()
+	shmParent := filepath.Join(base, "shm")
+	if err := os.MkdirAll(shmParent, 0o700); err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{
+		App: "terasort", NumO: 6, NumA: 3, Procs: 3,
+		Records: 9000, Seed: 17, SPLBytes: 4096,
+		OutDir: filepath.Join(base, "proc"),
+	}
+	ospec := spec
+	ospec.OutDir = filepath.Join(base, "oracle")
+	ores := runOracle(t, ospec)
+
+	out := &syncWriter{}
+	res, err := Launch(&spec, Options{Output: out, ShmDir: shmParent})
+	if err != nil {
+		t.Fatalf("Launch: %v\nworker output:\n%s", err, out.String())
+	}
+	checkPartsEqual(t, readParts(t, spec.OutDir, spec.NumA), readParts(t, ospec.OutDir, spec.NumA))
+	checkCounterParity(t, res, ores)
+
+	// Transport selection: every pair rode the rings. mpi.* counters fold
+	// additively across the fleet, so conns covers all processes.
+	if v := res.RuntimeCounters["mpi.shm.conns"]; v == 0 {
+		t.Error("mpi.shm.conns = 0: no pair selected the shm transport")
+	}
+	if v := res.RuntimeCounters["mpi.shm.bytes"]; v == 0 {
+		t.Error("mpi.shm.bytes = 0: shuffle did not ride the rings")
+	}
+	if v := res.RuntimeCounters["mpi.dials"]; v != 0 {
+		t.Errorf("mpi.dials = %d with all ranks on one host, want 0 (pure shm fleet)", v)
+	}
+	requireNoShmLeak(t, shmParent)
+}
+
+// TestProcShmOffAblation runs the identical spec with ShmOff: the fleet
+// must fall back to TCP (dials nonzero, no shm counters) and the job-
+// level counters — everything except the mpi.* wire set — must be
+// byte-identical to the shm run's. Transport choice is invisible to the
+// computation.
+func TestProcShmOffAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	base := t.TempDir()
+	mkSpec := func(name string, shmOff bool) JobSpec {
+		return JobSpec{
+			App: "wordcount", NumO: 6, NumA: 3, Procs: 2,
+			Lines: 300, Seed: 23, SPLBytes: 4096,
+			OutDir: filepath.Join(base, name),
+			ShmOff: shmOff,
+		}
+	}
+	run := func(name string, shmOff bool) map[string]int64 {
+		spec := mkSpec(name, shmOff)
+		out := &syncWriter{}
+		res, err := Launch(&spec, Options{Output: out})
+		if err != nil {
+			t.Fatalf("%s Launch: %v\nworker output:\n%s", name, err, out.String())
+		}
+		return res.RuntimeCounters
+	}
+	shm := run("shm", false)
+	off := run("shmoff", true)
+
+	if shm["mpi.shm.conns"] == 0 || shm["mpi.dials"] != 0 {
+		t.Errorf("default fleet: shm.conns=%d dials=%d, want shm selected everywhere",
+			shm["mpi.shm.conns"], shm["mpi.dials"])
+	}
+	if off["mpi.shm.conns"] != 0 || off["mpi.shm.bytes"] != 0 {
+		t.Errorf("shm-off fleet still used rings: conns=%d bytes=%d",
+			off["mpi.shm.conns"], off["mpi.shm.bytes"])
+	}
+	if off["mpi.dials"] == 0 {
+		t.Error("shm-off fleet dialed nothing — ablation did not fall back to TCP")
+	}
+	// Drop the mpi.* wire counters (transport-specific by design) and the
+	// per-pair matrices (the master schedules tasks to worker slots
+	// dynamically, so the src->dst split varies run to run on any
+	// transport); every remaining job counter must match exactly.
+	strip := func(m map[string]int64) map[string]int64 {
+		out := map[string]int64{}
+		for k, v := range m {
+			if !strings.HasPrefix(k, "mpi.") && !strings.Contains(k, "->") {
+				out[k] = v
+			}
+		}
+		return out
+	}
+	sj, oj := strip(shm), strip(off)
+	if len(sj) != len(oj) {
+		t.Errorf("job counter sets differ: %d vs %d entries", len(sj), len(oj))
+	}
+	for k, v := range sj {
+		if ov, ok := oj[k]; !ok || ov != v {
+			t.Errorf("job counter %s: shm=%d shm-off=%d", k, v, ov)
+		}
+	}
+	// Both outputs must also match each other exactly.
+	checkPartsEqual(t, readParts(t, mkSpec("shm", false).OutDir, 3),
+		readParts(t, mkSpec("shmoff", true).OutDir, 3))
+}

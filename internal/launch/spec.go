@@ -50,9 +50,12 @@ type JobSpec struct {
 	IOTimeoutMs int64 `json:"ioTimeoutMs,omitempty"`
 
 	// CoalesceOff / MuxOff ablate the transport progress engine across
-	// the whole fleet (master world + every worker world).
+	// the whole fleet (master world + every worker world). ShmOff keeps
+	// every rank pair on TCP: the launcher creates no segment directory
+	// and no rank advertises a shm host identity.
 	CoalesceOff bool `json:"coalesceOff,omitempty"`
 	MuxOff      bool `json:"muxOff,omitempty"`
+	ShmOff      bool `json:"shmOff,omitempty"`
 
 	// PartialRestart recovers a dead worker by respawning just that rank
 	// (core.Config.PartialRestart + core.WithRespawn) instead of
@@ -145,6 +148,7 @@ func (s *JobSpec) BuildJob(workerRank, attempt int, tr *trace.Tracer) *core.Job 
 			PartialRestart:    s.PartialRestart,
 			CoalesceOff:       s.CoalesceOff,
 			MuxOff:            s.MuxOff,
+			ShmOff:            s.ShmOff,
 			IOTimeout:         s.IOTimeout(),
 			Extra:             map[string]string{"attempt": strconv.Itoa(attempt)},
 		},

@@ -47,6 +47,12 @@ func conformanceCases(t *testing.T) []conformanceCase {
 		// Tiny threshold: batches ship every couple of frames on the size
 		// trigger; the short deadline only covers each tail.
 		{"tcp/size-flush", plain(WithTCP(), WithCoalesce(64, 20*time.Millisecond)), true},
+		// Same-host rings instead of sockets: the same batched wire format
+		// deposited into shm SPSC rings. Rings never reset (no resettable
+		// path), so the contract here is FIFO/ordering/interleave.
+		{"shm", plain(WithTCP(), WithShm()), false},
+		{"shm/coalesce-off", plain(WithTCP(), WithShm(), WithCoalesceOff()), false},
+		{"shm/size-flush", plain(WithTCP(), WithShm(), WithCoalesce(64, 20*time.Millisecond)), false},
 	}
 	if !testing.Short() {
 		chaos := func(tcp bool) func() ([]Option, *fault.Injector) {

@@ -151,6 +151,30 @@ func WithCoalesceOff() Option { return func(c *config) { c.eng.coalesceOff = tru
 // toward a destination sharing one.
 func WithMuxOff() Option { return func(c *config) { c.eng.muxOff = true } }
 
+// WithShm runs every rank pair of an in-process TCP world over
+// shared-memory rings: the progress engine's batches are deposited into
+// per-destination mmap-ed SPSC ring buffers instead of loopback sockets,
+// so frames move with zero syscalls on the fast path. The world creates
+// (and removes on Close) a private segment directory under /dev/shm or
+// the temp dir. Requires WithTCP — the in-memory channel transport is
+// already syscall-free and ignores it.
+func WithShm() Option { return func(c *config) { c.eng.shmAuto = true } }
+
+// WithShmSegments points one process of a distributed world at a
+// launcher-created shm segment directory (see CreateShmSegments). The
+// rank advertises its host identity (ShmHostID) alongside its TCP
+// address; pairs whose identities match move frames over the directory's
+// rings, everyone else keeps TCP. Selection is per pair and degrades to
+// TCP on any failure. The launcher owns the directory's lifecycle.
+func WithShmSegments(dir string) Option { return func(c *config) { c.eng.shmDir = dir } }
+
+// WithDrainTimeout bounds how long World.Close waits for the transport
+// progress engine to flush acknowledged-but-unwritten frames (the drain
+// barrier, shared by the TCP and shm paths). Zero or negative keeps the
+// 2s default; slow CI environments raise it, latency-sensitive teardown
+// lowers it.
+func WithDrainTimeout(d time.Duration) Option { return func(c *config) { c.eng.drainTimeout = d } }
+
 // NewWorld creates a world of n ranks.
 func NewWorld(n int, opts ...Option) (*World, error) {
 	if n <= 0 {

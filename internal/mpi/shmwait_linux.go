@@ -1,0 +1,35 @@
+//go:build linux
+
+package mpi
+
+import (
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Futex opcodes. The non-PRIVATE forms are deliberate: the wake words
+// live in a MAP_SHARED mapping and the waiter and waker are usually
+// different processes.
+const (
+	futexOpWait = 0 // FUTEX_WAIT
+	futexOpWake = 1 // FUTEX_WAKE
+)
+
+// futexWait sleeps until addr's value differs from val, a wake arrives,
+// or timeout elapses — the kernel re-checks *addr == val atomically under
+// its own lock, which is what closes the lost-wake window the userspace
+// re-check alone cannot.
+func futexWait(addr *atomic.Uint32, val uint32, timeout time.Duration) {
+	ts := syscall.NsecToTimespec(timeout.Nanoseconds())
+	syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexOpWait, uintptr(val),
+		uintptr(unsafe.Pointer(&ts)), 0, 0)
+}
+
+// futexWake wakes at most one waiter sleeping on addr.
+func futexWake(addr *atomic.Uint32) {
+	syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexOpWake, 1, 0, 0, 0)
+}

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package mpi
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Non-Linux fallback: no futex, so a waiter sleep-polls in short slices.
+// The ring protocol is unchanged — the wake words still flip, the waiter
+// just discovers progress by re-checking instead of being kicked awake.
+
+func futexWait(addr *atomic.Uint32, val uint32, timeout time.Duration) {
+	const slice = 500 * time.Microsecond
+	if timeout > slice {
+		timeout = slice
+	}
+	time.Sleep(timeout)
+}
+
+func futexWake(addr *atomic.Uint32) {}

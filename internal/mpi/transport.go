@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,16 @@ type Stats struct {
 	// WritevCalls counts batch writes issued by the progress engine; each
 	// ships everything pending toward one destination in a single syscall.
 	WritevCalls int64
+
+	// ShmConns is how many destinations this transport reached over
+	// shared-memory rings; ShmBytes the bytes moved through them (frame
+	// headers included — the ring carries the raw batched wire format).
+	// ShmWakes counts futex wakes issued toward a sleeping peer (at most
+	// one per empty→nonempty or full→space transition); ShmSpins the
+	// yield-spin iterations burned before sleeping. A busy pair keeps
+	// wakes near zero, an idle pair costs nothing.
+	ShmConns, ShmBytes int64
+	ShmWakes, ShmSpins int64
 }
 
 // transportStats is the shared atomic implementation behind Stats.
@@ -122,21 +133,31 @@ const tcpSendRetries = 4
 // tcpDialTimeout bounds one dial attempt inside the retry loop.
 const tcpDialTimeout = 2 * time.Second
 
-// tcpDrainTimeout bounds close()'s wait for the progress engine to flush
-// acknowledged-but-unwritten frames. Healthy writers drain in
-// microseconds; the cap only matters for a writer wedged against a peer
-// that died without closing its socket.
+// tcpDrainTimeout is the default bound on close()'s wait for the
+// progress engine to flush acknowledged-but-unwritten frames (TCP writes
+// and shm ring deposits alike). Healthy writers drain in microseconds;
+// the cap only matters for a writer wedged against a peer that died
+// without closing its socket. WithDrainTimeout overrides it.
 const tcpDrainTimeout = 2 * time.Second
 
 // engineConfig tunes the TCP transport's send-side progress engine:
-// per-destination coalescing, vectored writes, and connection
-// multiplexing. The zero value selects the defaults; the Off fields are
-// the ablation switches.
+// per-destination coalescing, vectored writes, connection multiplexing,
+// and same-host shared-memory rings. The zero value selects the
+// defaults; the Off fields are the ablation switches.
 type engineConfig struct {
 	coalesceOff      bool
 	muxOff           bool
 	coalesceBytes    int
 	coalesceDeadline time.Duration
+	drainTimeout     time.Duration
+
+	// shmAuto: in-process world, create a private segment directory and
+	// run every pair over rings. shmDir: distributed world, select shm
+	// per pair by the boot-id/nonce handshake against this
+	// launcher-created directory. Mutually exclusive by construction.
+	shmAuto      bool
+	shmDir       string
+	shmRingBytes int
 }
 
 // defaultCoalesceBytes is the size-flush threshold: a batch (or a single
@@ -159,6 +180,12 @@ func (e *engineConfig) normalize() {
 	}
 	if e.coalesceDeadline < 0 {
 		e.coalesceDeadline = 0
+	}
+	if e.drainTimeout <= 0 {
+		e.drainTimeout = tcpDrainTimeout
+	}
+	if e.shmRingBytes <= 0 {
+		e.shmRingBytes = defaultShmRingBytes
 	}
 }
 
@@ -293,6 +320,7 @@ type tcpTransport struct {
 	addrs       []string
 	inboxes     []chan frame
 	done        chan struct{}
+	shm         *shmState // nil unless same-host rings are in play
 
 	coalesceBatches       atomic.Int64
 	coalesceFlushSize     atomic.Int64
@@ -335,7 +363,8 @@ type streamState struct {
 // and sends flush synchronously (the seed transport's behaviour),
 // serialized by flushMu.
 type tcpConn struct {
-	dst int
+	dst  int
+	ring *shmRing // non-nil: flushes go to shared memory, never a socket
 
 	mu           sync.Mutex
 	c            net.Conn // nil until dialed, and after a drop
@@ -390,6 +419,14 @@ func newTCPTransport(n int, link *netsim.Link, sendTimeout time.Duration, onRetr
 		t.addrs[i] = ln.Addr().String()
 		t.inboxes[i] = make(chan frame, 1024)
 	}
+	if eng.shmAuto {
+		// Every rank of an in-process world shares this host by
+		// definition; no handshake needed, just a private segment dir.
+		if err := t.setupShmLocal(); err != nil {
+			t.close()
+			return nil, err
+		}
+	}
 	for i := 0; i < n; i++ {
 		t.wg.Add(1)
 		go t.acceptLoop(i)
@@ -410,6 +447,13 @@ func newTCPTransport(n int, link *netsim.Link, sendTimeout time.Duration, onRetr
 // (comm, rank) triple.
 func newDistTCPTransport(n, self int, ln net.Listener, addrs []string, link *netsim.Link, sendTimeout time.Duration, onRetry func(src, dst, attempt int), eng engineConfig) (*tcpTransport, error) {
 	eng.normalize()
+	// Directory entries are transport descriptors: a dialable TCP address,
+	// optionally tagged with the rank's shm host identity. Dialing always
+	// uses the stripped address; the tags drive per-pair selection below.
+	plain := make([]string, n)
+	for i, desc := range addrs {
+		plain[i], _ = parseShmAddr(desc)
+	}
 	t := &tcpTransport{
 		n:           n,
 		self:        self,
@@ -418,7 +462,7 @@ func newDistTCPTransport(n, self int, ln net.Listener, addrs []string, link *net
 		onRetry:     onRetry,
 		eng:         eng,
 		listeners:   make([]net.Listener, n),
-		addrs:       append([]string(nil), addrs...),
+		addrs:       plain,
 		inboxes:     make([]chan frame, n),
 		done:        make(chan struct{}),
 		conns:       make(map[[3]int]*tcpConn),
@@ -429,6 +473,9 @@ func newDistTCPTransport(n, self int, ln net.Listener, addrs []string, link *net
 	t.listeners[self] = ln
 	t.addrs[self] = ln.Addr().String()
 	t.inboxes[self] = make(chan frame, 1024)
+	if eng.shmDir != "" {
+		t.setupShmDist(addrs)
+	}
 	t.wg.Add(1)
 	go t.acceptLoop(self)
 	return t, nil
@@ -440,6 +487,12 @@ func (t *tcpTransport) stats() Stats {
 	s.CoalesceFlushSize = t.coalesceFlushSize.Load()
 	s.CoalesceFlushDeadline = t.coalesceFlushDeadline.Load()
 	s.WritevCalls = t.writevCalls.Load()
+	if t.shm != nil {
+		s.ShmConns = t.shm.c.conns.Load()
+		s.ShmBytes = t.shm.c.bytes.Load()
+		s.ShmWakes = t.shm.c.wakes.Load()
+		s.ShmSpins = t.shm.c.spins.Load()
+	}
 	t.mu.Lock()
 	s.MuxConns = t.muxPeak
 	t.mu.Unlock()
@@ -639,6 +692,7 @@ func (t *tcpTransport) send(src, dst int, f frame) error {
 	if tc == nil {
 		tc = &tcpConn{
 			dst:   dst,
+			ring:  t.shm.outRing(dst), // nil: this pair flushes to a socket
 			kick:  make(chan struct{}, 1),
 			space: make(chan struct{}, 1),
 			dead:  make(chan struct{}),
@@ -834,6 +888,11 @@ func (t *tcpTransport) connWriter(tc *tcpConn) {
 // the flush-cause meter to charge on success (nil for eager drains); on
 // retry exhaustion the error is parked as tc's sticky verdict.
 func (t *tcpTransport) flushBuf(tc *tcpConn, buf []byte, frames int, payload int64, src int, trigger *atomic.Int64) error {
+	if tc.ring != nil {
+		// Same-host pair: the identical batch bytes go into the shared
+		// ring instead of a socket — zero syscalls on the fast path.
+		return t.flushShm(tc, buf, frames, payload, trigger)
+	}
 	var lastErr error
 	for attempt := 0; attempt <= tcpSendRetries; attempt++ {
 		if attempt > 0 {
@@ -984,8 +1043,13 @@ func (t *tcpTransport) resetPair(comm uint32, srcRank int32, dst int) {
 // communicator id -> the replaced rank's rank within that communicator,
 // the key space of incoming streams.
 func (t *tcpTransport) replaceRank(worldRank int, addr string, commRanks map[uint32]int) {
+	// The pair is demoted to TCP regardless of what the replacement
+	// advertises: its rings still hold the dead incarnation's cursors and
+	// residue (see shmState.retireRank).
+	plain, _ := parseShmAddr(addr)
+	t.shm.retireRank(worldRank)
 	t.mu.Lock()
-	t.addrs[worldRank] = addr
+	t.addrs[worldRank] = plain
 	var stale []*tcpConn
 	for key, tc := range t.conns {
 		if key[2] == worldRank {
@@ -1067,7 +1131,7 @@ func (t *tcpTransport) close() {
 	// bounded: a writer can be wedged mid-write toward a peer that died
 	// without closing its socket (full TCP window, nobody reading), and
 	// only severing the socket below can unwedge it.
-	deadline := time.Now().Add(tcpDrainTimeout)
+	deadline := time.Now().Add(t.eng.drainTimeout)
 	for _, tc := range conns {
 		tc.mu.Lock()
 		if tc.batchFrames > 0 {
@@ -1116,5 +1180,21 @@ func (t *tcpTransport) close() {
 	for _, c := range accepted {
 		c.Close()
 	}
+	// Aborting the rings is the shm twin of severing the sockets: blocked
+	// producers fail into ErrClosed, ring readers see io.EOF, and — like a
+	// severed socket's in-flight bytes — undelivered ring residue dies
+	// with the world. Unmapping waits for wg so no goroutine can touch a
+	// dead mapping; an in-process world also owns its segment directory
+	// and removes it here.
+	rings := t.shm.rings()
+	for _, r := range rings {
+		r.abort()
+	}
 	t.wg.Wait()
+	for _, r := range rings {
+		r.unmap()
+	}
+	if t.shm != nil && t.shm.ownDir {
+		os.RemoveAll(t.shm.dir)
+	}
 }
