@@ -16,7 +16,7 @@
 //	benchsuite -regress [-quick] [-bench-out BENCH_shuffle.json]
 //	           [-against BENCH_shuffle.json] [-trace out.json]
 //	           [-prepare-workers N] [-merge-workers N]
-//	           [-coalesce-off] [-mux-off] [-shm-off]
+//	           [-coalesce-off] [-mux-off] [-shm-off] [-chunk-bytes N]
 package main
 
 import (
@@ -46,6 +46,7 @@ func main() {
 	coalesceOff := flag.Bool("coalesce-off", false, "with -regress: disable transport send coalescing (flush per frame)")
 	muxOff := flag.Bool("mux-off", false, "with -regress: disable connection multiplexing (one conn per comm/rank/dest)")
 	shmOff := flag.Bool("shm-off", false, "with -regress: disable the shared-memory ring transport (shuffle/shm entries fall back to TCP)")
+	chunkBytes := flag.Int("chunk-bytes", 0, "with -regress: large-value chunk threshold for the shuffle-skew entry (0 = entry default)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -67,6 +68,7 @@ func main() {
 		o.CoalesceOff = *coalesceOff
 		o.MuxOff = *muxOff
 		o.ShmOff = *shmOff
+		o.ChunkBytes = *chunkBytes
 		runRegress(o, *quick, *benchOut, *against, *tracePath)
 		return
 	}

@@ -150,32 +150,137 @@ type RunOption func(*runConfig)
 // runConfig collects the option state RunContext applies around the core
 // runtime.
 type runConfig struct {
-	tcp            bool
-	shm            bool
-	proc           bool
-	procOutput     io.Writer
-	traceOut       io.Writer
-	counters       bool
-	prepareWorkers int
-	mergeWorkers   int
+	tcp              bool
+	shm              bool
+	proc             bool
+	procOutput       io.Writer
+	traceOut         io.Writer
+	counters         bool
+	prepareWorkers   int
+	mergeWorkers     int
+	coalesceBytes    int
+	coalesceDeadline time.Duration
+	drainTimeout     time.Duration
+	chunkBytes       int
+	maxFrameBytes    int
 }
+
+// TransportKind selects the MPI data plane of a run.
+type TransportKind int
+
+const (
+	// TransportMem moves frames over in-memory channels — the default.
+	TransportMem TransportKind = iota
+	// TransportTCP moves frames over real TCP loopback sockets.
+	TransportTCP
+	// TransportShm is TransportTCP with the same-host shared-memory ring
+	// transport enabled: an in-process world is all one host, so every
+	// rank pair's traffic rides lock-free shared-memory rings instead of
+	// sockets. Under WithProcessLaunch the rings are on by default
+	// (same-host worker pairs are selected automatically); set
+	// Config.ShmOff to force all pairs onto TCP.
+	TransportShm
+)
+
+// TransportConfig consolidates every data-plane knob behind one option
+// (WithTransport): which transport carries the frames and how its
+// progress engine batches, drains, chunks and caps them. The zero value
+// of any field keeps the corresponding default (or whatever the matching
+// Config field already says), so callers set only what they mean.
+type TransportConfig struct {
+	// Kind selects the transport; the zero value is TransportMem.
+	Kind TransportKind
+	// CoalesceBytes / CoalesceDeadline tune the progress engine's send
+	// batching (see Config.CoalesceBytes / Config.CoalesceDeadline).
+	CoalesceBytes    int
+	CoalesceDeadline time.Duration
+	// DrainTimeout bounds the transport's close-time drain barrier (see
+	// Config.DrainTimeout).
+	DrainTimeout time.Duration
+	// ChunkBytes is the large-value chunk threshold for both transparent
+	// transport chunking and Context.SendValue (see Config.ChunkBytes).
+	ChunkBytes int
+	// MaxFrameBytes lowers the transport's send-side frame cap (see
+	// Config.MaxFrameBytes).
+	MaxFrameBytes int
+}
+
+// WithTransport configures the MPI data plane from one place: transport
+// kind plus the progress-engine knobs. Nonzero knob fields override the
+// matching Config fields; zero fields leave them as set. It subsumes the
+// deprecated WithMemTransport / WithTCPTransport / WithShmTransport /
+// WithCoalesce / WithDrainTimeout options.
+func WithTransport(tc TransportConfig) RunOption {
+	return func(c *runConfig) {
+		switch tc.Kind {
+		case TransportTCP:
+			c.tcp, c.shm = true, false
+		case TransportShm:
+			c.tcp, c.shm = true, true
+		default:
+			c.tcp, c.shm = false, false
+		}
+		if tc.CoalesceBytes > 0 {
+			c.coalesceBytes = tc.CoalesceBytes
+		}
+		if tc.CoalesceDeadline > 0 {
+			c.coalesceDeadline = tc.CoalesceDeadline
+		}
+		if tc.DrainTimeout > 0 {
+			c.drainTimeout = tc.DrainTimeout
+		}
+		if tc.ChunkBytes > 0 {
+			c.chunkBytes = tc.ChunkBytes
+		}
+		if tc.MaxFrameBytes > 0 {
+			c.maxFrameBytes = tc.MaxFrameBytes
+		}
+	}
+}
+
+// WithChunkBytes sets the large-value chunk threshold for the run: a
+// transport message above it travels as sequenced continuation frames,
+// and Context.SendValue streams values above it through the blob store in
+// chunks of this size (see Config.ChunkBytes; default 4 MiB). Equivalent
+// to WithTransport(TransportConfig{ChunkBytes: n}) preserving the
+// transport kind.
+func WithChunkBytes(n int) RunOption { return func(c *runConfig) { c.chunkBytes = n } }
 
 // WithMemTransport runs the MPI data plane over in-memory channels — the
 // default, made explicit so callers can spell out (or override) the
 // transport choice.
-func WithMemTransport() RunOption { return func(c *runConfig) { c.tcp = false } }
+//
+// Deprecated: Use WithTransport(TransportConfig{Kind: TransportMem}).
+func WithMemTransport() RunOption { return func(c *runConfig) { c.tcp, c.shm = false, false } }
 
 // WithTCPTransport runs the MPI data plane over real TCP loopback sockets
 // instead of in-memory channels.
-func WithTCPTransport() RunOption { return func(c *runConfig) { c.tcp = true } }
+//
+// Deprecated: Use WithTransport(TransportConfig{Kind: TransportTCP}).
+func WithTCPTransport() RunOption { return func(c *runConfig) { c.tcp, c.shm = true, false } }
 
 // WithShmTransport runs the MPI data plane over the TCP transport with
-// the same-host shared-memory ring transport enabled: an in-process
-// world is all one host, so every rank pair's traffic rides lock-free
-// shared-memory rings instead of sockets. Under WithProcessLaunch the
-// rings are on by default (same-host worker pairs are selected
-// automatically); set Config.ShmOff to force all pairs onto TCP.
-func WithShmTransport() RunOption { return func(c *runConfig) { c.tcp = true; c.shm = true } }
+// the same-host shared-memory ring transport enabled.
+//
+// Deprecated: Use WithTransport(TransportConfig{Kind: TransportShm}).
+func WithShmTransport() RunOption { return func(c *runConfig) { c.tcp, c.shm = true, true } }
+
+// WithCoalesce tunes the progress engine's send batching (see
+// Config.CoalesceBytes / Config.CoalesceDeadline).
+//
+// Deprecated: Use WithTransport(TransportConfig{CoalesceBytes: bytes,
+// CoalesceDeadline: deadline}).
+func WithCoalesce(bytes int, deadline time.Duration) RunOption {
+	return func(c *runConfig) { c.coalesceBytes, c.coalesceDeadline = bytes, deadline }
+}
+
+// WithDrainTimeout bounds the transport's close-time drain barrier (see
+// Config.DrainTimeout).
+//
+// Deprecated: Use WithTransport(TransportConfig{DrainTimeout: d}).
+func WithDrainTimeout(d time.Duration) RunOption {
+	return func(c *runConfig) { c.drainTimeout = d }
+}
 
 // WithProcessLaunch makes Run a true launcher (§IV-B): it spawns
 // Job.Procs worker OS processes (re-executions of this binary), completes
@@ -251,6 +356,21 @@ func RunContext(ctx context.Context, job *Job, opts ...RunOption) (*Result, erro
 	if rc.mergeWorkers > 0 {
 		job.Conf.MergeWorkers = rc.mergeWorkers
 	}
+	if rc.coalesceBytes > 0 {
+		job.Conf.CoalesceBytes = rc.coalesceBytes
+	}
+	if rc.coalesceDeadline > 0 {
+		job.Conf.CoalesceDeadline = rc.coalesceDeadline
+	}
+	if rc.drainTimeout > 0 {
+		job.Conf.DrainTimeout = rc.drainTimeout
+	}
+	if rc.chunkBytes > 0 {
+		job.Conf.ChunkBytes = rc.chunkBytes
+	}
+	if rc.maxFrameBytes > 0 {
+		job.Conf.MaxFrameBytes = rc.maxFrameBytes
+	}
 	var tr *trace.Tracer
 	if rc.traceOut != nil && job.Trace == nil {
 		tr = trace.New()
@@ -272,6 +392,8 @@ func RunContext(ctx context.Context, job *Job, opts ...RunOption) (*Result, erro
 			CoalesceDeadline: job.Conf.CoalesceDeadline,
 			ShmOff:           job.Conf.ShmOff,
 			DrainTimeout:     job.Conf.DrainTimeout,
+			ChunkBytes:       job.Conf.ChunkBytes,
+			MaxFrameBytes:    job.Conf.MaxFrameBytes,
 		})
 		if cerr != nil {
 			return nil, &RunError{Phase: "launch", Rank: -1, Err: cerr}

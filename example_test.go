@@ -1,6 +1,7 @@
 package datampi_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -136,7 +137,7 @@ func ExampleWithCounters() {
 		},
 	}
 	res, err := datampi.Run(job,
-		datampi.WithMemTransport(),
+		datampi.WithTransport(datampi.TransportConfig{Kind: datampi.TransportMem}),
 		datampi.WithCounters(),
 		datampi.WithPrepareWorkers(2),
 		datampi.WithMergeWorkers(2),
@@ -150,6 +151,87 @@ func ExampleWithCounters() {
 	// Output:
 	// records sent: 100
 	// records received: 100
+}
+
+// ExampleContext_SendValue streams a value far larger than the chunk
+// threshold through the shuffle without ever materializing it: the O side
+// reads it chunk-by-chunk from any io.Reader of known length, the
+// transport carries sequenced continuation frames, and the A side streams
+// it back out of a disk-backed store through Group.ValueReader — peak
+// memory stays O(chunk size) on both sides no matter how large the value.
+func ExampleContext_SendValue() {
+	const valueLen = 64 << 10
+	job := &datampi.Job{
+		Mode: datampi.MapReduce,
+		NumO: 1,
+		NumA: 1,
+		OTask: func(c *datampi.Context) error {
+			// Any reader works: a file, a network stream — here an
+			// in-memory pattern standing in for a large attachment.
+			value := bytes.NewReader(bytes.Repeat([]byte("v"), valueLen))
+			return c.SendValue([]byte("clip-0001"), value, valueLen)
+		},
+		ATask: func(c *datampi.Context) error {
+			for {
+				g, ok, err := c.NextGroup()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				r, err := g.ValueReader(0)
+				if err != nil {
+					return err
+				}
+				n, err := io.Copy(io.Discard, r)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%s: %d bytes\n", g.Key, n)
+			}
+		},
+	}
+	// WithChunkBytes lowers the threshold so this small example really
+	// chunks; production runs usually keep the 4 MiB default.
+	if _, err := datampi.Run(job, datampi.WithChunkBytes(4096)); err != nil {
+		panic(err)
+	}
+	// Output:
+	// clip-0001: 65536 bytes
+}
+
+// ExampleWithTransport configures the whole data plane in one option:
+// transport kind plus the progress-engine knobs that used to be spread
+// over WithMemTransport/WithTCPTransport/WithShmTransport/WithCoalesce/
+// WithDrainTimeout.
+func ExampleWithTransport() {
+	job := &datampi.Job{
+		Mode: datampi.MapReduce,
+		NumO: 2,
+		NumA: 1,
+		OTask: func(c *datampi.Context) error {
+			return c.Send("k", "v")
+		},
+		ATask: func(c *datampi.Context) error {
+			for {
+				if _, ok, err := c.NextGroup(); err != nil {
+					return err
+				} else if !ok {
+					return nil
+				}
+			}
+		},
+	}
+	_, err := datampi.Run(job, datampi.WithTransport(datampi.TransportConfig{
+		Kind:             datampi.TransportTCP,
+		CoalesceBytes:    32 << 10,
+		CoalesceDeadline: 200 * time.Microsecond,
+		ChunkBytes:       1 << 20,
+	}))
+	fmt.Println("err:", err)
+	// Output:
+	// err: <nil>
 }
 
 func splitWords(s string) []string {

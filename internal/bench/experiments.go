@@ -37,6 +37,9 @@ type Opts struct {
 	// ShmOff disables the shared-memory ring transport everywhere in the
 	// harness, turning the shuffle/shm entries into TCP baselines.
 	ShmOff bool
+	// ChunkBytes overrides the large-value chunk threshold in the
+	// skew-heavy regression entry (0 = the entry's own default).
+	ChunkBytes int
 }
 
 // Quick returns the small test-suite sizing.

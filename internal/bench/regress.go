@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -181,6 +183,97 @@ func aheavyJob(records, mergeWorkers int, serial bool, disks []*diskio.Disk, res
 	}
 }
 
+// lcgReader streams a deterministic pseudo-random value of known length
+// without materializing it — the generator for the skew entry's streamed
+// values.
+type lcgReader struct {
+	state uint64
+	n     int64
+}
+
+func (r *lcgReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.n {
+		p = p[:r.n]
+	}
+	for i := range p {
+		r.state = r.state*6364136223846793005 + 1442695040888963407
+		p[i] = byte(r.state >> 33)
+	}
+	r.n -= int64(len(p))
+	return len(p), nil
+}
+
+// skewJob builds the skew-heavy large-value shuffle: every O task streams
+// most of its bytes to ONE hot key (so a single A task absorbs nearly the
+// whole volume) as values far above the chunk threshold, via
+// Context.SendValue. The A tasks stream each value back out through
+// Group.ValueReader and count its bytes. The entry measures the chunked
+// data plane under the worst-case key distribution — without chunking,
+// the hot partition would have to hold every value in memory at once.
+func skewJob(valueBytes int64, valsPerTask, chunkBytes int, res **core.Result) func() error {
+	return func() error {
+		var streamed atomic.Int64
+		job := &core.Job{
+			Name: "shuffle-skew",
+			Mode: core.MapReduce,
+			Conf: core.Config{
+				ValueCodec: kv.Bytes,
+				ChunkBytes: chunkBytes,
+			},
+			NumO: 4, NumA: 2, Procs: 2, Slots: 2,
+			OTask: func(ctx *core.Context) error {
+				for i := 0; i < valsPerTask; i++ {
+					key := []byte("hot")
+					if i == valsPerTask-1 {
+						// One cold value per task keeps the second A task
+						// non-idle without denting the skew.
+						key = []byte(fmt.Sprintf("cold-%d", ctx.Rank()))
+					}
+					r := &lcgReader{state: uint64(ctx.Rank()*1000+i) | 1, n: valueBytes}
+					if err := ctx.SendValue(key, r, valueBytes); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			ATask: func(ctx *core.Context) error {
+				for {
+					g, ok, err := ctx.NextGroup()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+					for i := range g.Values {
+						vr, err := g.ValueReader(i)
+						if err != nil {
+							return err
+						}
+						n, err := io.Copy(io.Discard, vr)
+						if err != nil {
+							return err
+						}
+						streamed.Add(n)
+					}
+				}
+			},
+		}
+		r, err := core.Run(job)
+		if err != nil {
+			return err
+		}
+		if want := valueBytes * int64(valsPerTask) * 4; streamed.Load() != want {
+			return fmt.Errorf("bench: shuffle-skew streamed %d bytes, want %d", streamed.Load(), want)
+		}
+		*res = r
+		return nil
+	}
+}
+
 // ftShuffleJob builds the mem-transport shuffle workload with library
 // checkpointing enabled (§IV-E): same record stream as shuffleJob, plus a
 // chunk dir that is wiped on every iteration so a clean run never reloads
@@ -332,6 +425,25 @@ func Regress(o Opts, quick bool, tr *trace.Tracer) (*RegressReport, error) {
 	var tsoff *core.Result
 	if err := add("shuffle/shm-off", &tsoff,
 		shuffleJob(shuffleRecords, o.PrepareWorkers, o.MergeWorkers, soKnobs, &tsoff)); err != nil {
+		return nil, err
+	}
+
+	// The skew-heavy large-value entry: one hot key absorbing ~64 MiB of
+	// streamed values (8 MiB in quick mode) through the chunked data
+	// plane. Its blob.* counters are part of the snapshot: drift there
+	// means the chunking layer moved different bytes, not just different
+	// timing.
+	valueBytes, valsPerTask := int64(8<<20), 2
+	if quick {
+		valueBytes = 1 << 20
+	}
+	skewChunk := o.ChunkBytes
+	if skewChunk <= 0 {
+		skewChunk = 256 << 10
+	}
+	var skres *core.Result
+	if err := add("shuffle-skew", &skres,
+		skewJob(valueBytes, valsPerTask, skewChunk, &skres)); err != nil {
 		return nil, err
 	}
 

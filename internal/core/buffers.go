@@ -41,6 +41,12 @@ type sendItem struct {
 	// with task < 0 seals every open chunk on the process (the rejoin
 	// barrier after a partial restart).
 	cpSeal bool
+	// valueChunk marks a streamed-value continuation frame (SendValue):
+	// the payload is a blob chunk (blobID | offset | total | bytes), not
+	// framed records. Such items are always prepared (never sorted or
+	// combined) and carry records == 0, so checkpoint record counts and
+	// skip bookkeeping see only the placeholder record.
+	valueChunk bool
 }
 
 // Wire format of a data message, laid out so the SPL can reserve the whole
@@ -63,6 +69,10 @@ const (
 
 const (
 	flagReverse = 1 << 0
+	// flagValueChunk marks a blob continuation frame: the payload after
+	// the header is blobHdrLen of blob metadata followed by raw value
+	// bytes, not framed records.
+	flagValueChunk = 1 << 1
 )
 
 // maxPooledFrame bounds the buffers the frame pool keeps, so one outsized
@@ -102,12 +112,15 @@ func frameWithRecords(records []byte) []byte {
 }
 
 // writeFrameHeader fills the reserved header bytes in place.
-func writeFrameHeader(frame []byte, round, partition int, reverse bool, task int, idx int64) {
+func writeFrameHeader(frame []byte, round, partition int, reverse bool, valueChunk bool, task int, idx int64) {
 	binary.BigEndian.PutUint32(frame[frameRoundOff:], uint32(round))
 	binary.BigEndian.PutUint32(frame[framePartOff:], uint32(partition))
 	var flags byte
 	if reverse {
 		flags = flagReverse
+	}
+	if valueChunk {
+		flags |= flagValueChunk
 	}
 	frame[frameFlagsOff] = flags
 	binary.BigEndian.PutUint32(frame[frameTaskOff:], uint32(int32(task)))
@@ -191,15 +204,16 @@ type sealedPart struct {
 
 // decodePayload parses the message payload (everything after the round
 // word): u32 partition | u8 flags | u32 task | u64 idx | records.
-func decodePayload(b []byte) (partition int, reverse bool, task int, idx int64, records []byte, err error) {
+func decodePayload(b []byte) (partition int, reverse, valueChunk bool, task int, idx int64, records []byte, err error) {
 	if len(b) < frameHeaderLen-framePartOff {
-		return 0, false, 0, 0, nil, fmt.Errorf("core: data payload %d bytes", len(b))
+		return 0, false, false, 0, 0, nil, fmt.Errorf("core: data payload %d bytes", len(b))
 	}
 	partition = int(binary.BigEndian.Uint32(b))
 	reverse = b[4]&flagReverse != 0
+	valueChunk = b[4]&flagValueChunk != 0
 	task = int(int32(binary.BigEndian.Uint32(b[frameTaskOff-framePartOff:])))
 	idx = int64(binary.BigEndian.Uint64(b[frameIdxOff-framePartOff:]))
-	return partition, reverse, task, idx, b[frameHeaderLen-framePartOff:], nil
+	return partition, reverse, valueChunk, task, idx, b[frameHeaderLen-framePartOff:], nil
 }
 
 // prepareFrame sorts and combines a framed buffer's records according to

@@ -16,6 +16,7 @@ import (
 
 	"datampi/internal/fault"
 	"datampi/internal/kv"
+	"datampi/internal/mpi"
 )
 
 // Mode selects the communication mode, the paper's "Diversified" feature
@@ -197,6 +198,21 @@ type Config struct {
 	CoalesceBytes    int
 	CoalesceDeadline time.Duration
 
+	// ChunkBytes is the large-value chunk threshold, governing both
+	// layers of the BigMPI-style chunked data plane: a transport message
+	// larger than it travels as sequenced continuation frames of at most
+	// ChunkBytes each, and Context.SendValue streams a value larger than
+	// it in ChunkBytes pieces through the blob store instead of
+	// materializing it. Zero keeps the 4 MiB default. It must be
+	// strictly below the frame cap (MaxFrameBytes).
+	ChunkBytes int
+
+	// MaxFrameBytes lowers the transport's send-side frame cap from the
+	// absolute 256 MiB parse bound. Messages above the cap still flow —
+	// they are chunked — so the cap bounds frames, not messages. Zero
+	// keeps the absolute bound.
+	MaxFrameBytes int
+
 	// AsyncCheckpointOff disables the double-buffered asynchronous
 	// checkpoint committer (ablation): chunk appends and seals run inline
 	// on the transmit path, as the pre-async implementation did. With the
@@ -251,6 +267,18 @@ type Config struct {
 // injection fires.
 var ErrInjectedFailure = errors.New("core: injected failure")
 
+// ConfigError reports an invalid Config field rejected by Normalize;
+// callers can distinguish configuration mistakes from runtime failures
+// with errors.As.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid Config.%s: %s", e.Field, e.Reason)
+}
+
 // Normalize fills defaults in place and validates the configuration for
 // the given mode.
 func (c *Config) Normalize(mode Mode) error {
@@ -294,6 +322,29 @@ func (c *Config) Normalize(mode Mode) error {
 	if (c.FaultPlan != nil || c.FaultInjector != nil) && c.IOTimeout <= 0 {
 		c.IOTimeout = 2 * time.Second
 	}
+	if c.ChunkBytes < 0 {
+		return &ConfigError{Field: "ChunkBytes", Reason: fmt.Sprintf("%d is negative", c.ChunkBytes)}
+	}
+	if c.MaxFrameBytes < 0 {
+		return &ConfigError{Field: "MaxFrameBytes", Reason: fmt.Sprintf("%d is negative", c.MaxFrameBytes)}
+	}
+	if c.MaxFrameBytes > mpi.FrameCap {
+		return &ConfigError{Field: "MaxFrameBytes",
+			Reason: fmt.Sprintf("%d exceeds the absolute frame parse bound %d", c.MaxFrameBytes, mpi.FrameCap)}
+	}
+	frameCap := c.MaxFrameBytes
+	if frameCap == 0 {
+		frameCap = mpi.FrameCap
+	}
+	if c.ChunkBytes >= frameCap {
+		return &ConfigError{Field: "ChunkBytes",
+			Reason: fmt.Sprintf("chunk threshold %d must be strictly below the frame cap %d", c.ChunkBytes, frameCap)}
+	}
+	if c.FaultTolerance && c.ChunkBytes > maxChunkPayload-frameHeaderLen-blobHdrLen {
+		return &ConfigError{Field: "ChunkBytes",
+			Reason: fmt.Sprintf("chunk threshold %d exceeds the checkpoint entry bound %d under FaultTolerance",
+				c.ChunkBytes, maxChunkPayload-frameHeaderLen-blobHdrLen)}
+	}
 	if c.FaultTolerance && c.CheckpointDir == "" {
 		return errors.New("core: FaultTolerance requires CheckpointDir")
 	}
@@ -316,3 +367,11 @@ func (c *Config) Normalize(mode Mode) error {
 
 // sorted reports whether intermediate data is sorted under this config.
 func (c *Config) sorted() bool { return c.Sorted != nil && *c.Sorted }
+
+// chunkThreshold returns the effective large-value chunk size.
+func (c *Config) chunkThreshold() int64 {
+	if c.ChunkBytes > 0 {
+		return int64(c.ChunkBytes)
+	}
+	return 4 << 20
+}

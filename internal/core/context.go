@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -51,6 +52,10 @@ type Context struct {
 
 	// kbuf/vbuf are Send's codec scratch buffers, reused across calls.
 	kbuf, vbuf []byte
+
+	// blobSeq is the next SendValue ordinal; blob ids are (task, ordinal)
+	// so a deterministic re-run after a restart reproduces the same ids.
+	blobSeq uint32
 
 	// counters holds AddCounter deltas not yet reported to mpidrun.
 	counters map[string]int64
@@ -211,6 +216,104 @@ func (c *Context) SendRecord(rec kv.Record) error {
 	return nil
 }
 
+// SendValue emits one key-value pair whose value is streamed from an
+// io.Reader of known length n, without ever materializing it: a value
+// above the chunk threshold (Config.ChunkBytes, default 4 MiB) travels as
+// blob continuation frames of one chunk each, and only a small opaque
+// placeholder record enters the SPL, the sort, the spill and the
+// checkpoint paths. Receivers land the chunks in a disk-backed store and
+// A tasks stream them back through Group.ValueReader — so peak memory on
+// both sides stays O(chunk size) no matter how large the value. Values at
+// or below the threshold are read whole and sent as ordinary records.
+//
+// SendValue is available to O tasks in Common and MapReduce modes; it is
+// rejected in Iteration and Streaming modes and under Conf.Combine (a
+// combiner would treat placeholders as ordinary bytes). Under fault
+// tolerance the chunks are checkpointed with the placeholder — a
+// committed chunk file always carries a value's chunks and placeholder
+// together, because both precede the next checkpoint seal — so restarts
+// and partial restarts replay streamed values exactly once.
+func (c *Context) SendValue(key []byte, value io.Reader, n int64) error {
+	if !c.isO || c.job.Mode == Iteration || c.job.Mode == Streaming {
+		return errors.New("core: SendValue requires an O task in Common or MapReduce mode")
+	}
+	if c.job.Conf.Combine != nil {
+		return errors.New("core: SendValue cannot be used with Conf.Combine (placeholders are opaque to combiners)")
+	}
+	if n < 0 {
+		return fmt.Errorf("core: SendValue length %d", n)
+	}
+	th := c.job.Conf.chunkThreshold()
+	if n <= th {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(value, buf); err != nil {
+			return fmt.Errorf("core: SendValue: %w", err)
+		}
+		return c.SendRecord(kv.Record{Key: key, Value: buf})
+	}
+	id := uint64(uint32(c.task))<<32 | uint64(c.blobSeq)
+	c.blobSeq++
+	ref := appendBlobRef(make([]byte, 0, blobRefLen), id, n)
+	if c.skip > 0 {
+		// This value is covered by a reloaded checkpoint: its chunks and
+		// placeholder are re-injected from the committed chunk file, so
+		// drop the bytes here. The ordinal above still advanced — blob
+		// ids must stay aligned with the lost incarnation's.
+		if _, err := io.CopyN(io.Discard, value, n); err != nil {
+			return fmt.Errorf("core: SendValue: %w", err)
+		}
+		return c.SendRecord(kv.Record{Key: key, Value: ref})
+	}
+	p := c.job.Conf.Partition(key, ref, c.numDest())
+	if p < 0 || p >= c.numDest() {
+		return fmt.Errorf("core: partitioner returned %d of %d", p, c.numDest())
+	}
+	for off := int64(0); off < n; {
+		m := th
+		if n-off < m {
+			m = n - off
+		}
+		frame := getFrame()
+		var hdr [blobHdrLen]byte
+		binary.BigEndian.PutUint64(hdr[0:], id)
+		binary.BigEndian.PutUint64(hdr[8:], uint64(off))
+		binary.BigEndian.PutUint64(hdr[16:], uint64(n))
+		frame = append(frame, hdr[:]...)
+		start := len(frame)
+		frame = append(frame, make([]byte, int(m))...)
+		if _, err := io.ReadFull(value, frame[start:]); err != nil {
+			return fmt.Errorf("core: SendValue: %w", err)
+		}
+		if c.job.Mem != nil {
+			c.job.Mem.Add(int64(len(frame) - frameHeaderLen))
+		}
+		// Chunk frames take their (partition, idx) labels from the same
+		// per-partition sequence as SPL buffers, so the receive-side
+		// dedup filter and partial-restart frame seeding cover them like
+		// any other frame.
+		idx := c.spl.frameSeq[p]
+		c.spl.frameSeq[p]++
+		if err := c.proc.submit(sendItem{
+			task:       c.task,
+			partition:  p,
+			data:       frame,
+			idx:        idx,
+			prepared:   true,
+			valueChunk: true,
+		}, c.round); err != nil {
+			return err
+		}
+		c.proc.rt.ctrs.blobChunksSent.Add(1)
+		c.proc.rt.ctrs.blobBytesSent.Add(m)
+		off += m
+	}
+	c.proc.rt.ctrs.blobValuesSent.Add(1)
+	// The placeholder rides the normal record path (and the same
+	// partition: the partitioner sees the identical (key, ref) inputs),
+	// inheriting send counting, checkpoint-round and skip bookkeeping.
+	return c.SendRecord(kv.Record{Key: key, Value: ref})
+}
+
 // checkpointRound drains the SPL and commits the task's open chunk.
 func (c *Context) checkpointRound() error {
 	if err := c.drainSPL(); err != nil {
@@ -310,6 +413,9 @@ func (c *Context) NextGroup() (kv.Group, bool, error) {
 			gc = c.job.Conf.Compare
 		}
 		c.grouper = kv.NewGrouper(c.it, gc)
+		// Streamed-value placeholders resolve against this process's blob
+		// store (Group.ValueReader).
+		c.grouper.SetValueResolver(c.proc.blobs.resolver(c.round))
 	}
 	g, err := c.grouper.Next()
 	if err == io.EOF {

@@ -45,6 +45,13 @@ type runtimeCounters struct {
 	partialDupFrames atomic.Int64 // duplicate replayed frames dropped by receivers
 
 	fetchBytesServed atomic.Int64 // ablation path: bytes served to remote fetches
+
+	blobValuesSent atomic.Int64 // oversized values streamed by SendValue
+	blobChunksSent atomic.Int64 // blob continuation frames transmitted
+	blobBytesSent  atomic.Int64 // blob value bytes transmitted
+	blobChunksRecv atomic.Int64 // blob continuation frames landed in the store
+	blobBytesRecv  atomic.Int64 // blob value bytes landed in the store
+	blobValuesRecv atomic.Int64 // blobs fully reassembled at receivers
 }
 
 func newRuntimeCounters(procs int) *runtimeCounters {
@@ -113,6 +120,26 @@ func (rc *runtimeCounters) snapshot(ws mpi.Stats) map[string]int64 {
 	if v := rc.partialDupFrames.Load(); v != 0 {
 		out["restart.partial.dup.frames"] = v
 	}
+	// Blob counters appear only when a job streamed oversized values, so
+	// ordinary jobs keep an identical counter set.
+	if v := rc.blobValuesSent.Load(); v != 0 {
+		out["blob.values.sent"] = v
+	}
+	if v := rc.blobChunksSent.Load(); v != 0 {
+		out["blob.chunks.sent"] = v
+	}
+	if v := rc.blobBytesSent.Load(); v != 0 {
+		out["blob.bytes.sent"] = v
+	}
+	if v := rc.blobChunksRecv.Load(); v != 0 {
+		out["blob.chunks.received"] = v
+	}
+	if v := rc.blobBytesRecv.Load(); v != 0 {
+		out["blob.bytes.received"] = v
+	}
+	if v := rc.blobValuesRecv.Load(); v != 0 {
+		out["blob.values.received"] = v
+	}
 	out["fetch.bytes.served"] = rc.fetchBytesServed.Load()
 	out["mpi.frames.sent"] = ws.FramesSent
 	out["mpi.bytes.sent"] = ws.BytesSent
@@ -149,6 +176,20 @@ func (rc *runtimeCounters) snapshot(ws mpi.Stats) map[string]int64 {
 	}
 	if ws.ShmSpins != 0 {
 		out["mpi.shm.spins"] = ws.ShmSpins
+	}
+	// Transport-level chunking fires only when a single message outgrows
+	// the chunk threshold, so ordinary runs see no mpi.chunk.* keys.
+	if ws.ChunkFramesSent != 0 {
+		out["mpi.chunk.frames.sent"] = ws.ChunkFramesSent
+	}
+	if ws.ChunkFramesRecv != 0 {
+		out["mpi.chunk.frames.received"] = ws.ChunkFramesRecv
+	}
+	if ws.ChunkMsgsSent != 0 {
+		out["mpi.chunk.msgs.sent"] = ws.ChunkMsgsSent
+	}
+	if ws.ChunkMsgsReassembled != 0 {
+		out["mpi.chunk.msgs.reassembled"] = ws.ChunkMsgsReassembled
 	}
 	return out
 }

@@ -79,6 +79,11 @@ type process struct {
 	dedup bool
 	seen  map[dedupKey]map[int64]struct{}
 
+	// blobs is the receive-side store for streamed values (SendValue):
+	// continuation frames land here chunk-at-a-time, backed by disk, and
+	// A tasks read them back through Group.ValueReader.
+	blobs *blobStore
+
 	mu     sync.Mutex
 	merges map[mergeKey]*mergeState
 	ctxs   map[ctxKey]*Context // persistent contexts (Iteration mode)
@@ -159,6 +164,7 @@ func newProcess(rt *Runtime, idx int, comm *mpi.Comm) *process {
 		ctxs:     make(map[ctxKey]*Context),
 		streams:  make(map[int]chan kv.Record),
 	}
+	p.blobs = newBlobStore(p)
 	cfg := &rt.job.Conf
 	if cfg.FaultTolerance && !cfg.AsyncCheckpointOff {
 		p.committer = newCPCommitter(p)
@@ -418,7 +424,7 @@ func (p *process) transmit(item *sendItem, round int, rawBytes int) error {
 		return nil
 	}
 	frame, nrec := item.data, item.records
-	writeFrameHeader(frame, round, item.partition, item.reverse, item.task, item.idx)
+	writeFrameHeader(frame, round, item.partition, item.reverse, item.valueChunk, item.task, item.idx)
 	checkpointed := cfg.FaultTolerance && !item.noCheckpoint && !item.reverse
 	if checkpointed && p.committer == nil {
 		w := p.cpws[item.task]
@@ -547,7 +553,7 @@ func (p *process) dataReceiver() {
 			return
 		}
 		round := int(binary.BigEndian.Uint32(wire))
-		partition, reverse, task, idx, records, err := decodePayload(wire[4:])
+		partition, reverse, valueChunk, task, idx, records, err := decodePayload(wire[4:])
 		if err != nil {
 			p.fail(err)
 			return
@@ -573,6 +579,25 @@ func (p *process) dataReceiver() {
 				continue
 			}
 			s[idx] = struct{}{}
+		}
+		if valueChunk && !reverse {
+			// A streamed-value continuation frame: its payload goes to the
+			// disk-backed blob store, never into the merge path. The dedup
+			// filter above already dropped replayed duplicates; re-delivered
+			// chunks that slip past it (dedup off) are idempotent because
+			// the store writes by offset.
+			if err := p.blobs.ingest(round, records); err != nil {
+				p.fail(err)
+				return
+			}
+			p.rt.ctrs.addPairRecv(st.Source, p.idx, int64(len(records)), 0)
+			if p.tb != nil {
+				p.tb.Span(tidRecv, "recv", "shuffle", start, map[string]any{
+					"src": st.Source, "partition": partition,
+					"bytes": len(records), "blob": true,
+				})
+			}
+			continue
 		}
 		if streaming && !reverse {
 			nrec, err := kv.CountRecords(records)
@@ -687,7 +712,7 @@ func (p *process) dropMerge(k mergeKey, partition int) {
 func (p *process) sendEndMarkers(round int, reverse bool) error {
 	wire := getFrame()
 	defer putFrame(wire)
-	writeFrameHeader(wire, round, endPartition, reverse, -1, 0)
+	writeFrameHeader(wire, round, endPartition, reverse, false, -1, 0)
 	for dst := 0; dst < p.comm.Size(); dst++ {
 		if err := p.comm.Send(dst, tagData, wire); err != nil {
 			return err
@@ -857,4 +882,5 @@ func (p *process) quiesce() {
 			w.f = nil
 		}
 	}
+	p.blobs.close()
 }

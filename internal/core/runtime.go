@@ -361,6 +361,12 @@ func engineOptions(c *Config) []mpi.Option {
 	if c.DrainTimeout > 0 {
 		opts = append(opts, mpi.WithDrainTimeout(c.DrainTimeout))
 	}
+	if c.ChunkBytes > 0 {
+		opts = append(opts, mpi.WithChunkBytes(c.ChunkBytes))
+	}
+	if c.MaxFrameBytes > 0 {
+		opts = append(opts, mpi.WithMaxFrame(c.MaxFrameBytes))
+	}
 	return opts
 }
 
@@ -675,7 +681,7 @@ func chunkRecordCount(path string) (int64, error) {
 func (rt *Runtime) countChunkFrames(task int, path string) error {
 	counts := map[int]int64{}
 	if _, err := readChunk(path, func(payload []byte) error {
-		partition, _, _, _, _, err := decodePayload(payload)
+		partition, _, _, _, _, _, err := decodePayload(payload)
 		if err != nil {
 			return err
 		}

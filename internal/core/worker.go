@@ -244,7 +244,7 @@ func (rt *Runtime) reloadChunks(p *process, cmd ctrlMsg) {
 	var total int64
 	for _, path := range cmd.Paths {
 		n, err := readChunk(path, func(payload []byte) error {
-			partition, reverse, task, idx, records, err := decodePayload(payload)
+			partition, reverse, valueChunk, task, idx, records, err := decodePayload(payload)
 			if err != nil {
 				return err
 			}
@@ -259,6 +259,7 @@ func (rt *Runtime) reloadChunks(p *process, cmd ctrlMsg) {
 				idx:          idx,
 				prepared:     true,
 				noCheckpoint: true,
+				valueChunk:   valueChunk,
 			}, cmd.Round)
 		})
 		if err != nil {
@@ -302,18 +303,24 @@ func (rt *Runtime) replayChunks(p *process, cmd ctrlMsg) {
 	var total int64
 	for _, path := range cmd.Paths {
 		_, err := readChunk(path, func(payload []byte) error {
-			partition, reverse, task, idx, records, err := decodePayload(payload)
+			partition, reverse, valueChunk, task, idx, records, err := decodePayload(payload)
 			if err != nil {
 				return err
 			}
 			if cmd.ReplayOwner >= 0 && rt.ownerProc(partition) != cmd.ReplayOwner {
 				return nil
 			}
-			nrec, err := kv.CountRecords(records)
-			if err != nil {
-				return err
+			// Blob continuation frames carry raw value bytes, not framed
+			// records — nothing to count; receivers dedup them by idx like
+			// any other frame and the store is offset-idempotent besides.
+			var nrec int64
+			if !valueChunk {
+				nrec, err = kv.CountRecords(records)
+				if err != nil {
+					return err
+				}
+				total += nrec
 			}
-			total += nrec
 			return p.submit(sendItem{
 				task:         task,
 				partition:    partition,
@@ -323,6 +330,7 @@ func (rt *Runtime) replayChunks(p *process, cmd ctrlMsg) {
 				idx:          idx,
 				prepared:     true,
 				noCheckpoint: true,
+				valueChunk:   valueChunk,
 			}, cmd.Round)
 		})
 		if err != nil {

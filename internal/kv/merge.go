@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"bytes"
 	"container/heap"
 	"io"
 )
@@ -122,20 +123,50 @@ func (m *Merger) Next() (Record, error) {
 type Group struct {
 	Key    []byte
 	Values [][]byte
+
+	// resolver, when set, maps placeholder values of streamed blobs
+	// (Context.SendValue) to their backing readers; see ValueReader.
+	resolver ValueResolver
+}
+
+// ValueResolver resolves a possibly-placeholder value to a streaming
+// reader. ok=false means the value is an ordinary inline value; an error
+// means the value names a blob that cannot be served (e.g. incomplete).
+type ValueResolver func(v []byte) (io.Reader, bool, error)
+
+// ValueReader returns the i-th value as an io.Reader. For ordinary values
+// this is a reader over the in-memory bytes; for values emitted with
+// Context.SendValue it streams the blob from the receive-side store
+// without ever materializing it, so oversized values can be consumed in
+// O(chunk) memory. Values[i] for such a value holds an opaque placeholder
+// and must not be interpreted directly.
+func (g Group) ValueReader(i int) (io.Reader, error) {
+	v := g.Values[i]
+	if g.resolver != nil {
+		if r, ok, err := g.resolver(v); ok || err != nil {
+			return r, err
+		}
+	}
+	return bytes.NewReader(v), nil
 }
 
 // Grouper folds a sorted Iterator into per-key groups, the shape consumed by
 // a reduce function. Keys compare equal under cmp iff cmp returns 0.
 type Grouper struct {
-	it      Iterator
-	cmp     Compare
-	pending Record
-	has     bool
-	done    bool
+	it       Iterator
+	cmp      Compare
+	pending  Record
+	has      bool
+	done     bool
+	resolver ValueResolver
 }
 
 // NewGrouper returns a Grouper over a sorted iterator.
 func NewGrouper(it Iterator, cmp Compare) *Grouper { return &Grouper{it: it, cmp: cmp} }
+
+// SetValueResolver makes every Group returned by Next resolve streamed-
+// blob placeholders through fn (see Group.ValueReader).
+func (g *Grouper) SetValueResolver(fn ValueResolver) { g.resolver = fn }
 
 // Next returns the next key group, or io.EOF.
 func (g *Grouper) Next() (Group, error) {
@@ -153,7 +184,7 @@ func (g *Grouper) Next() (Group, error) {
 		}
 		g.pending, g.has = rec, true
 	}
-	grp := Group{Key: g.pending.Key, Values: [][]byte{g.pending.Value}}
+	grp := Group{Key: g.pending.Key, Values: [][]byte{g.pending.Value}, resolver: g.resolver}
 	for {
 		rec, err := g.it.Next()
 		if err == io.EOF {

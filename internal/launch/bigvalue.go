@@ -1,0 +1,111 @@
+package launch
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"datampi/internal/core"
+)
+
+// bigvalue is the large-value data-plane workload of the built-in app
+// set: every O task streams values far above the chunk threshold through
+// Context.SendValue, and the A tasks stream them back out of the blob
+// store via Group.ValueReader, writing one "key\tlen:hash" line per
+// value. Neither side ever materializes a value, so the part files are a
+// whole-pipeline proof that chunked transfer, spill, checkpoint replay
+// and partial restart reproduce each value byte-identically — any
+// partial or corrupt value surfacing anywhere changes its line.
+
+// bvReader streams a deterministic pattern derived from (seed, key)
+// without holding the value: the generator half of the oracle.
+type bvReader struct {
+	state uint64
+	n     int64
+}
+
+func newBVReader(seed int64, key string, n int64) *bvReader {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", seed, key)
+	return &bvReader{state: h.Sum64() | 1, n: n}
+}
+
+func (r *bvReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.n {
+		p = p[:r.n]
+	}
+	for i := range p {
+		r.state = r.state*6364136223846793005 + 1442695040888963407
+		p[i] = byte(r.state >> 33)
+	}
+	r.n -= int64(len(p))
+	return len(p), nil
+}
+
+// bigvalueO streams Records values (split across O tasks) of ValueBytes
+// each. Keys are globally unique and deterministic, so every attempt and
+// every partial restart re-emits the identical sequence.
+func (s *JobSpec) bigvalueO() core.TaskFunc {
+	spec := *s
+	return func(ctx *core.Context) error {
+		for i := 0; i < spec.Records; i++ {
+			if i%spec.NumO != ctx.Rank() {
+				continue
+			}
+			key := fmt.Sprintf("v%06d", i)
+			n := int64(spec.ValueBytes)
+			if err := ctx.SendValue([]byte(key), newBVReader(spec.Seed, key, n), n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// bigvalueA hashes each value through its streaming reader — O(chunk)
+// memory — and writes one line per value. A value that arrived partial
+// surfaces as an open error or a wrong hash, never silently.
+func (s *JobSpec) bigvalueA() core.TaskFunc {
+	outDir := s.OutDir
+	return func(ctx *core.Context) error {
+		f, err := os.Create(PartPath(outDir, ctx.Rank()))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		for {
+			g, ok, err := ctx.NextGroup()
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if !ok {
+				break
+			}
+			for i := range g.Values {
+				r, err := g.ValueReader(i)
+				if err != nil {
+					f.Close()
+					return err
+				}
+				h := fnv.New64a()
+				n, err := io.Copy(h, r)
+				if err != nil {
+					f.Close()
+					return err
+				}
+				fmt.Fprintf(w, "%s\t%d:%x\n", g.Key, n, h.Sum64())
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}

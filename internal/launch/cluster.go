@@ -58,6 +58,11 @@ type ClusterConfig struct {
 	// DrainTimeout bounds every world's close-time drain barrier
 	// (mpi.WithDrainTimeout); zero keeps the transport default.
 	DrainTimeout time.Duration
+	// ChunkBytes / MaxFrameBytes set the fleet's chunked-transfer
+	// threshold and send-side frame cap (mpi.WithChunkBytes /
+	// mpi.WithMaxFrame); zero keeps the transport defaults.
+	ChunkBytes    int
+	MaxFrameBytes int
 
 	// shmDir is the created segment directory for this attempt, set by
 	// StartCluster and removed again on Shutdown/killAll. Unexported:
@@ -96,6 +101,12 @@ func (cfg *ClusterConfig) spawnEnv(rank, attempt int, rvAddr string, shm bool) [
 	if cfg.DrainTimeout > 0 {
 		env = append(env, fmt.Sprintf("%s=%d", EnvDrain, cfg.DrainTimeout.Milliseconds()))
 	}
+	if cfg.ChunkBytes > 0 {
+		env = append(env, fmt.Sprintf("%s=%d", EnvChunk, cfg.ChunkBytes))
+	}
+	if cfg.MaxFrameBytes > 0 {
+		env = append(env, fmt.Sprintf("%s=%d", EnvMaxFrame, cfg.MaxFrameBytes))
+	}
 	return append(env, cfg.ExtraEnv...)
 }
 
@@ -120,6 +131,12 @@ func (cfg *ClusterConfig) worldOptions() []mpi.Option {
 	}
 	if cfg.DrainTimeout > 0 {
 		wopts = append(wopts, mpi.WithDrainTimeout(cfg.DrainTimeout))
+	}
+	if cfg.ChunkBytes > 0 {
+		wopts = append(wopts, mpi.WithChunkBytes(cfg.ChunkBytes))
+	}
+	if cfg.MaxFrameBytes > 0 {
+		wopts = append(wopts, mpi.WithMaxFrame(cfg.MaxFrameBytes))
 	}
 	return wopts
 }

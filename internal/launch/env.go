@@ -45,6 +45,11 @@ const (
 	// EnvDrain overrides the transport's close-time drain barrier bound,
 	// in milliseconds (mpi.WithDrainTimeout).
 	EnvDrain = "DATAMPI_DRAIN_MS"
+	// EnvChunk / EnvMaxFrame carry the chunked-transfer threshold and the
+	// send-side frame cap in bytes (mpi.WithChunkBytes / mpi.WithMaxFrame)
+	// so worker worlds chunk exactly as the master's does.
+	EnvChunk    = "DATAMPI_CHUNK_BYTES"
+	EnvMaxFrame = "DATAMPI_MAXFRAME_BYTES"
 )
 
 // orphanExit is the exit code of a worker whose launcher disappeared
@@ -159,6 +164,16 @@ func engineEnvOptions() ([]mpi.Option, error) {
 		return nil, err
 	} else if ms > 0 {
 		opts = append(opts, mpi.WithDrainTimeout(time.Duration(ms)*time.Millisecond))
+	}
+	if n, err := envInt(EnvChunk, 0); err != nil {
+		return nil, err
+	} else if n > 0 {
+		opts = append(opts, mpi.WithChunkBytes(n))
+	}
+	if n, err := envInt(EnvMaxFrame, 0); err != nil {
+		return nil, err
+	} else if n > 0 {
+		opts = append(opts, mpi.WithMaxFrame(n))
 	}
 	return opts, nil
 }

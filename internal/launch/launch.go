@@ -71,17 +71,19 @@ func Launch(spec *JobSpec, opt Options) (*core.Result, error) {
 
 func launchAttempt(spec *JobSpec, specEnv string, opt Options, attempt int) (*core.Result, error) {
 	cluster, err := StartCluster(ClusterConfig{
-		Procs:       spec.Procs,
-		Exe:         opt.Exe,
-		Args:        opt.Args,
-		ExtraEnv:    []string{EnvSpec + "=" + specEnv},
-		Attempt:     attempt,
-		IOTimeout:   spec.IOTimeout(),
-		Output:      opt.Output,
-		CoalesceOff: spec.CoalesceOff,
-		MuxOff:      spec.MuxOff,
-		ShmOff:      spec.ShmOff,
-		ShmDir:      opt.ShmDir,
+		Procs:         spec.Procs,
+		Exe:           opt.Exe,
+		Args:          opt.Args,
+		ExtraEnv:      []string{EnvSpec + "=" + specEnv},
+		Attempt:       attempt,
+		IOTimeout:     spec.IOTimeout(),
+		Output:        opt.Output,
+		CoalesceOff:   spec.CoalesceOff,
+		MuxOff:        spec.MuxOff,
+		ShmOff:        spec.ShmOff,
+		ShmDir:        opt.ShmDir,
+		ChunkBytes:    spec.ChunkBytes,
+		MaxFrameBytes: spec.MaxFrameBytes,
 	})
 	if err != nil {
 		return nil, err

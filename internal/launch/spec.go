@@ -26,17 +26,19 @@ import (
 // from (Seed, task) inside the O tasks, so no shared filesystem input is
 // needed; A tasks write their part files into the shared OutDir.
 type JobSpec struct {
-	App   string `json:"app"` // "wordcount" | "terasort"
+	App   string `json:"app"` // "wordcount" | "terasort" | "bigvalue"
 	NumO  int    `json:"numO"`
 	NumA  int    `json:"numA"`
 	Procs int    `json:"procs"`
 	Slots int    `json:"slots,omitempty"`
 
 	// Lines is wordcount's per-O-task input size; Records is terasort's
-	// total record count (split across O tasks).
-	Lines   int   `json:"lines,omitempty"`
-	Records int   `json:"records,omitempty"`
-	Seed    int64 `json:"seed,omitempty"`
+	// total record count and bigvalue's total streamed-value count (both
+	// split across O tasks); ValueBytes is bigvalue's per-value size.
+	Lines      int   `json:"lines,omitempty"`
+	Records    int   `json:"records,omitempty"`
+	ValueBytes int   `json:"valueBytes,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
 
 	// OutDir receives the A tasks' part-%05d files (a real OS directory,
 	// shared by all processes on this host).
@@ -56,6 +58,12 @@ type JobSpec struct {
 	CoalesceOff bool `json:"coalesceOff,omitempty"`
 	MuxOff      bool `json:"muxOff,omitempty"`
 	ShmOff      bool `json:"shmOff,omitempty"`
+
+	// ChunkBytes / MaxFrameBytes tune the large-value data plane fleet-wide
+	// (core.Config.ChunkBytes / MaxFrameBytes, shipped to every worker
+	// world through the spawn environment).
+	ChunkBytes    int `json:"chunkBytes,omitempty"`
+	MaxFrameBytes int `json:"maxFrameBytes,omitempty"`
 
 	// PartialRestart recovers a dead worker by respawning just that rank
 	// (core.Config.PartialRestart + core.WithRespawn) instead of
@@ -82,9 +90,9 @@ type JobSpec struct {
 // Normalize fills defaults and validates the spec.
 func (s *JobSpec) Normalize() error {
 	switch s.App {
-	case "wordcount", "terasort":
+	case "wordcount", "terasort", "bigvalue":
 	default:
-		return fmt.Errorf("launch: unsupported app %q (process launch supports wordcount and terasort)", s.App)
+		return fmt.Errorf("launch: unsupported app %q (process launch supports wordcount, terasort and bigvalue)", s.App)
 	}
 	if s.NumO <= 0 || s.NumA <= 0 || s.Procs <= 0 {
 		return fmt.Errorf("launch: need NumO/NumA/Procs > 0, got %d/%d/%d", s.NumO, s.NumA, s.Procs)
@@ -96,7 +104,19 @@ func (s *JobSpec) Normalize() error {
 		s.Lines = 200
 	}
 	if s.Records <= 0 {
-		s.Records = 20000
+		if s.App == "bigvalue" {
+			s.Records = 24 // bigvalue's Records is a streamed-value count
+		} else {
+			s.Records = 20000
+		}
+	}
+	if s.App == "bigvalue" {
+		if s.ValueBytes <= 0 {
+			s.ValueBytes = 256 << 10
+		}
+		if s.ChunkBytes <= 0 {
+			s.ChunkBytes = 32 << 10 // force real chunking at test scale
+		}
 	}
 	if s.OutDir == "" {
 		return fmt.Errorf("launch: OutDir must be set")
@@ -149,6 +169,8 @@ func (s *JobSpec) BuildJob(workerRank, attempt int, tr *trace.Tracer) *core.Job 
 			CoalesceOff:       s.CoalesceOff,
 			MuxOff:            s.MuxOff,
 			ShmOff:            s.ShmOff,
+			ChunkBytes:        s.ChunkBytes,
+			MaxFrameBytes:     s.MaxFrameBytes,
 			IOTimeout:         s.IOTimeout(),
 			Extra:             map[string]string{"attempt": strconv.Itoa(attempt)},
 		},
@@ -174,6 +196,9 @@ func (s *JobSpec) BuildJob(workerRank, attempt int, tr *trace.Tracer) *core.Job 
 		job.Conf.Partition = teraPartition
 		job.OTask = s.terasortO()
 		job.ATask = s.terasortA()
+	case "bigvalue":
+		job.OTask = s.bigvalueO()
+		job.ATask = s.bigvalueA()
 	}
 	return job
 }

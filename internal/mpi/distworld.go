@@ -82,6 +82,7 @@ func JoinWorld(n, self int, ep *Endpoint, addrs []string, opts ...Option) (*Worl
 		comms:  make(map[uint32][]*Comm),
 		nextID: 1,
 	}
+	w.initChunking(cfg.eng)
 	w.procs = make([]*proc, n)
 	for i := 0; i < n; i++ {
 		w.procs[i] = &proc{world: w, rank: i}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datampi/internal/fault"
@@ -82,6 +83,20 @@ type World struct {
 
 	deadMu sync.Mutex
 	dead   map[int]bool // world ranks marked dead by the fault layer
+
+	// Chunked-transfer state (see chunk.go). chunkBytes/maxFrame come
+	// from the normalized engine config so the split threshold and frame
+	// cap agree with what the transport enforces.
+	chunkBytes int
+	maxFrame   int
+	chunkMsgID atomic.Uint64
+	chunkMu    sync.Mutex
+	chunkAsm   map[chunkKey]*chunkAsm
+
+	chunkFramesSent atomic.Int64
+	chunkFramesRecv atomic.Int64
+	chunkMsgsSent   atomic.Int64
+	chunkMsgsAsm    atomic.Int64
 }
 
 type config struct {
@@ -175,6 +190,24 @@ func WithShmSegments(dir string) Option { return func(c *config) { c.eng.shmDir 
 // lowers it.
 func WithDrainTimeout(d time.Duration) Option { return func(c *config) { c.eng.drainTimeout = d } }
 
+// WithChunkBytes sets the chunked-transfer threshold: a message payload
+// strictly larger than n bytes is split into sequenced continuation
+// frames of at most n data bytes each and reassembled at the receive
+// demux (the BigMPI chunking strategy; see chunk.go). Chunking lifts the
+// frame cap off messages — a chunked message may exceed WithMaxFrame —
+// while bounding per-frame buffering, retry and copy costs. Zero or
+// negative keeps the 4 MiB default; the threshold is clamped so one
+// chunk frame always fits the frame cap. Applies to every transport.
+func WithChunkBytes(n int) Option { return func(c *config) { c.eng.chunkBytes = n } }
+
+// WithMaxFrame sets the send-side cap on a single frame's payload.
+// Values above it travel as chunked continuation frames, so the cap
+// bounds frames, not messages. Zero or negative keeps the 256 MiB
+// default, which is also the hard upper bound: the stream parser's
+// corruption guard (ErrFrameTooLarge) stays at the default regardless,
+// so a lowered cap is purely a local buffering bound.
+func WithMaxFrame(n int) Option { return func(c *config) { c.eng.maxFrame = n } }
+
 // NewWorld creates a world of n ranks.
 func NewWorld(n int, opts ...Option) (*World, error) {
 	if n <= 0 {
@@ -189,6 +222,7 @@ func NewWorld(n int, opts ...Option) (*World, error) {
 		comms:  make(map[uint32][]*Comm),
 		nextID: 1,
 	}
+	w.initChunking(cfg.eng)
 	var err error
 	if cfg.tcp {
 		w.tr, err = newTCPTransport(n, cfg.link, cfg.sendTimeout, cfg.onRetry, cfg.eng)
@@ -233,9 +267,17 @@ func (w *World) Size() int { return w.size }
 func (w *World) Local(r int) bool { return w.local == nil || w.local[r] }
 
 // Stats returns the world's cumulative transport counters (frames/bytes
-// on the wire, TCP retransmits and dials). Safe to call concurrently with
-// traffic and after Close.
-func (w *World) Stats() Stats { return w.tr.stats() }
+// on the wire, TCP retransmits and dials) with the chunked-transfer
+// layer's counters folded in. Safe to call concurrently with traffic and
+// after Close.
+func (w *World) Stats() Stats {
+	s := w.tr.stats()
+	s.ChunkFramesSent = w.chunkFramesSent.Load()
+	s.ChunkFramesRecv = w.chunkFramesRecv.Load()
+	s.ChunkMsgsSent = w.chunkMsgsSent.Load()
+	s.ChunkMsgsReassembled = w.chunkMsgsAsm.Load()
+	return s
+}
 
 // Comm returns world rank i's handle on the world communicator.
 func (w *World) Comm(i int) *Comm {
@@ -294,6 +336,15 @@ func (w *World) route(r int) {
 		f, ok := w.tr.recv(r)
 		if !ok {
 			return
+		}
+		if f.tag == tagChunk {
+			// Continuation frame of a chunked message: accumulate, and
+			// deliver only the reassembled original (see chunk.go).
+			g, done := w.reassemble(r, f)
+			if !done {
+				continue
+			}
+			f = g
 		}
 		w.mu.Lock()
 		peers := w.comms[f.comm]
@@ -487,6 +538,9 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 func (c *Comm) send(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= len(c.ranks) {
 		return fmt.Errorf("mpi: send to rank %d of %d", dst, len(c.ranks))
+	}
+	if th := c.world.chunkBytes; th > 0 && len(data) > th {
+		return c.sendChunked(dst, tag, data)
 	}
 	f := frame{comm: c.id, srcRank: int32(c.myRank), tag: int32(tag), data: data}
 	return c.world.tr.send(c.ranks[c.myRank], c.ranks[dst], f)

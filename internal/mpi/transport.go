@@ -80,6 +80,20 @@ type Stats struct {
 	// wakes near zero, an idle pair costs nothing.
 	ShmConns, ShmBytes int64
 	ShmWakes, ShmSpins int64
+
+	// ChunkFramesSent/ChunkMsgsSent count the BigMPI-style chunked
+	// transfer layer's activity on the send side: messages above the chunk
+	// threshold are split into sequenced continuation frames
+	// (ChunkFramesSent counts those frames, ChunkMsgsSent the original
+	// messages). ChunkFramesRecv/ChunkMsgsReassembled mirror them at the
+	// receive demux, which reassembles continuations back into the
+	// original message before delivery. These are World-level counters:
+	// chunking happens above the raw transport, identically over TCP, shm
+	// rings and the in-memory channels.
+	ChunkFramesSent      int64
+	ChunkFramesRecv      int64
+	ChunkMsgsSent        int64
+	ChunkMsgsReassembled int64
 }
 
 // transportStats is the shared atomic implementation behind Stats.
@@ -116,10 +130,19 @@ const frameHeaderSize = 24
 // cost comparable to a TCP/IP header.
 const frameOverhead = frameHeaderSize + 52
 
-// maxFrameSize caps one message's payload. A corrupt or hostile length
-// header can therefore not force an unbounded allocation; readFrame
-// rejects larger claims with ErrFrameTooLarge.
+// maxFrameSize is the absolute cap on one frame's payload, the bound the
+// stream parser enforces: a corrupt or hostile length header can
+// therefore not force an unbounded allocation; readFrame rejects larger
+// claims with ErrFrameTooLarge. The send-side cap defaults to it but can
+// be lowered per world (engineConfig.maxFrame / WithMaxFrame); messages
+// larger than a frame allows travel as chunked continuation frames, so
+// the cap bounds frames, not messages.
 const maxFrameSize = 256 << 20
+
+// FrameCap exports the absolute frame payload cap for configuration
+// validation at higher layers (WithMaxFrame values beyond it are
+// meaningless — the parser would reject such frames).
+const FrameCap = maxFrameSize
 
 // frameAllocChunk bounds how much readFrame allocates ahead of the bytes
 // the stream has actually produced, so even an in-cap lying header cannot
@@ -151,6 +174,14 @@ type engineConfig struct {
 	coalesceDeadline time.Duration
 	drainTimeout     time.Duration
 
+	// chunkBytes is the chunked-transfer threshold: a message payload
+	// strictly larger travels as sequenced continuation frames of at most
+	// chunkBytes each (plus the chunk sub-header). maxFrame is the
+	// send-side frame cap, defaulting to (and clamped by) the absolute
+	// maxFrameSize parse bound.
+	chunkBytes int
+	maxFrame   int
+
 	// shmAuto: in-process world, create a private segment directory and
 	// run every pair over rings. shmDir: distributed world, select shm
 	// per pair by the boot-id/nonce handshake against this
@@ -174,6 +205,14 @@ type engineConfig struct {
 // library-level Nagle — trading latency for maximal batching.
 const defaultCoalesceBytes = 16 << 10
 
+// defaultChunkBytes is the default chunked-transfer threshold and chunk
+// payload size (the BigMPI chunking strategy). It sits far above the
+// runtime's 64 KiB SPL frames — ordinary shuffle traffic never chunks —
+// and far below maxFrameSize, so chunk frames stay cheap to buffer,
+// retry and checkpoint while oversized values stream through in
+// O(chunk) memory.
+const defaultChunkBytes = 4 << 20
+
 func (e *engineConfig) normalize() {
 	if e.coalesceBytes <= 0 {
 		e.coalesceBytes = defaultCoalesceBytes
@@ -186,6 +225,19 @@ func (e *engineConfig) normalize() {
 	}
 	if e.shmRingBytes <= 0 {
 		e.shmRingBytes = defaultShmRingBytes
+	}
+	if e.maxFrame <= 0 || e.maxFrame > maxFrameSize {
+		e.maxFrame = maxFrameSize
+	}
+	if e.chunkBytes <= 0 {
+		e.chunkBytes = defaultChunkBytes
+	}
+	// A chunk frame carries chunkHdrSize bytes of sub-header on top of
+	// its data; the threshold must leave room for it under the frame cap
+	// (config-level validation rejects this loudly — the clamp keeps the
+	// invariant for worlds built from raw options).
+	if e.chunkBytes > e.maxFrame-chunkHdrSize {
+		e.chunkBytes = e.maxFrame - chunkHdrSize
 	}
 }
 
@@ -666,7 +718,7 @@ func (t *tcpTransport) connKey(comm uint32, srcRank int32, dst int) [3]int {
 }
 
 func (t *tcpTransport) send(src, dst int, f frame) error {
-	if len(f.data) > maxFrameSize {
+	if len(f.data) > t.eng.maxFrame {
 		return fmt.Errorf("mpi: %d-byte frame: %w", len(f.data), ErrFrameTooLarge)
 	}
 	if t.link != nil {
