@@ -17,6 +17,14 @@
 //	           [-against BENCH_shuffle.json] [-trace out.json]
 //	           [-prepare-workers N] [-merge-workers N]
 //	           [-coalesce-off] [-mux-off] [-shm-off] [-chunk-bytes N]
+//
+// The streaming regression runs the resident-service comparison instead
+// (DataMPI StreamJob vs the internal S4 baseline, same paced windowed
+// aggregation) and snapshots sustained events/sec plus p50/p99/p999
+// latency for each system:
+//
+//	benchsuite -stream-regress [-stream-rate N] [-quick]
+//	           [-bench-out BENCH_stream.json] [-against BENCH_stream.json]
 package main
 
 import (
@@ -47,7 +55,14 @@ func main() {
 	muxOff := flag.Bool("mux-off", false, "with -regress: disable connection multiplexing (one conn per comm/rank/dest)")
 	shmOff := flag.Bool("shm-off", false, "with -regress: disable the shared-memory ring transport (shuffle/shm entries fall back to TCP)")
 	chunkBytes := flag.Int("chunk-bytes", 0, "with -regress: large-value chunk threshold for the shuffle-skew entry (0 = entry default)")
+	streamRegress := flag.Bool("stream-regress", false, "run the streaming-regression harness (DataMPI vs S4 windowed aggregation) instead of the experiments")
+	streamRate := flag.Int("stream-rate", 10000, "with -stream-regress: offered event rate per second (default 10x the paper's Fig. 10(c) 1K events/sec)")
 	flag.Parse()
+
+	if *streamRegress {
+		runStreamRegress(*streamRate, *quick, *benchOut, *against)
+		return
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -202,5 +217,47 @@ func runRegress(o bench.Opts, quick bool, benchOut, against, tracePath string) {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchsuite: trace written to %s\n", tracePath)
+	}
+}
+
+// runStreamRegress drives the streaming harness: both systems run the
+// same paced windowed aggregation, and the snapshot records sustained
+// events/sec plus the latency CDF tail of each. Like runRegress, a
+// baseline mismatch is reported but never fails the run.
+func runStreamRegress(rate int, quick bool, benchOut, against string) {
+	rep, err := bench.StreamRegress(rate, quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	for _, e := range rep.Entries {
+		c := e.Counters
+		fmt.Printf("%-16s %8d events/sec sustained  p50 %8.2fms  p99 %8.2fms  p999 %8.2fms\n",
+			e.Name, c["stream.rate.events.per.sec"],
+			float64(c["stream.lat.p50.ns"])/1e6,
+			float64(c["stream.lat.p99.ns"])/1e6,
+			float64(c["stream.lat.p999.ns"])/1e6)
+		if fired, ok := c["stream.windows.fired"]; ok {
+			fmt.Printf("%-16s windows fired %d, events in %d, credits granted %d, credit stalls %d\n", "",
+				fired, c["stream.events.in"], c["stream.credits.granted"], c["stream.credits.stalls"])
+		}
+	}
+	if against != "" {
+		base, err := bench.ReadRegress(against)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nvs baseline %s (%s, quick=%v):\n", against, base.Date, base.Quick)
+		for _, line := range bench.CompareRegress(base, rep) {
+			fmt.Println(" ", line)
+		}
+	}
+	if benchOut != "" {
+		if err := bench.WriteRegress(rep, benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsuite: snapshot written to %s\n", benchOut)
 	}
 }

@@ -72,6 +72,7 @@ package datampi
 
 import (
 	"context"
+	"errors"
 	"io"
 	"time"
 
@@ -113,6 +114,28 @@ type (
 	// RunError is the typed error every run-level failure wraps; see the
 	// package documentation's Errors section.
 	RunError = core.RunError
+)
+
+// Re-exported streaming types (the resident Streaming-mode service); see
+// the core package for full documentation.
+type (
+	// StreamJob describes a resident streaming service: continuous O-side
+	// sources feeding credit-flow-controlled partitions into A-side
+	// event-time window machines.
+	StreamJob = core.StreamJob
+	// SourceContext is a source adapter's handle: Emit, Watermark, and the
+	// stop/drain signals.
+	SourceContext = core.SourceContext
+	// StreamHandle controls a running stream: Stop, Wait, and the
+	// drain-and-resume reconfiguration fence.
+	StreamHandle = core.StreamHandle
+	// WindowSpec configures event-time windowing: size, slide, and allowed
+	// lateness.
+	WindowSpec = core.WindowSpec
+	// FiredWindow is one emitted window: its bounds and per-key groups.
+	FiredWindow = core.FiredWindow
+	// WindowGroup is one key's values within a fired window.
+	WindowGroup = core.WindowGroup
 )
 
 // The two built-in communicators.
@@ -454,6 +477,54 @@ func RunWorkerIfSpawned(makeJob func() *Job) (bool, error) {
 		job.Trace = trace.New()
 	}
 	return true, core.RunWorker(job, w.World, w.Rank)
+}
+
+// RunStream starts a StreamJob as a resident in-process service and
+// returns a handle to it: the job's sources run until they finish or the
+// handle is stopped, the A side fires event-time windows as watermarks
+// pass them, and Wait blocks for the final Result (whose RuntimeCounters
+// include the stream.* flow-control and windowing counters). The
+// transport and pipeline options apply as in Run; WithProcessLaunch does
+// not — proc-mode streaming goes through the launch package's JobSpec
+// (app "streamagg") or mpidrun, where the service survives worker
+// SIGKILLs via partial restart.
+func RunStream(sj *StreamJob, opts ...RunOption) (*StreamHandle, error) {
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	if rc.proc {
+		return nil, &RunError{Phase: "launch", Rank: -1,
+			Err: errors.New("WithProcessLaunch is not supported by RunStream; use the launch package's streaming JobSpec")}
+	}
+	if rc.prepareWorkers > 0 {
+		sj.Conf.PrepareWorkers = rc.prepareWorkers
+	}
+	if rc.mergeWorkers > 0 {
+		sj.Conf.MergeWorkers = rc.mergeWorkers
+	}
+	if rc.coalesceBytes > 0 {
+		sj.Conf.CoalesceBytes = rc.coalesceBytes
+	}
+	if rc.coalesceDeadline > 0 {
+		sj.Conf.CoalesceDeadline = rc.coalesceDeadline
+	}
+	if rc.drainTimeout > 0 {
+		sj.Conf.DrainTimeout = rc.drainTimeout
+	}
+	if rc.chunkBytes > 0 {
+		sj.Conf.ChunkBytes = rc.chunkBytes
+	}
+	if rc.maxFrameBytes > 0 {
+		sj.Conf.MaxFrameBytes = rc.maxFrameBytes
+	}
+	var copts []core.RunOption
+	if rc.shm {
+		copts = append(copts, core.WithShmTransport())
+	} else if rc.tcp {
+		copts = append(copts, core.WithTCPTransport())
+	}
+	return core.RunStream(sj, copts...)
 }
 
 // SplitsForTask is the utility function of §IV-B: it returns the HDFS

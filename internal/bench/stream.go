@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"datampi/internal/core"
+	"datampi/internal/kv"
+	"datampi/internal/s4"
+)
+
+// The resident-streaming benchmark: both systems run the SAME workload —
+// keyed events injected at a fixed rate into event-time tumbling windows,
+// aggregated per key, with per-event latency measured from injection to
+// the moment the event's window is emitted. DataMPI runs it as a
+// StreamJob (credit-based flow control, in-band watermarks, window
+// machine on the A side); S4 runs it as per-(window, partition) PEs that
+// fire once wall clock passes the window end — its processing-time
+// equivalent of a watermark. The snapshot (BENCH_stream.json) records the
+// sustained events/sec and the p50/p99/p999 latency of each system, the
+// Fig. 10(c) comparison at 10x the paper's 1K events/sec.
+
+const (
+	streamBenchWindow = 100 * time.Millisecond
+	streamBenchMargin = 5 * time.Millisecond
+	streamBenchKeys   = 64
+	// streamBenchParts is both DataMPI's NumA and S4's per-window PE
+	// fan-out, so the two systems aggregate with equal parallelism.
+	streamBenchParts = 2
+)
+
+// streamBenchKey returns event i's key (a small hot key space, so every
+// window aggregates for real).
+func streamBenchKey(i int) []byte {
+	return []byte(fmt.Sprintf("k%02d", i%streamBenchKeys))
+}
+
+// paceUntil sleeps until the i-th event of an absolute schedule is due.
+// Absolute pacing (vs a ticker) keeps the offered rate honest even when
+// an individual send stalls: the next events catch up instead of silently
+// stretching the run.
+func paceUntil(start time.Time, i int, interval time.Duration) {
+	due := start.Add(time.Duration(i) * interval)
+	if d := time.Until(due); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// dataMPIStreamAgg runs the windowed aggregation as a resident StreamJob:
+// numO paced sources emit wall-clock-stamped events and advance their
+// watermarks in-band; the A-side window machines fire each window once
+// every source's watermark passes it, and the emit callback records each
+// event's injection-to-emission latency.
+func dataMPIStreamAgg(totalEvents, ratePerSec int, lat *LatencyCollector) (*core.Result, error) {
+	const numO = 2
+	interval := time.Duration(int64(time.Second) * int64(numO) / int64(ratePerSec))
+	sj := &core.StreamJob{
+		Name: "stream-agg",
+		Conf: core.Config{
+			KeyCodec:      kv.Bytes,
+			ValueCodec:    kv.Bytes,
+			SPLBytes:      8 << 10,
+			FlushInterval: 2 * time.Millisecond,
+		},
+		NumO: numO, NumA: streamBenchParts, Procs: streamBenchParts, Slots: 2,
+		Window: core.WindowSpec{Size: streamBenchWindow},
+		Source: func(sc *core.SourceContext) error {
+			start := time.Now()
+			for i := sc.Rank(); i < totalEvents; i += numO {
+				paceUntil(start, i/numO, interval)
+				now := time.Now()
+				var stamp [8]byte
+				binary.BigEndian.PutUint64(stamp[:], uint64(now.UnixNano()))
+				if err := sc.Emit(streamBenchKey(i), stamp[:], now); err != nil {
+					return err
+				}
+				if err := sc.Watermark(now); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Emit: func(fw core.FiredWindow) error {
+			now := time.Now().UnixNano()
+			for _, g := range fw.Groups {
+				for _, v := range g.Values {
+					lat.Add(time.Duration(now - int64(binary.BigEndian.Uint64(v))))
+				}
+			}
+			return nil
+		},
+	}
+	h, err := core.RunStream(sj)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait()
+}
+
+// s4WindowPE aggregates one (window, partition) pair: per-key counts plus
+// the pending stamps, fired once the wall clock passes the window end —
+// S4 has no watermarks, so window completeness is a processing-time bet.
+type s4WindowPE struct {
+	lat    *LatencyCollector
+	end    time.Time
+	counts map[string]uint64
+	stamps []int64
+	fired  bool
+}
+
+func (p *s4WindowPE) OnEvent(ev s4.Event, _ s4.Emitter) error {
+	if len(ev.Value) < 8 {
+		return nil
+	}
+	key := string(ev.Value[8:])
+	if p.counts == nil {
+		p.counts = map[string]uint64{}
+	}
+	p.counts[key]++
+	p.stamps = append(p.stamps, int64(binary.BigEndian.Uint64(ev.Value)))
+	return nil
+}
+
+func (p *s4WindowPE) OnTrigger(now time.Time, em s4.Emitter) error {
+	if p.fired || now.Before(p.end.Add(streamBenchMargin)) {
+		return nil
+	}
+	p.fired = true
+	ns := now.UnixNano()
+	for _, s := range p.stamps {
+		p.lat.Add(time.Duration(ns - s))
+	}
+	p.stamps = nil
+	em.Output(s4.Event{Stream: "windows", Key: fmt.Sprint(p.end.UnixNano())})
+	return nil
+}
+
+// s4StreamAgg runs the same workload on the S4 model: one paced adapter
+// routes each event to the PE owning its (event-time window, key
+// partition), and a short trigger period sweeps the PEs so windows fire
+// promptly after their wall-clock deadline.
+func s4StreamAgg(totalEvents, ratePerSec int, lat *LatencyCollector) error {
+	var fired sync.Map
+	cluster, err := s4.New(s4.Config{
+		Nodes:  streamBenchParts,
+		Output: func(ev s4.Event) { fired.Store(ev.Key, true) },
+	},
+		s4.StreamSpec{
+			Name: "win",
+			Factory: func(key string) s4.PE {
+				var end int64
+				fmt.Sscanf(key, "%d.", &end)
+				return &s4WindowPE{lat: lat, end: time.Unix(0, end).Add(streamBenchWindow)}
+			},
+			Trigger: 2 * time.Millisecond,
+		},
+	)
+	if err != nil {
+		return err
+	}
+	interval := time.Duration(int64(time.Second) / int64(ratePerSec))
+	start := time.Now()
+	win := streamBenchWindow.Nanoseconds()
+	for i := 0; i < totalEvents; i++ {
+		paceUntil(start, i, interval)
+		now := time.Now()
+		key := streamBenchKey(i)
+		val := make([]byte, 8+len(key))
+		binary.BigEndian.PutUint64(val, uint64(now.UnixNano()))
+		copy(val[8:], key)
+		winStart := now.UnixNano() / win * win
+		part := kv.DefaultPartition(key, nil, streamBenchParts)
+		if err := cluster.Inject(s4.Event{
+			Stream: "win",
+			Key:    fmt.Sprintf("%d.%d", winStart, part),
+			Value:  val,
+			Stamp:  now,
+		}); err != nil {
+			return err
+		}
+	}
+	// Every open window's deadline must pass on the wall clock before the
+	// drain triggers sweep the PEs, or the tail windows would fire early
+	// and understate their latency.
+	time.Sleep(streamBenchWindow + streamBenchMargin + 5*time.Millisecond)
+	cluster.Drain()
+	return nil
+}
+
+// streamLatCounters renders a latency collector as snapshot counters.
+func streamLatCounters(lat *LatencyCollector, events int, elapsed time.Duration) (map[string]int64, error) {
+	l := lat.Latencies()
+	if len(l) != events {
+		return nil, fmt.Errorf("bench: stream run emitted %d event latencies, want %d (events dropped or duplicated)", len(l), events)
+	}
+	return map[string]int64{
+		"stream.rate.events.per.sec": int64(float64(events) / elapsed.Seconds()),
+		"stream.lat.p50.ns":          Percentile(l, 50).Nanoseconds(),
+		"stream.lat.p99.ns":          Percentile(l, 99).Nanoseconds(),
+		"stream.lat.p999.ns":         Percentile(l, 99.9).Nanoseconds(),
+	}, nil
+}
+
+// StreamRegress runs the streaming comparison once per system (single
+// shot, like checkpoint/recovery: the measurement is a sustained paced
+// run, not a timed loop) and returns the BENCH_stream.json snapshot.
+// ratePerSec is the offered load; the paper's Fig. 10(c) uses 1K
+// events/sec, this harness defaults to 10x that.
+func StreamRegress(ratePerSec int, quick bool) (*RegressReport, error) {
+	if ratePerSec <= 0 {
+		ratePerSec = 10000
+	}
+	dur := 2 * time.Second
+	if quick {
+		dur = 500 * time.Millisecond
+	}
+	events := int(dur.Seconds() * float64(ratePerSec))
+	rep := &RegressReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     quick,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+	}
+
+	var dlat LatencyCollector
+	dstart := time.Now()
+	res, err := dataMPIStreamAgg(events, ratePerSec, &dlat)
+	if err != nil {
+		return nil, fmt.Errorf("bench: stream/datampi: %w", err)
+	}
+	delapsed := time.Since(dstart)
+	dctrs, err := streamLatCounters(&dlat, events, delapsed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: stream/datampi: %w", err)
+	}
+	for k, v := range res.RuntimeCounters {
+		dctrs[k] = v
+	}
+	rep.Entries = append(rep.Entries, RegressEntry{
+		Name:       "stream/datampi",
+		Iterations: 1,
+		NsPerOp:    delapsed.Nanoseconds(),
+		Counters:   dctrs,
+	})
+
+	var slat LatencyCollector
+	sstart := time.Now()
+	if err := s4StreamAgg(events, ratePerSec, &slat); err != nil {
+		return nil, fmt.Errorf("bench: stream/s4: %w", err)
+	}
+	selapsed := time.Since(sstart)
+	sctrs, err := streamLatCounters(&slat, events, selapsed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: stream/s4: %w", err)
+	}
+	rep.Entries = append(rep.Entries, RegressEntry{
+		Name:       "stream/s4",
+		Iterations: 1,
+		NsPerOp:    selapsed.Nanoseconds(),
+		Counters:   sctrs,
+	})
+	return rep, nil
+}

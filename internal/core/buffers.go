@@ -131,6 +131,10 @@ func writeFrameHeader(frame []byte, round, partition int, reverse bool, valueChu
 type spl struct {
 	parts   []partBuf
 	maxSize int
+	// maxRecords additionally seals a partition buffer by record count.
+	// Streaming sets it below the credit window so no single sealed frame
+	// can ever need more credits than the window holds. 0 disables.
+	maxRecords int64
 	// frameSeq is the next frame index per partition. After a partial
 	// restart the replacement seeds it with the committed frame counts, so
 	// a deterministic re-run reproduces the same (partition, idx) labels
@@ -172,7 +176,8 @@ func (s *spl) add(p int, rec kv.Record) *partBuf {
 	}
 	b.data = kv.AppendRecord(b.data, rec)
 	b.records++
-	if len(b.data)-frameHeaderLen >= s.maxSize {
+	if len(b.data)-frameHeaderLen >= s.maxSize ||
+		(s.maxRecords > 0 && b.records >= s.maxRecords) {
 		sealed := *b
 		sealed.idx = s.frameSeq[p]
 		s.frameSeq[p]++

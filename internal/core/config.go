@@ -93,6 +93,16 @@ type Config struct {
 	// partition buffers are flushed at least this often. Default 5 ms.
 	FlushInterval time.Duration
 
+	// StreamCreditWindow bounds in-flight streaming records per directed
+	// (sender process, receiver process) pair: credit-based flow control on
+	// the O→A intercommunicator. Receivers grant credits back as consumers
+	// drain their stream channels; a sender that is out of credits blocks
+	// before the transport send, so end-to-end queue depth is bounded by
+	// the window regardless of how slow the A side is. Only Streaming mode
+	// uses it. 0 selects the 4096-record default; -1 disables flow control
+	// (ablation — queues grow unboundedly under a stalled consumer).
+	StreamCreditWindow int
+
 	// FaultTolerance enables the key-value library-level checkpoint
 	// (§IV-E). CheckpointDir must be set (stable across restarts).
 	FaultTolerance bool
@@ -225,7 +235,9 @@ type Config struct {
 	// worker process dies mid-shuffle, the master respawns only that rank,
 	// survivors keep their merge state, and committed checkpoint chunks
 	// are replayed to cover the lost rank's data. Requires FaultTolerance;
-	// rejected in Streaming/Iteration modes and with DataCentricOff.
+	// rejected in Iteration mode and with DataCentricOff. In Streaming mode
+	// the respawned rank's A tasks restart with fresh window state and the
+	// deterministic replay re-fires their windows (sinks dedup by window).
 	// Without it (or when recovery is not possible) rank death stays
 	// fatal, and the launcher's whole-attempt retry recovers the job.
 	PartialRestart bool
@@ -348,14 +360,18 @@ func (c *Config) Normalize(mode Mode) error {
 	if c.FaultTolerance && c.CheckpointDir == "" {
 		return errors.New("core: FaultTolerance requires CheckpointDir")
 	}
-	if c.FaultTolerance && mode == Streaming {
-		return errors.New("core: checkpointing is not supported in Streaming mode")
+	if c.StreamCreditWindow < -1 {
+		return &ConfigError{Field: "StreamCreditWindow",
+			Reason: fmt.Sprintf("%d is negative (use -1 to disable flow control)", c.StreamCreditWindow)}
+	}
+	if mode == Streaming && c.StreamCreditWindow == 0 {
+		c.StreamCreditWindow = 4096
 	}
 	if c.PartialRestart {
 		if !c.FaultTolerance {
 			return errors.New("core: PartialRestart requires FaultTolerance")
 		}
-		if mode == Streaming || mode == Iteration {
+		if mode == Iteration {
 			return fmt.Errorf("core: PartialRestart is not supported in %s mode", mode)
 		}
 		if c.DataCentricOff {
@@ -363,6 +379,15 @@ func (c *Config) Normalize(mode Mode) error {
 		}
 	}
 	return nil
+}
+
+// creditWindow returns the effective streaming credit window for the mode,
+// or 0 when flow control is off (non-streaming modes, or the -1 ablation).
+func (c *Config) creditWindow(mode Mode) int64 {
+	if mode != Streaming || c.StreamCreditWindow <= 0 {
+		return 0
+	}
+	return int64(c.StreamCreditWindow)
 }
 
 // sorted reports whether intermediate data is sorted under this config.

@@ -49,6 +49,8 @@ type Context struct {
 	it       kv.Iterator
 	grouper  *kv.Grouper
 	streamCh <-chan kv.Record
+	// streamPart is the partition behind streamCh, for credit accounting.
+	streamPart int
 
 	// kbuf/vbuf are Send's codec scratch buffers, reused across calls.
 	kbuf, vbuf []byte
@@ -160,6 +162,20 @@ func (c *Context) SendRecord(rec kv.Record) error {
 	if !c.isO && c.job.Mode != Iteration {
 		return errors.New("core: A tasks can only send in Iteration mode")
 	}
+	p := c.job.Conf.Partition(rec.Key, rec.Value, c.numDest())
+	if p < 0 || p >= c.numDest() {
+		return fmt.Errorf("core: partitioner returned %d of %d", p, c.numDest())
+	}
+	return c.sendRecordTo(p, rec)
+}
+
+// sendRecordTo is the tail of SendRecord past partitioning, and the path
+// watermark broadcasts take: every destination partition must observe a
+// source's watermark, so their routing bypasses the partitioner while
+// still sharing the skip, counting, SPL and checkpoint bookkeeping — a
+// deterministic re-run after a restart reproduces the identical emission
+// sequence either way.
+func (c *Context) sendRecordTo(p int, rec kv.Record) error {
 	if c.skip > 0 {
 		c.skip--
 		return nil
@@ -167,11 +183,10 @@ func (c *Context) SendRecord(rec kv.Record) error {
 	if err := c.proc.rt.countSend(); err != nil {
 		return err
 	}
-	p := c.job.Conf.Partition(rec.Key, rec.Value, c.numDest())
-	if p < 0 || p >= c.numDest() {
-		return fmt.Errorf("core: partitioner returned %d of %d", p, c.numDest())
-	}
 	c.sent++
+	if c.job.Mode == Streaming && c.isO {
+		c.proc.rt.ctrs.streamEventsIn.Add(1)
+	}
 	if c.job.Mem != nil {
 		c.job.Mem.Add(int64(rec.Size()))
 	}
@@ -364,6 +379,10 @@ func (c *Context) RecvRecord() (kv.Record, bool, error) {
 		rec, ok := <-c.streamCh
 		if ok {
 			c.received++
+			c.proc.rt.ctrs.streamEventsOut.Add(1)
+			if c.proc.credits != nil {
+				c.proc.creditConsume(c.streamPart)
+			}
 		}
 		return rec, ok, nil
 	}

@@ -46,6 +46,17 @@ type runtimeCounters struct {
 
 	fetchBytesServed atomic.Int64 // ablation path: bytes served to remote fetches
 
+	streamEventsIn        atomic.Int64 // records emitted by streaming sources (post-skip)
+	streamEventsOut       atomic.Int64 // records consumed from stream channels
+	streamCreditsGranted  atomic.Int64 // record credits granted back to senders
+	streamCreditStalls    atomic.Int64 // transmit waits caused by an empty credit window
+	streamMaxOutstanding  atomic.Int64 // max unacknowledged records on any (src,dst) pair
+	streamLateDropped     atomic.Int64 // events older than a fired window (late policy: drop)
+	streamWindowsFired    atomic.Int64 // windows emitted by watermark advancement
+	streamWindowsFenced   atomic.Int64 // windows suppressed by an emit fence after restart
+	streamStateSpills     atomic.Int64 // open windows spilled to disk under MemCacheBytes
+	streamFramesAfterEOS  atomic.Int64 // frames discarded after stream close (reorder chaos)
+
 	blobValuesSent atomic.Int64 // oversized values streamed by SendValue
 	blobChunksSent atomic.Int64 // blob continuation frames transmitted
 	blobBytesSent  atomic.Int64 // blob value bytes transmitted
@@ -67,6 +78,16 @@ func (rc *runtimeCounters) addPairSent(src, dst int, bytes int64, records int64)
 func (rc *runtimeCounters) addPairRecv(src, dst int, bytes int64, records int64) {
 	rc.pairRecv[src*rc.procs+dst].Add(bytes)
 	rc.recordsRecv.Add(records)
+}
+
+// maxInt64 raises m to at least v (lock-free running maximum).
+func maxInt64(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // snapshot folds the counters (plus the MPI transport's wire counters)
@@ -119,6 +140,38 @@ func (rc *runtimeCounters) snapshot(ws mpi.Stats) map[string]int64 {
 	}
 	if v := rc.partialDupFrames.Load(); v != 0 {
 		out["restart.partial.dup.frames"] = v
+	}
+	// Streaming counters appear only when a job moved stream events, so
+	// the non-streaming modes keep an identical counter set.
+	if v := rc.streamEventsIn.Load(); v != 0 {
+		out["stream.events.in"] = v
+	}
+	if v := rc.streamEventsOut.Load(); v != 0 {
+		out["stream.events.out"] = v
+	}
+	if v := rc.streamCreditsGranted.Load(); v != 0 {
+		out["stream.credits.granted"] = v
+	}
+	if v := rc.streamCreditStalls.Load(); v != 0 {
+		out["stream.credits.stalls"] = v
+	}
+	if v := rc.streamMaxOutstanding.Load(); v != 0 {
+		out["stream.credits.max.outstanding"] = v
+	}
+	if v := rc.streamLateDropped.Load(); v != 0 {
+		out["stream.late.dropped"] = v
+	}
+	if v := rc.streamWindowsFired.Load(); v != 0 {
+		out["stream.windows.fired"] = v
+	}
+	if v := rc.streamWindowsFenced.Load(); v != 0 {
+		out["stream.windows.fenced"] = v
+	}
+	if v := rc.streamStateSpills.Load(); v != 0 {
+		out["stream.state.spills"] = v
+	}
+	if v := rc.streamFramesAfterEOS.Load(); v != 0 {
+		out["stream.frames.after.eos"] = v
 	}
 	// Blob counters appear only when a job streamed oversized values, so
 	// ordinary jobs keep an identical counter set.

@@ -90,8 +90,17 @@ type process struct {
 
 	streamMu sync.Mutex
 	streams  map[int]chan kv.Record
+	// streamsClosed marks end-of-stream: frames that arrive afterwards
+	// (reordered behind the final end marker under chaos) are dropped and
+	// their credits refunded instead of buffering into channels nobody will
+	// ever drain.
+	streamsClosed bool
 	// streamScratch amortizes stream decoding (dataReceiver only).
 	streamScratch []kv.Record
+
+	// credits is the streaming flow-control state; nil outside Streaming
+	// mode or under the StreamCreditWindow=-1 ablation.
+	credits *creditState
 
 	shutdownOnce sync.Once
 	wg           sync.WaitGroup
@@ -173,6 +182,11 @@ func newProcess(rt *Runtime, idx int, comm *mpi.Comm) *process {
 	if cfg.PartialRestart {
 		p.dedup = true
 		p.seen = make(map[dedupKey]map[int64]struct{})
+	}
+	if w := cfg.creditWindow(rt.job.Mode); w > 0 {
+		p.credits = newCreditState(comm.Size(), w)
+		p.wg.Add(1)
+		go p.creditReceiver()
 	}
 	p.wg.Add(3)
 	go p.senderLoop()
@@ -448,7 +462,19 @@ func (p *process) transmit(item *sendItem, round int, rawBytes int) error {
 		dst = p.rt.ownerProc(item.partition)
 	}
 	recBytes := int64(len(frame) - frameHeaderLen)
+	acquired := false
+	if p.credits != nil && !item.reverse && !item.valueChunk && nrec > 0 {
+		if err := p.acquireCredits(dst, nrec); err != nil {
+			return err
+		}
+		acquired = true
+	}
 	if err := p.comm.Send(dst, tagData, frame); err != nil {
+		if acquired {
+			// The receiver never saw the frame, so no grant will come back;
+			// return the credits locally.
+			p.addCredits(dst, nrec)
+		}
 		if cfg.PartialRestart && checkpointed && errors.Is(err, mpi.ErrRankDead) {
 			// The destination died but this frame is durable: it is in the
 			// task's open chunk (sync) or queued for the async committer
@@ -574,8 +600,16 @@ func (p *process) dataReceiver() {
 			}
 			if _, dup := s[idx]; dup {
 				// A replayed frame this process already merged (partial
-				// restart); drop it before it is counted or merged.
+				// restart); drop it before it is counted or merged. Under
+				// flow control its credits still have to flow back, or the
+				// replaying sender would stall against records that were
+				// never queued.
 				p.rt.ctrs.partialDupFrames.Add(1)
+				if streaming && p.credits != nil {
+					if nrec, cerr := kv.CountRecords(records); cerr == nil {
+						p.creditRefund(st.Source, nrec)
+					}
+				}
 				continue
 			}
 			s[idx] = struct{}{}
@@ -605,11 +639,15 @@ func (p *process) dataReceiver() {
 				p.fail(err)
 				return
 			}
-			p.rt.ctrs.addPairRecv(st.Source, p.idx, int64(len(records)), nrec)
-			if err := p.streamDeliver(partition, records); err != nil {
+			delivered, err := p.streamDeliver(partition, st.Source, nrec, records)
+			if err != nil {
 				p.fail(err)
 				return
 			}
+			if !delivered {
+				continue
+			}
+			p.rt.ctrs.addPairRecv(st.Source, p.idx, int64(len(records)), nrec)
 			if p.tb != nil {
 				p.tb.Span(tidRecv, "recv", "shuffle", start, map[string]any{
 					"src": st.Source, "partition": partition,
@@ -735,8 +773,31 @@ func (p *process) streamChan(partition int) chan kv.Record {
 	return ch
 }
 
-func (p *process) streamDeliver(partition int, records []byte) error {
-	ch := p.streamChan(partition)
+// streamDeliver pushes one received frame's records into the partition's
+// stream channel. Frames landing after end-of-stream (reordered behind the
+// final end marker under chaos) are discarded with their credits refunded;
+// delivered=false tells the receiver not to count them.
+func (p *process) streamDeliver(partition, src int, nrec int64, records []byte) (bool, error) {
+	p.streamMu.Lock()
+	if p.streamsClosed {
+		p.streamMu.Unlock()
+		p.rt.ctrs.streamFramesAfterEOS.Add(1)
+		if p.credits != nil {
+			p.creditRefund(src, nrec)
+		}
+		return false, nil
+	}
+	ch := p.streams[partition]
+	if ch == nil {
+		ch = make(chan kv.Record, 4096)
+		p.streams[partition] = ch
+	}
+	p.streamMu.Unlock()
+	if p.credits != nil {
+		// The ledger entry must exist before the first record can possibly
+		// be consumed, so note the batch ahead of the channel sends.
+		p.creditNote(partition, src, nrec)
+	}
 	// records aliases the received wire buffer, which the transport handed
 	// over for good (mpi's recv ownership contract) — so the delivered
 	// Records can alias it too: one backing buffer per message instead of
@@ -744,17 +805,17 @@ func (p *process) streamDeliver(partition int, records []byte) error {
 	// message; the Record values are copied into the channel.
 	recs, err := kv.DecodeAllInto(p.streamScratch[:0], records)
 	if err != nil {
-		return err
+		return false, err
 	}
 	p.streamScratch = recs
 	for _, rec := range recs {
 		select {
 		case ch <- rec:
 		case <-p.rt.aborted:
-			return p.rt.err()
+			return false, p.rt.err()
 		}
 	}
-	return nil
+	return true, nil
 }
 
 func (p *process) closeStreams() {
@@ -764,6 +825,7 @@ func (p *process) closeStreams() {
 		close(ch)
 	}
 	p.streams = map[int]chan kv.Record{}
+	p.streamsClosed = true
 }
 
 // ---------------------------------------------------------------------------

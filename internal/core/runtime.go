@@ -70,6 +70,14 @@ type Runtime struct {
 	respawnsUsed  int
 	reloadProc    map[string]int // chunk path → proc it was re-injected on
 
+	// deferredReload holds per-proc chunk assignments whose re-injection
+	// must wait for the first round's A dispatch: in Streaming mode reloaded
+	// frames flow against the credit window, so their consumers have to be
+	// running first. pendingReloads counts reloadDone events still owed;
+	// endO is held back until they all arrive (master event loop only).
+	deferredReload [][]string
+	pendingReloads int
+
 	// distMaster/distWorker mark a cross-process run (§IV-B mpidrun as a
 	// real launcher): the master schedules over a caller-provided
 	// distributed world and hosts no worker loops; a worker runtime hosts
@@ -742,6 +750,15 @@ func (rt *Runtime) reload() error {
 		}
 		i++
 	}
+	if rt.job.Mode == Streaming {
+		// Streaming re-injection is flow-controlled: senders block on the
+		// credit window until the A-side consumers drain. Those consumers are
+		// dispatched at the start of the first round, so hand the assignments
+		// to runRound instead of re-injecting (and deadlocking) here.
+		rt.deferredReload = perProc
+		rt.res.ReloadTime = time.Since(t0)
+		return nil
+	}
 	sentTo := 0
 	for p, paths := range perProc {
 		if len(paths) == 0 {
@@ -921,10 +938,11 @@ func (rt *Runtime) runRound(r int) error {
 	}
 
 	oDoneTasks := make([]bool, j.NumO)
+	aDoneTasks := make([]bool, j.NumA)
 	recovering := false
 
 	maybeEndO := func() error {
-		if oDone < j.NumO || endOSent {
+		if oDone < j.NumO || endOSent || rt.pendingReloads > 0 {
 			return nil
 		}
 		endOSent = true
@@ -962,6 +980,7 @@ func (rt *Runtime) runRound(r int) error {
 	}
 	handleADone := func(ev eventMsg) error {
 		aDone++
+		aDoneTasks[ev.Task] = true
 		slotsA[ev.Proc]++
 		rt.res.ATaskReceived[ev.Task] = ev.Records
 		rt.mergeCounters(ev.Counters)
@@ -990,6 +1009,9 @@ func (rt *Runtime) runRound(r int) error {
 				if err := handleADone(ev); err != nil {
 					return err
 				}
+			case "reloadDone":
+				rt.res.RecordsReloaded += ev.Records
+				rt.pendingReloads--
 			case "error":
 				return eventError(ev)
 			default:
@@ -1030,6 +1052,27 @@ func (rt *Runtime) runRound(r int) error {
 		}
 		if err := awaitN("rejoinDone", j.Procs-1); err != nil {
 			return err
+		}
+		if j.Mode == Streaming {
+			// The dead rank's A tasks died with it, and the replay below can
+			// only drain against the credit window once its partitions have
+			// consumers again — so requeue and redispatch them first. The
+			// replacement rebuilds their state from the full replay; its
+			// consumers suppress re-emission of already-published windows
+			// (the emit fence), making the re-delivery exactly-once.
+			requeued := 0
+			rt.assignMu.Lock()
+			for t := 0; t < j.NumA; t++ {
+				if rt.assignA[t] == dead && !aDoneTasks[t] {
+					aPending = append(aPending, t)
+					requeued++
+				}
+			}
+			rt.assignMu.Unlock()
+			slotsA[dead] += requeued // their slots died with the old incarnation
+			if err := dispatchA(); err != nil {
+				return err
+			}
 		}
 		// Scan committed chunks: recompute the dead tasks' skip counts,
 		// chunk numbering and frame labels from scratch (old and new
@@ -1127,6 +1170,20 @@ func (rt *Runtime) runRound(r int) error {
 			return err
 		}
 	}
+	if r == 0 && len(rt.deferredReload) > 0 {
+		// Streaming checkpoint re-injection, deferred past the A dispatch so
+		// its consumers are live before reloaded frames hit the credit window.
+		for p, paths := range rt.deferredReload {
+			if len(paths) == 0 {
+				continue
+			}
+			if err := sendCtrl(rt.masterIC, p, ctrlMsg{Type: "reload", Paths: paths, Round: 0}); err != nil {
+				return err
+			}
+			rt.pendingReloads++
+		}
+		rt.deferredReload = nil
+	}
 	if err := dispatchO(); err != nil {
 		return err
 	}
@@ -1145,6 +1202,12 @@ func (rt *Runtime) runRound(r int) error {
 			herr = handleODone(ev)
 		case "aDone":
 			herr = handleADone(ev)
+		case "reloadDone":
+			rt.res.RecordsReloaded += ev.Records
+			rt.pendingReloads--
+			if rt.pendingReloads == 0 {
+				herr = maybeEndO()
+			}
 		default:
 			return fmt.Errorf("core: unexpected event %q", ev.Type)
 		}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Streaming value wire format. StreamJob wraps every record value emitted
+// by a source so that event time and watermarks travel in-band on the
+// ordinary Streaming record path — no side channel, so flow control,
+// checkpointing and replay cover them like any data record:
+//
+//	event:     0x01 | 8B big-endian event time (unix nanos) | payload
+//	watermark: 0x02 | 8B big-endian watermark (unix nanos)  | 4B source task
+//
+// A watermark from source s promises that s will emit no further event
+// with time < the watermark; it is broadcast to every A partition so each
+// window state machine can take the minimum across sources.
+
+const (
+	streamKindEvent     = 0x01
+	streamKindWatermark = 0x02
+
+	streamEventHdrLen  = 1 + 8
+	streamWatermarkLen = 1 + 8 + 4
+)
+
+var (
+	errStreamValueEmpty = errors.New("core: empty streaming value")
+	errStreamValueShort = errors.New("core: short streaming value")
+)
+
+// appendStreamEvent encodes one data event.
+func appendStreamEvent(dst []byte, ts int64, payload []byte) []byte {
+	var hdr [streamEventHdrLen]byte
+	hdr[0] = streamKindEvent
+	binary.BigEndian.PutUint64(hdr[1:], uint64(ts))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// appendStreamWatermark encodes one watermark from the given source task.
+func appendStreamWatermark(dst []byte, wm int64, source int) []byte {
+	var b [streamWatermarkLen]byte
+	b[0] = streamKindWatermark
+	binary.BigEndian.PutUint64(b[1:], uint64(wm))
+	binary.BigEndian.PutUint32(b[9:], uint32(source))
+	return append(dst, b[:]...)
+}
+
+// streamValue is one decoded streaming record value.
+type streamValue struct {
+	kind byte
+	ts   int64 // event time, or the watermark
+	// source is the O task a watermark came from (watermarks only).
+	source int
+	// payload aliases the input buffer (events only).
+	payload []byte
+}
+
+// decodeStreamValue parses a wrapped value. It rejects truncated or
+// unknown-kind buffers instead of guessing: a malformed value means the
+// record did not come from a StreamJob source.
+func decodeStreamValue(v []byte) (streamValue, error) {
+	if len(v) == 0 {
+		return streamValue{}, errStreamValueEmpty
+	}
+	switch v[0] {
+	case streamKindEvent:
+		if len(v) < streamEventHdrLen {
+			return streamValue{}, errStreamValueShort
+		}
+		return streamValue{
+			kind:    streamKindEvent,
+			ts:      int64(binary.BigEndian.Uint64(v[1:])),
+			payload: v[streamEventHdrLen:],
+		}, nil
+	case streamKindWatermark:
+		if len(v) != streamWatermarkLen {
+			return streamValue{}, errStreamValueShort
+		}
+		return streamValue{
+			kind:   streamKindWatermark,
+			ts:     int64(binary.BigEndian.Uint64(v[1:])),
+			source: int(binary.BigEndian.Uint32(v[9:])),
+		}, nil
+	}
+	return streamValue{}, fmt.Errorf("core: unknown streaming value kind 0x%02x", v[0])
+}

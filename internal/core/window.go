@@ -1,0 +1,361 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"datampi/internal/kv"
+)
+
+// WindowSpec configures event-time windowed aggregation for a StreamJob.
+type WindowSpec struct {
+	// Size is the window length. Required.
+	Size time.Duration
+	// Slide is the hop between window starts; 0 selects tumbling windows
+	// (Slide = Size). Slide > Size (sampling gaps) is rejected.
+	Slide time.Duration
+	// AllowedLateness keeps a window open past its end: it fires only once
+	// the watermark reaches end+AllowedLateness, so events up to that far
+	// behind the watermark still count. Events arriving later than every
+	// window they belong to are dropped (stream.late.dropped).
+	AllowedLateness time.Duration
+}
+
+func (w *WindowSpec) normalize() error {
+	if w.Size <= 0 {
+		return fmt.Errorf("core: WindowSpec.Size %v must be positive", w.Size)
+	}
+	if w.Slide == 0 {
+		w.Slide = w.Size
+	}
+	if w.Slide < 0 || w.Slide > w.Size {
+		return fmt.Errorf("core: WindowSpec.Slide %v must be in (0, Size=%v]", w.Slide, w.Size)
+	}
+	if w.AllowedLateness < 0 {
+		return fmt.Errorf("core: WindowSpec.AllowedLateness %v is negative", w.AllowedLateness)
+	}
+	return nil
+}
+
+// WindowGroup is one key's values within a fired window, in arrival order.
+type WindowGroup struct {
+	Key    []byte
+	Values [][]byte
+}
+
+// FiredWindow is one complete window handed to StreamJob.Emit: every group
+// keyed to the emitting A task's partition, with groups sorted by key so a
+// deterministic replay after a restart reproduces byte-identical firings.
+type FiredWindow struct {
+	// Task is the A task that owned and fired the window.
+	Task       int
+	Start, End time.Time
+	Groups     []WindowGroup
+}
+
+// windowEmit is the window machine's output callback.
+type windowEmit func(FiredWindow) error
+
+// windowAgg is one open window's per-key state: records cached in memory
+// and, past the configured cache bound, spilled to disk runs like the
+// batch modes' Receive Partition List.
+type windowAgg struct {
+	memRecs  []byte
+	memBytes int64
+	diskRuns []string
+	count    int64
+}
+
+// windowState is one A task's event-time window machine. It is touched
+// only from the task goroutine (the Streaming receive loop), so it needs
+// no locking.
+type windowState struct {
+	ctx               *Context
+	size, slide, late int64
+
+	// srcWM tracks the last watermark from each O task; wm is their
+	// minimum — the partition watermark. A window [start, start+size)
+	// fires when wm >= start+size+late.
+	srcWM []int64
+	wm    int64
+
+	wins     map[int64]*windowAgg
+	memBytes int64
+	spillSeq int
+}
+
+func newWindowState(ctx *Context, spec WindowSpec) *windowState {
+	ws := &windowState{
+		ctx:   ctx,
+		size:  int64(spec.Size),
+		slide: int64(spec.Slide),
+		late:  int64(spec.AllowedLateness),
+		srcWM: make([]int64, ctx.job.NumO),
+		wm:    math.MinInt64,
+		wins:  make(map[int64]*windowAgg),
+	}
+	for i := range ws.srcWM {
+		ws.srcWM[i] = math.MinInt64
+	}
+	return ws
+}
+
+// satAdd is a saturating add, so boundary arithmetic against the MaxInt64
+// end-of-stream watermark cannot wrap.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if b > 0 && s < a {
+		return math.MaxInt64
+	}
+	if b < 0 && s > a {
+		return math.MinInt64
+	}
+	return s
+}
+
+// floorDiv rounds toward negative infinity (event times before the epoch
+// must still land in well-formed windows).
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// observe feeds one received record through the machine.
+func (ws *windowState) observe(rec kv.Record, emit windowEmit) error {
+	sv, err := decodeStreamValue(rec.Value)
+	if err != nil {
+		return err
+	}
+	if sv.kind == streamKindWatermark {
+		if sv.source < 0 || sv.source >= len(ws.srcWM) {
+			return fmt.Errorf("core: watermark from unknown source task %d", sv.source)
+		}
+		return ws.advance(sv.source, sv.ts, emit)
+	}
+	return ws.addEvent(rec.Key, sv.ts, sv.payload)
+}
+
+// addEvent assigns one event to its windows. Windows whose firing deadline
+// already passed reject it: if every window does, the event is dropped as
+// late (stream.late.dropped); if only some do — possible with sliding
+// windows — each rejection counts as a fenced addition
+// (stream.windows.fenced) while the event still enters the open windows.
+func (ws *windowState) addEvent(key []byte, ts int64, payload []byte) error {
+	ctrs := ws.ctx.proc.rt.ctrs
+	accepted, fenced := 0, 0
+	for start := floorDiv(ts, ws.slide) * ws.slide; satAdd(start, ws.size) > ts; {
+		if ws.wm >= satAdd(satAdd(start, ws.size), ws.late) {
+			fenced++ // this window already fired
+		} else {
+			agg := ws.wins[start]
+			if agg == nil {
+				agg = &windowAgg{}
+				ws.wins[start] = agg
+			}
+			before := len(agg.memRecs)
+			agg.memRecs = kv.AppendRecord(agg.memRecs, kv.Record{Key: key, Value: payload})
+			added := int64(len(agg.memRecs) - before)
+			agg.memBytes += added
+			agg.count++
+			ws.memBytes += added
+			if ws.ctx.job.Mem != nil {
+				ws.ctx.job.Mem.Add(added)
+			}
+			accepted++
+		}
+		next := satAdd(start, -ws.slide)
+		if next == start {
+			break // saturated at the integer floor
+		}
+		start = next
+	}
+	if accepted == 0 {
+		ctrs.streamLateDropped.Add(1)
+		return nil
+	}
+	ctrs.streamWindowsFenced.Add(int64(fenced))
+	return ws.maybeSpill()
+}
+
+// maybeSpill keeps the in-memory window state under Conf.MemCacheBytes by
+// writing the largest window's cached records out as one disk run —
+// the same spill-over discipline the batch merge state uses.
+func (ws *windowState) maybeSpill() error {
+	cfg := &ws.ctx.job.Conf
+	if cfg.MemCacheBytes <= 0 || ws.ctx.job.SpillDisks == nil {
+		return nil
+	}
+	for ws.memBytes > cfg.MemCacheBytes {
+		var victim int64
+		var biggest *windowAgg
+		for start, agg := range ws.wins {
+			if biggest == nil || agg.memBytes > biggest.memBytes {
+				victim, biggest = start, agg
+			}
+		}
+		if biggest == nil || biggest.memBytes == 0 {
+			return nil // nothing spillable; allow overshoot
+		}
+		disk := ws.ctx.job.SpillDisks[ws.ctx.proc.idx]
+		rel := fmt.Sprintf("dmpi-stream/run%d/a%d_w%d_%d",
+			ws.ctx.proc.rt.id, ws.ctx.task, victim, ws.spillSeq)
+		ws.spillSeq++
+		f, err := disk.Create(rel)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(biggest.memRecs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		freed := biggest.memBytes
+		biggest.diskRuns = append(biggest.diskRuns, rel)
+		biggest.memRecs = nil
+		biggest.memBytes = 0
+		ws.memBytes -= freed
+		if ws.ctx.job.Mem != nil {
+			ws.ctx.job.Mem.Add(-freed)
+		}
+		ws.ctx.proc.rt.ctrs.streamStateSpills.Add(1)
+		ws.ctx.proc.rt.ctrs.spillBytes.Add(freed)
+		ws.ctx.proc.rt.ctrs.spillFiles.Add(1)
+	}
+	return nil
+}
+
+// advance applies one source's watermark (monotonic per source), raises
+// the partition watermark to the new minimum, and fires every window whose
+// deadline it crossed, in start order.
+func (ws *windowState) advance(source int, t int64, emit windowEmit) error {
+	if t <= ws.srcWM[source] {
+		return nil
+	}
+	ws.srcWM[source] = t
+	min := ws.srcWM[0]
+	for _, w := range ws.srcWM[1:] {
+		if w < min {
+			min = w
+		}
+	}
+	if min <= ws.wm {
+		return nil
+	}
+	ws.wm = min
+	var due []int64
+	for start := range ws.wins {
+		if ws.wm >= satAdd(satAdd(start, ws.size), ws.late) {
+			due = append(due, start)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, start := range due {
+		if err := ws.fire(start, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushAll fires every still-open window: the end-of-stream flush, run
+// when the stream channel closes after all sources finished.
+func (ws *windowState) flushAll(emit windowEmit) error {
+	var due []int64
+	for start := range ws.wins {
+		due = append(due, start)
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, start := range due {
+		if err := ws.fire(start, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fire materializes one window — cached records plus spilled runs — groups
+// it by key, emits it, and releases its state.
+func (ws *windowState) fire(start int64, emit windowEmit) error {
+	agg := ws.wins[start]
+	delete(ws.wins, start)
+	groups, err := ws.collect(agg)
+	if err != nil {
+		return err
+	}
+	ws.release(agg)
+	ws.ctx.proc.rt.ctrs.streamWindowsFired.Add(1)
+	return emit(FiredWindow{
+		Task:   ws.ctx.task,
+		Start:  time.Unix(0, start),
+		End:    time.Unix(0, satAdd(start, ws.size)),
+		Groups: groups,
+	})
+}
+
+// collect decodes a window's runs (disk runs first — they hold the oldest
+// records — then the memory tail) into key groups with values in arrival
+// order, sorted by key for deterministic emission.
+func (ws *windowState) collect(agg *windowAgg) ([]WindowGroup, error) {
+	byKey := map[string]int{}
+	var groups []WindowGroup
+	addRun := func(run []byte) error {
+		for len(run) > 0 {
+			rec, n, err := kv.ReadRecord(run)
+			if err != nil {
+				return err
+			}
+			run = run[n:]
+			i, seen := byKey[string(rec.Key)]
+			if !seen {
+				i = len(groups)
+				byKey[string(rec.Key)] = i
+				groups = append(groups, WindowGroup{Key: append([]byte(nil), rec.Key...)})
+			}
+			groups[i].Values = append(groups[i].Values, append([]byte(nil), rec.Value...))
+		}
+		return nil
+	}
+	for _, rel := range agg.diskRuns {
+		disk := ws.ctx.job.SpillDisks[ws.ctx.proc.idx]
+		f, err := disk.Open(rel)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		ws.ctx.proc.rt.ctrs.spillReadBytes.Add(int64(len(data)))
+		if err := addRun(data); err != nil {
+			return nil, err
+		}
+	}
+	if err := addRun(agg.memRecs); err != nil {
+		return nil, err
+	}
+	sort.Slice(groups, func(i, j int) bool { return bytes.Compare(groups[i].Key, groups[j].Key) < 0 })
+	return groups, nil
+}
+
+// release frees a fired window's memory accounting and spill files.
+func (ws *windowState) release(agg *windowAgg) {
+	ws.memBytes -= agg.memBytes
+	if ws.ctx.job.Mem != nil && agg.memBytes > 0 {
+		ws.ctx.job.Mem.Add(-agg.memBytes)
+	}
+	if disks := ws.ctx.job.SpillDisks; disks != nil {
+		for _, rel := range agg.diskRuns {
+			_ = disks[ws.ctx.proc.idx].Remove(rel)
+		}
+	}
+}

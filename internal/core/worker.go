@@ -101,6 +101,14 @@ func (rt *Runtime) taskContext(p *process, task int, isO bool, skip int64) *Cont
 			skip:    skip,
 			cpTotal: skip,
 		}
+		if w := rt.job.Conf.creditWindow(rt.job.Mode); w > 0 && isO {
+			// Cap sealed frames at half the credit window so no single frame
+			// can demand more credits than the window holds.
+			ctx.spl.maxRecords = w / 2
+			if ctx.spl.maxRecords < 1 {
+				ctx.spl.maxRecords = 1
+			}
+		}
 		p.ctxs[key] = ctx
 	}
 	return ctx
@@ -174,6 +182,7 @@ func (rt *Runtime) runATask(p *process, cmd ctrlMsg) {
 	fwd := mergeKey{round: cmd.Round, reverse: false}
 	if rt.job.Mode == Streaming {
 		ctx.streamCh = p.streamChan(cmd.Task)
+		ctx.streamPart = cmd.Task
 	} else if owner := rt.ownerProc(cmd.Task); owner == p.idx {
 		// Data-centric scheduling put us on the process that already holds
 		// the partition: a purely local read.
@@ -282,6 +291,11 @@ func (rt *Runtime) rejoinRank(p *process, cmd ctrlMsg) {
 		rt.taskFailed(p, err)
 		return
 	}
+	// The replacement starts with empty queues, so its full credit window is
+	// the correct sender-side view. Refilling also unblocks a transmit stage
+	// stalled on credits the dead incarnation can no longer grant — which
+	// must happen before flushQueue below can make progress.
+	p.resetCredits(cmd.Rank)
 	if err := p.submit(sendItem{task: -1, cpSeal: true}, cmd.Round); err != nil {
 		rt.taskFailed(p, err)
 		return

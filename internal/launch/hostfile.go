@@ -5,13 +5,35 @@ import (
 	"strings"
 )
 
+// HostfileError pinpoints the hostfile entry that made parsing or
+// validation fail: the offending host (or token), its 1-based line
+// number, and why it was rejected. Callers can errors.As it out to show
+// the user exactly which line of their -f file to fix.
+type HostfileError struct {
+	Host   string // the entry's host, or the bad token itself
+	Line   int    // 1-based line number in the hostfile
+	Reason string
+}
+
+func (e *HostfileError) Error() string {
+	return fmt.Sprintf("launch: hostfile line %d (%q): %s", e.Line, e.Host, e.Reason)
+}
+
+// HostEntry is one parsed hostfile entry with its source line, so later
+// validation (CheckLocalHosts) can still point back into the file.
+type HostEntry struct {
+	Host string
+	Line int // 1-based line number the entry came from
+}
+
 // ParseHostfile parses an mpidrun -f hostfile: one host per line, with
 // blank lines and #-comments (full-line or trailing) ignored and CRLF
 // endings tolerated. A host may carry an optional "slots=N" suffix
 // (OpenMPI style), which is accepted and discarded — the launcher sizes
-// concurrency with -O/-A/Slots, not per-host slots.
-func ParseHostfile(data string) ([]string, error) {
-	var hosts []string
+// concurrency with -O/-A/Slots, not per-host slots. Errors are
+// *HostfileError values naming the line.
+func ParseHostfile(data string) ([]HostEntry, error) {
+	var hosts []HostEntry
 	for i, line := range strings.Split(data, "\n") {
 		line = strings.TrimSuffix(line, "\r")
 		if j := strings.IndexByte(line, '#'); j >= 0 {
@@ -24,10 +46,11 @@ func ParseHostfile(data string) ([]string, error) {
 		host := fields[0]
 		for _, f := range fields[1:] {
 			if !strings.HasPrefix(f, "slots=") {
-				return nil, fmt.Errorf("launch: hostfile line %d: unexpected token %q", i+1, f)
+				return nil, &HostfileError{Host: f, Line: i + 1,
+					Reason: fmt.Sprintf("unexpected token after host %q", host)}
 			}
 		}
-		hosts = append(hosts, host)
+		hosts = append(hosts, HostEntry{Host: host, Line: i + 1})
 	}
 	return hosts, nil
 }
@@ -43,12 +66,13 @@ func IsLocalHost(host string) bool {
 }
 
 // CheckLocalHosts validates a parsed hostfile for process launch: all
-// entries must be local, and the host count becomes the process count.
-func CheckLocalHosts(hosts []string) (int, error) {
+// entries must be local, and the host count becomes the process count. A
+// non-local entry is rejected with a *HostfileError naming its line.
+func CheckLocalHosts(hosts []HostEntry) (int, error) {
 	for _, h := range hosts {
-		if !IsLocalHost(h) {
-			return 0, fmt.Errorf("launch: host %q is not this machine; "+
-				"-launch=proc supports single-host (localhost) hostfiles only", h)
+		if !IsLocalHost(h.Host) {
+			return 0, &HostfileError{Host: h.Host, Line: h.Line,
+				Reason: "host is not this machine; -launch=proc supports single-host (localhost) hostfiles only"}
 		}
 	}
 	return len(hosts), nil

@@ -2,6 +2,7 @@ package launch
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -309,7 +310,7 @@ func TestHostfileParser(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"localhost", "127.0.0.1", "::1"}
+	want := []HostEntry{{"localhost", 2}, {"127.0.0.1", 4}, {"::1", 5}}
 	if len(hosts) != len(want) {
 		t.Fatalf("hosts = %v, want %v", hosts, want)
 	}
@@ -322,14 +323,37 @@ func TestHostfileParser(t *testing.T) {
 	if err != nil || n != 3 {
 		t.Fatalf("CheckLocalHosts = %d, %v", n, err)
 	}
-	if _, err := CheckLocalHosts([]string{"localhost", "node7"}); err == nil {
-		t.Fatal("non-local host accepted")
-	}
-	if _, err := ParseHostfile("localhost maxprocs=2\n"); err == nil {
-		t.Fatal("unknown token accepted")
-	}
 	if hosts, err := ParseHostfile("\n# only comments\n\r\n"); err != nil || len(hosts) != 0 {
 		t.Fatalf("empty hostfile = %v, %v", hosts, err)
+	}
+}
+
+// Hostfile failures carry a typed error naming the offending host and its
+// exact line, so mpidrun can point the user into their -f file.
+func TestHostfileTypedErrors(t *testing.T) {
+	_, err := ParseHostfile("localhost\n\nlocalhost maxprocs=2\n")
+	var he *HostfileError
+	if !errors.As(err, &he) {
+		t.Fatalf("ParseHostfile error %T (%v), want *HostfileError", err, err)
+	}
+	if he.Host != "maxprocs=2" || he.Line != 3 {
+		t.Errorf("parse error = %+v, want host \"maxprocs=2\" on line 3", he)
+	}
+	if !strings.Contains(he.Error(), "line 3") {
+		t.Errorf("Error() = %q, want the line number rendered", he.Error())
+	}
+
+	hosts, err := ParseHostfile("# head\nlocalhost\nnode7 slots=8\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CheckLocalHosts(hosts)
+	he = nil
+	if !errors.As(err, &he) {
+		t.Fatalf("CheckLocalHosts error %T (%v), want *HostfileError", err, err)
+	}
+	if he.Host != "node7" || he.Line != 3 {
+		t.Errorf("check error = %+v, want host \"node7\" on line 3", he)
 	}
 }
 

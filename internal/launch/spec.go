@@ -26,19 +26,23 @@ import (
 // from (Seed, task) inside the O tasks, so no shared filesystem input is
 // needed; A tasks write their part files into the shared OutDir.
 type JobSpec struct {
-	App   string `json:"app"` // "wordcount" | "terasort" | "bigvalue"
+	App   string `json:"app"` // "wordcount" | "terasort" | "bigvalue" | "streamagg"
 	NumO  int    `json:"numO"`
 	NumA  int    `json:"numA"`
 	Procs int    `json:"procs"`
 	Slots int    `json:"slots,omitempty"`
 
 	// Lines is wordcount's per-O-task input size; Records is terasort's
-	// total record count and bigvalue's total streamed-value count (both
-	// split across O tasks); ValueBytes is bigvalue's per-value size.
+	// total record count, bigvalue's total streamed-value count and
+	// streamagg's total event count (each split across O tasks);
+	// ValueBytes is bigvalue's per-value size.
 	Lines      int   `json:"lines,omitempty"`
 	Records    int   `json:"records,omitempty"`
 	ValueBytes int   `json:"valueBytes,omitempty"`
 	Seed       int64 `json:"seed,omitempty"`
+
+	// WindowMs is streamagg's tumbling event-time window size.
+	WindowMs int `json:"windowMs,omitempty"`
 
 	// OutDir receives the A tasks' part-%05d files (a real OS directory,
 	// shared by all processes on this host).
@@ -90,15 +94,27 @@ type JobSpec struct {
 // Normalize fills defaults and validates the spec.
 func (s *JobSpec) Normalize() error {
 	switch s.App {
-	case "wordcount", "terasort", "bigvalue":
+	case "wordcount", "terasort", "bigvalue", "streamagg":
 	default:
-		return fmt.Errorf("launch: unsupported app %q (process launch supports wordcount, terasort and bigvalue)", s.App)
+		return fmt.Errorf("launch: unsupported app %q (process launch supports wordcount, terasort, bigvalue and streamagg)", s.App)
 	}
 	if s.NumO <= 0 || s.NumA <= 0 || s.Procs <= 0 {
 		return fmt.Errorf("launch: need NumO/NumA/Procs > 0, got %d/%d/%d", s.NumO, s.NumA, s.Procs)
 	}
 	if s.Slots <= 0 {
 		s.Slots = 2
+	}
+	if s.App == "streamagg" {
+		if s.NumA > s.Procs*s.Slots {
+			return fmt.Errorf("launch: streamagg (Streaming mode) needs NumA (%d) <= Procs*Slots (%d)",
+				s.NumA, s.Procs*s.Slots)
+		}
+		if s.WindowMs <= 0 {
+			s.WindowMs = 50
+		}
+		if s.Records <= 0 {
+			s.Records = 4000
+		}
 	}
 	if s.Lines <= 0 {
 		s.Lines = 200
@@ -199,6 +215,29 @@ func (s *JobSpec) BuildJob(workerRank, attempt int, tr *trace.Tracer) *core.Job 
 	case "bigvalue":
 		job.OTask = s.bigvalueO()
 		job.ATask = s.bigvalueA()
+	case "streamagg":
+		// The streaming service is expressed as a StreamJob and lowered to
+		// the plain Job every process runs; the shared Conf built above
+		// (fault tolerance, partial restart, transport knobs) carries over.
+		sj := &core.StreamJob{
+			Name:   s.App,
+			Conf:   job.Conf,
+			NumO:   s.NumO,
+			NumA:   s.NumA,
+			Procs:  s.Procs,
+			Slots:  s.Slots,
+			Window: core.WindowSpec{Size: time.Duration(s.WindowMs) * time.Millisecond},
+			Source: s.streamaggSource(),
+			Emit:   s.streamaggEmit(),
+			Trace:  tr,
+		}
+		lowered, err := sj.Job()
+		if err != nil {
+			// Normalize validated every input Job checks; reaching here is a
+			// programming error, not a configuration one.
+			panic(fmt.Sprintf("launch: streamagg spec failed to lower: %v", err))
+		}
+		return lowered
 	}
 	return job
 }

@@ -1,0 +1,97 @@
+package launch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"datampi/internal/core"
+)
+
+// streamaggEpoch anchors streamagg's synthetic event times. A fixed epoch
+// (rather than wall clock) keeps every incarnation's emission sequence
+// byte-identical, which is what lets a partial restart replay windows
+// exactly once against the sink's emit fence.
+var streamaggEpoch = time.Unix(1_700_000_000, 0)
+
+// streamaggKeys is the key-space size; a small space forces every window
+// to aggregate for real.
+const streamaggKeys = 16
+
+// streamaggWMEvery is how many events a source emits between watermark
+// updates. Event times are monotonic per source, so the watermark always
+// trails the last event honestly (nothing is ever late).
+const streamaggWMEvery = 32
+
+// streamaggSource is the deterministic O-side adapter: each source emits
+// its share of Records as 1ms-spaced events with seeded keys and
+// recomputable payloads, advancing its watermark every few events.
+func (s *JobSpec) streamaggSource() func(sc *core.SourceContext) error {
+	spec := *s
+	return func(sc *core.SourceContext) error {
+		rng := rand.New(rand.NewSource(spec.Seed ^ int64(sc.Rank())<<20))
+		var val [8]byte
+		n := spec.taskRecords(sc.Rank())
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("k%02d", rng.Intn(streamaggKeys))
+			binary.BigEndian.PutUint64(val[:], uint64(sc.Rank())<<32|uint64(i))
+			ts := streamaggEpoch.Add(time.Duration(i) * time.Millisecond)
+			if err := sc.Emit([]byte(key), val[:], ts); err != nil {
+				return err
+			}
+			if i%streamaggWMEvery == streamaggWMEvery-1 {
+				if err := sc.Watermark(ts); err != nil {
+					return err
+				}
+			}
+		}
+		return nil // the end-of-stream watermark flushes the tail windows
+	}
+}
+
+// streamaggEmit writes each fired window as one atomically-published file
+// under OutDir. The skip-if-exists check is the durable exactly-once
+// fence: a deterministic replay after a partial restart re-fires
+// byte-identical windows, and any window already published simply stands.
+// Content is per-key count and sum — order-independent aggregates, so the
+// bytes do not depend on how the sources happened to interleave.
+func (s *JobSpec) streamaggEmit() func(fw core.FiredWindow) error {
+	outDir := s.OutDir
+	return func(fw core.FiredWindow) error {
+		path := WindowPath(outDir, fw.Task, fw.Start)
+		if _, err := os.Stat(path); err == nil {
+			return nil // already published by a previous incarnation
+		}
+		tmp := fmt.Sprintf("%s.tmp.%d", path, os.Getpid())
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		for _, g := range fw.Groups {
+			var sum uint64
+			for _, v := range g.Values {
+				sum += binary.BigEndian.Uint64(v)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\n", g.Key, len(g.Values), sum)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+}
+
+// WindowPath is where streamagg's A task `task` publishes the window
+// starting at `start` under a spec's OutDir.
+func WindowPath(dir string, task int, start time.Time) string {
+	return filepath.Join(dir, fmt.Sprintf("win-%03d-%020d", task, start.UnixNano()))
+}
